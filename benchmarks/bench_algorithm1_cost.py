@@ -1,0 +1,50 @@
+"""Algorithm 1 cost — column operation counts on random PDMs.
+
+Section 3.2 states the algorithm needs on the order of ``n^2 * ln(M)`` column
+operations.  The benchmark measures the mean operation count over random
+full-row-rank PDMs for growing depth and entry magnitude and checks the
+qualitative scaling: the count grows with the depth and (slowly) with the
+magnitude, and stays far below the quadratic-times-log bound with a generous
+constant.
+"""
+
+import math
+
+from repro.experiments.algorithm_cost import algorithm1_cost_sweep
+from repro.utils.formatting import format_table
+
+
+def _sweep():
+    return algorithm1_cost_sweep(depths=(2, 3, 4, 5, 6), magnitudes=(4, 16, 64), samples=15, seed=7)
+
+
+def test_algorithm1_cost_scaling(benchmark):
+    points = benchmark(_sweep)
+
+    by_depth = {}
+    for point in points:
+        by_depth.setdefault(point.depth, []).append(point)
+
+    # cost grows with depth (averaged over magnitudes)
+    means = {
+        depth: sum(p.mean_column_operations for p in pts) / len(pts)
+        for depth, pts in by_depth.items()
+    }
+    depths = sorted(means)
+    assert means[depths[-1]] > means[depths[0]]
+
+    # and stays within a generous constant of the paper's n^2 * ln(M) bound
+    for point in points:
+        bound = 40 * point.depth * point.depth * max(1.0, math.log(point.magnitude + 1))
+        assert point.max_column_operations <= bound
+
+    benchmark.extra_info["max_ops_depth6"] = max(
+        p.max_column_operations for p in points if p.depth == 6
+    )
+
+    rows = [
+        [p.depth, p.rank, p.magnitude, p.samples, f"{p.mean_column_operations:.1f}", p.max_column_operations]
+        for p in points
+    ]
+    print()
+    print(format_table(["depth", "rank", "max |entry|", "samples", "mean ops", "max ops"], rows))

@@ -1,0 +1,20 @@
+"""Figure 1 — the unimodular loop transformation schema.
+
+Regenerates the paper's introductory figure: a loop, its PDM, a legal
+unimodular transformation and the generated code.  The benchmark times the
+complete analysis + code generation path on the wavefront example.
+"""
+
+from repro.experiments.figures import figure1_unimodular_demo
+
+
+def test_figure1_unimodular_transformation(benchmark, paper_n):
+    result = benchmark(figure1_unimodular_demo, 6)
+    # the wavefront loop has constant distances (1,0) and (0,1): det 1, no
+    # partitioning parallelism, but the analysis must run and report it.
+    assert result.statistics.num_edges > 0
+    assert result.extra["pdm"] == [[1, 0], [0, 1]]
+    benchmark.extra_info["iterations"] = result.statistics.num_iterations
+    benchmark.extra_info["edges"] = result.statistics.num_edges
+    print()
+    print(result.describe())

@@ -1,0 +1,30 @@
+"""Figure 2 — ISDG of the original Section 4.1 loop (N = 10).
+
+Paper: the original loop has variable-length dependence arrows (distances
+grow away from the centre); solid nodes are dependent iterations, empty nodes
+independent ones.  The benchmark regenerates the ISDG and its statistics.
+"""
+
+from repro.experiments.figures import figure2_original_isdg_41
+
+
+def test_figure2_original_isdg(benchmark, paper_n):
+    result = benchmark(figure2_original_isdg_41, paper_n)
+    stats = result.statistics
+    # reproduction targets (shape of the figure):
+    assert stats.num_iterations == (2 * paper_n + 1) ** 2
+    assert stats.num_edges > 0
+    assert stats.num_distinct_distances > 1          # variable distances
+    assert stats.num_dependent > 0
+    assert stats.num_independent > 0                 # solid and empty nodes both occur
+    # every distance is a multiple of (2, -2)
+    assert all(d[0] == -d[1] and d[0] % 2 == 0 for d in result.extra["distinct distances"])
+    benchmark.extra_info.update(
+        {
+            "iterations": stats.num_iterations,
+            "edges": stats.num_edges,
+            "distinct_distances": stats.num_distinct_distances,
+        }
+    )
+    print()
+    print(result.describe())

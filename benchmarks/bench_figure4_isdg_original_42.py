@@ -1,0 +1,24 @@
+"""Figure 4 — ISDG of the original Section 4.2 loop (N = 10).
+
+Paper: "An arrow between two dependent iterations always jumps a stride
+greater than 1 ... which implies the existence of independent partitions."
+"""
+
+from repro.experiments.figures import figure4_original_isdg_42
+
+
+def test_figure4_original_isdg(benchmark, paper_n):
+    result = benchmark(figure4_original_isdg_42, paper_n)
+    stats = result.statistics
+    assert stats.num_iterations == (2 * paper_n + 1) ** 2
+    assert stats.num_edges > 0
+    assert stats.num_distinct_distances > 1
+    # the figure's key observation: every stride is greater than 1 in at least
+    # one coordinate (no unit-distance dependences)
+    for distance in result.extra["distinct distances"]:
+        assert max(abs(c) for c in distance) > 1
+    benchmark.extra_info.update(
+        {"iterations": stats.num_iterations, "edges": stats.num_edges}
+    )
+    print()
+    print(result.describe())

@@ -1,0 +1,27 @@
+"""Figure 5 — the Section 4.2 iteration space split into four partitions.
+
+Paper: "The new ISDG after being partitioned into four 2-D iteration spaces.
+The dependence arrows have shorter length in proportion to the increased step
+size"; ``det(PDM) = 4`` partitions run as doall loops.
+"""
+
+from repro.experiments.figures import figure5_partitioned_isdg_42
+
+
+def test_figure5_partitioned_isdg(benchmark, paper_n):
+    result = benchmark(figure5_partitioned_isdg_42, paper_n)
+    stats = result.statistics
+    # reproduction targets: PDM determinant 4, 4 realized partitions, no
+    # dependence crosses a partition boundary.
+    assert result.extra["PDM"] == [[2, 1], [0, 2]]
+    assert result.extra["partitions"] == 4
+    assert stats.num_partitions == 4
+    assert stats.num_cross_partition_edges == 0
+    # partitions are balanced to within a factor of two
+    low, high = stats.partition_size_spread
+    assert high <= 2 * low
+    benchmark.extra_info.update(
+        {"partitions": stats.num_partitions, "cross_partition_edges": 0}
+    )
+    print()
+    print(result.describe())

@@ -1,0 +1,66 @@
+"""Speedup study — structural parallelism of the transformed loops.
+
+The paper claims ``det(S)`` independent partitions (Section 3.3) plus one
+doall loop per zero PDM column (Lemma 1).  This benchmark sweeps the loop
+size for both paper examples and two kernels and reports the ideal and
+simulated speedups; the reproduction target is the *shape*: the speedup of
+example 4.1 grows linearly with N (doall loop), the speedup of example 4.2
+saturates at det = 4 (partitions only), and the wavefront kernel stays at 1.
+"""
+
+import pytest
+
+from repro.experiments.speedup import speedup_sweep
+from repro.utils.formatting import format_table
+from repro.workloads.kernels import strided_scatter, wavefront_recurrence
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+_HEADERS = [
+    "workload", "N", "iterations", "doall loops", "partitions",
+    "chunks", "ideal speedup", "speedup p=4", "speedup p=16",
+]
+
+
+def _sweep_all():
+    rows = []
+    points = {}
+    for factory, name in (
+        (example_4_1, "example-4.1"),
+        (example_4_2, "example-4.2"),
+        (lambda n: strided_scatter(n, stride=3), "strided-scatter"),
+        (wavefront_recurrence, "wavefront"),
+    ):
+        series = speedup_sweep(factory, sizes=(6, 10, 14), workload_name=name)
+        points[name] = series
+        rows.extend(p.as_row() for p in series)
+    return points, rows
+
+
+def test_speedup_partitioning_sweep(benchmark):
+    points, rows = benchmark(_sweep_all)
+
+    ex41 = points["example-4.1"]
+    ex42 = points["example-4.2"]
+    wave = points["wavefront"]
+    scatter = points["strided-scatter"]
+
+    # example 4.1: one doall loop -> ideal speedup grows with N
+    assert [p.ideal_speedup for p in ex41] == sorted(p.ideal_speedup for p in ex41)
+    assert ex41[-1].ideal_speedup > ex41[0].ideal_speedup
+    assert all(p.partitions == 2 and p.parallel_loops == 1 for p in ex41)
+
+    # example 4.2: partitions only -> ideal speedup ~ det = 4, independent of N
+    assert all(p.partitions == 4 and p.parallel_loops == 0 for p in ex42)
+    assert all(3.0 < p.ideal_speedup <= 4.0 + 1e-9 for p in ex42)
+
+    # wavefront: no parallelism from this method
+    assert all(p.ideal_speedup == pytest.approx(1.0) for p in wave)
+
+    # strided scatter: 3 partitions
+    assert all(p.partitions == 3 for p in scatter)
+
+    benchmark.extra_info["ex41_speedup_N14"] = round(ex41[-1].ideal_speedup, 1)
+    benchmark.extra_info["ex42_speedup_N14"] = round(ex42[-1].ideal_speedup, 1)
+
+    print()
+    print(format_table(_HEADERS, rows))

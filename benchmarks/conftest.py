@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure or a table)
+and asserts the structural reproduction targets recorded in EXPERIMENTS.md;
+the timing collected by pytest-benchmark measures the analysis/transformation
+cost, which is the "compile-time" overhead a user of the method would pay.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_n() -> int:
+    """The iteration-space size used by the paper's figures (N = 10)."""
+    return 10

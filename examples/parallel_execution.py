@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Parallel execution study: from structural parallelism to speedups.
+
+Sweeps the loop size of both paper examples and a realistic kernel, reports
+the exploited parallelism (doall loops x partitions), the ideal and simulated
+speedups, and finally runs the thread-based executor to show wall-clock
+behaviour (honestly documenting the CPython GIL limitation for pure-Python
+loop bodies).
+
+Run with:  python examples/parallel_execution.py
+"""
+
+from repro.experiments.speedup import speedup_sweep, wallclock_measurement
+from repro.utils.formatting import format_table
+from repro.workloads.kernels import constant_partitioning_recurrence, strided_scatter
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+
+def main() -> None:
+    headers = [
+        "workload", "N", "iterations", "doall loops", "partitions",
+        "chunks", "ideal speedup", "speedup p=4", "speedup p=16",
+    ]
+    rows = []
+    for factory, name in (
+        (example_4_1, "example-4.1"),
+        (example_4_2, "example-4.2"),
+        (lambda n: strided_scatter(n, stride=3), "strided-scatter"),
+        (lambda n: constant_partitioning_recurrence(n, stride=2), "constant-partition"),
+    ):
+        for point in speedup_sweep(factory, sizes=(6, 10, 16), workload_name=name):
+            rows.append(point.as_row())
+    print("Structural parallelism and simulated speedups:")
+    print(format_table(headers, rows))
+    print()
+
+    nest = example_4_2(12)
+    timings = wallclock_measurement(nest, modes=("serial", "threads"))
+    print(f"Wall-clock execution of {nest.name} (pure-Python bodies, GIL-limited):")
+    for mode, seconds in timings.items():
+        print(f"  {mode:>8s}: {seconds * 1000:8.1f} ms")
+    print(
+        "\nNote: wall-clock thread speedup is limited by the CPython GIL; the\n"
+        "machine-independent parallelism numbers above (and the process-based\n"
+        "executor) demonstrate the structural speedup the transformation enables."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: analyse, transform, generate code for and verify one loop nest.
+
+Builds a 2-deep loop with variable dependence distances, computes its pseudo
+distance matrix, applies the paper's parallelization method (Algorithm 1 +
+partitioning), prints the generated code and verifies that the transformed
+loop computes exactly the same result as the original.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    TransformedLoopNest,
+    build_schedule,
+    emit_transformed_source,
+    loop_nest,
+    parallelize,
+    simulate_schedule,
+    verify_transformation,
+)
+from repro.codegen.schedule import schedule_statistics
+
+
+def main() -> None:
+    # A loop whose read access couples both indices: the dependence distances
+    # are variable (they grow with i1), which defeats constant-distance
+    # methods but is exactly the case the PDM method handles.
+    nest = (
+        loop_nest("quickstart")
+        .loop("i1", -12, 12)
+        .loop("i2", -12, 12)
+        .statement("A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0")
+        .build()
+    )
+    print("Original loop:")
+    print(nest)
+    print()
+
+    # 1. Analysis + transformation selection.
+    report = parallelize(nest)
+    print(report.summary())
+    print()
+
+    # 2. Code generation.
+    transformed = TransformedLoopNest.from_report(report)
+    print("Generated (transformed) code:")
+    print(emit_transformed_source(transformed))
+
+    # 3. Parallelism of the schedule.
+    chunks = build_schedule(transformed)
+    stats = schedule_statistics(chunks)
+    sim = simulate_schedule(chunks, num_processors=8)
+    print(f"Schedule: {stats['num_chunks']} independent chunks, "
+          f"ideal speedup {stats['ideal_speedup']:.1f}, "
+          f"simulated speedup on 8 processors {sim.speedup:.2f}")
+    print()
+
+    # 4. Dynamic verification: transformed execution == original execution.
+    verification = verify_transformation(nest, report)
+    print(verification.describe())
+
+
+if __name__ == "__main__":
+    main()

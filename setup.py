@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal environments that lack the
+``wheel`` package (pip then falls back to the legacy ``setup.py develop``
+editable install).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — reproduction of "Partitioning Loops with Variable Dependence Distances".
+
+Yu & D'Hollander, ICPP 2000.
+
+The package implements the paper's pseudo distance matrix (PDM) analysis,
+legal unimodular loop transformations, Algorithm 1 (zeroing PDM columns) and
+the iteration-space partitioning transformation, together with the substrate
+needed to evaluate them: an affine loop-nest IR, exact integer linear
+algebra, a dependence analyzer, code generation, a loop interpreter with
+parallel executors, ISDG figures and baseline methods.
+
+Quickstart
+----------
+>>> from repro import loop_nest, parallelize
+>>> nest = (loop_nest("demo")
+...         .loop("i1", -10, 10)
+...         .loop("i2", -10, 10)
+...         .statement("A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0")
+...         .build())
+>>> report = parallelize(nest)
+>>> report.pdm.rank, report.parallel_loop_count, report.partition_count
+(1, 1, 2)
+"""
+
+from repro.loopnest import (
+    AffineExpr,
+    LoopBounds,
+    LoopNest,
+    LoopNestBuilder,
+    Statement,
+    loop_nest,
+    parse_affine,
+    parse_expression,
+    parse_statement,
+)
+from repro.core import (
+    ParallelizationReport,
+    PseudoDistanceMatrix,
+    parallelize,
+    transform_non_full_rank,
+    partition_full_rank,
+    is_legal_unimodular,
+)
+from repro.codegen import (
+    TransformedLoopNest,
+    build_schedule,
+    emit_original_source,
+    emit_transformed_source,
+)
+from repro.runtime import (
+    ArrayStore,
+    OffsetArray,
+    ParallelExecutor,
+    execute_nest,
+    execute_transformed,
+    simulate_schedule,
+    store_for_nest,
+    verify_transformation,
+)
+from repro.isdg import build_isdg, compute_statistics
+from repro.intlin import Lattice, hermite_normal_form, smith_normal_form
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # loop nest IR
+    "AffineExpr",
+    "LoopBounds",
+    "LoopNest",
+    "LoopNestBuilder",
+    "Statement",
+    "loop_nest",
+    "parse_affine",
+    "parse_expression",
+    "parse_statement",
+    # core method
+    "ParallelizationReport",
+    "PseudoDistanceMatrix",
+    "parallelize",
+    "transform_non_full_rank",
+    "partition_full_rank",
+    "is_legal_unimodular",
+    # code generation
+    "TransformedLoopNest",
+    "build_schedule",
+    "emit_original_source",
+    "emit_transformed_source",
+    # runtime
+    "ArrayStore",
+    "OffsetArray",
+    "ParallelExecutor",
+    "execute_nest",
+    "execute_transformed",
+    "simulate_schedule",
+    "store_for_nest",
+    "verify_transformation",
+    # ISDG
+    "build_isdg",
+    "compute_statistics",
+    # integer linear algebra
+    "Lattice",
+    "hermite_normal_form",
+    "smith_normal_form",
+]

@@ -1,0 +1,39 @@
+"""Baseline parallelization methods (the comparators of the paper's Table 1).
+
+Each baseline implements the same tiny interface (:class:`MethodResult`), so
+the comparison harness can run "this work" (the PDM method) side by side with:
+
+* the uniform-distance unimodular framework (Banerjee),
+* constant-distance partitioning (D'Hollander 1992),
+* direction-vector based parallel-loop detection (Wolf & Lam style), and
+* plain parallel-loop detection without any transformation.
+"""
+
+from repro.baselines.base import MethodResult, ideal_speedup_of_result
+from repro.baselines.pdm_method import pdm_method
+from repro.baselines.uniform_unimodular import uniform_unimodular_method
+from repro.baselines.constant_partitioning import constant_partitioning_method
+from repro.baselines.direction_vector import direction_vector_method
+from repro.baselines.no_transform import no_transform_method
+from repro.baselines.comparison import (
+    ALL_METHODS,
+    ComparisonRow,
+    compare_methods,
+    comparison_table,
+    related_work_table,
+)
+
+__all__ = [
+    "MethodResult",
+    "ideal_speedup_of_result",
+    "pdm_method",
+    "uniform_unimodular_method",
+    "constant_partitioning_method",
+    "direction_vector_method",
+    "no_transform_method",
+    "ALL_METHODS",
+    "ComparisonRow",
+    "compare_methods",
+    "comparison_table",
+    "related_work_table",
+]

@@ -1,0 +1,98 @@
+"""Common result type and metrics for parallelization methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.codegen.schedule import build_schedule, schedule_statistics
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.partition import PartitioningResult
+from repro.intlin.matrix import Matrix, identity_matrix
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["MethodResult", "ideal_speedup_of_result"]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """What one parallelization method managed to do with one loop nest."""
+
+    method: str
+    nest_name: str
+    applicable: bool
+    dependence_representation: str
+    """How the method models dependences (uniform distances, direction
+    vectors, pseudo distance matrix, ...) — column 2 of the paper's Table 1."""
+    parallel_levels: Tuple[int, ...] = ()
+    partition_count: int = 1
+    transform: Optional[Matrix] = None
+    partitioning: Optional[PartitioningResult] = None
+    notes: str = ""
+    execution_model: str = "independent-chunks"
+    """How the reported parallelism is exploited at run time.
+
+    ``independent-chunks``: the parallel levels / partitions are provably
+    independent (zero PDM columns, lattice cosets), so iterations split into
+    chunks that never synchronise.  ``barrier``: the method only marks loops
+    whose iterations can run in parallel *within* one instance of the
+    enclosing sequential loops (classic inner-doall with a barrier per outer
+    iteration)."""
+
+    @property
+    def parallel_loop_count(self) -> int:
+        return len(self.parallel_levels)
+
+    @property
+    def found_parallelism(self) -> bool:
+        return self.applicable and (self.parallel_loop_count > 0 or self.partition_count > 1)
+
+    def describe(self) -> str:
+        if not self.applicable:
+            return f"{self.method}: not applicable ({self.notes})"
+        return (
+            f"{self.method}: {self.parallel_loop_count} doall loop(s), "
+            f"{self.partition_count} partition(s){' — ' + self.notes if self.notes else ''}"
+        )
+
+
+def ideal_speedup_of_result(nest: LoopNest, result: MethodResult) -> float:
+    """Machine-independent speedup the method's transformation achieves.
+
+    For ``independent-chunks`` results the nest is wrapped in a
+    :class:`TransformedLoopNest` with the method's transformation (identity
+    if none), parallel levels and partitioning; the resulting chunk
+    schedule's ``total work / largest chunk`` ratio is returned.
+
+    For ``barrier`` results the classic inner-doall model is used: with
+    unlimited processors every combination of sequential-level values costs
+    one time step, so the speedup is
+    ``total iterations / number of distinct sequential-level combinations``.
+
+    A method that found nothing, or that is not applicable, gets 1.0.
+    """
+    if not result.applicable:
+        return 1.0
+
+    if result.execution_model == "barrier":
+        sequential_levels = [
+            level for level in range(nest.depth) if level not in result.parallel_levels
+        ]
+        total = 0
+        steps = set()
+        for iteration in nest.iterations():
+            total += 1
+            steps.add(tuple(iteration[k] for k in sequential_levels))
+        if not steps or total == 0:
+            return 1.0
+        return total / len(steps)
+
+    transform = result.transform if result.transform is not None else identity_matrix(nest.depth)
+    transformed = TransformedLoopNest(
+        nest=nest,
+        transform=transform,
+        parallel_levels=result.parallel_levels,
+        partitioning=result.partitioning,
+    )
+    chunks = build_schedule(transformed)
+    return schedule_statistics(chunks)["ideal_speedup"]

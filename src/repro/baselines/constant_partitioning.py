@@ -1,0 +1,81 @@
+"""Constant-distance partitioning baseline (D'Hollander, IEEE TPDS 1992).
+
+The paper generalizes this method: for a loop whose dependences are constant
+distance vectors forming a full-rank matrix, the iteration space splits into
+``det`` independent partitions.  The baseline is applicable only to constant
+distances (and, for the partitioning step, only when the distance matrix has
+full rank); the PDM method subsumes it.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MethodResult
+from repro.core.partition import partition_full_rank
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.dependence.solver import analyze_loop_dependences
+from repro.exceptions import SingularMatrixError
+from repro.intlin.matrix import identity_matrix, is_zero_vector
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["constant_partitioning_method"]
+
+
+def constant_partitioning_method(nest: LoopNest) -> MethodResult:
+    """D'Hollander-style partitioning for constant-distance loops."""
+    solutions = analyze_loop_dependences(nest)
+    distances = []
+    for sol in solutions:
+        if not sol.consistent:
+            continue
+        if not sol.is_uniform:
+            return MethodResult(
+                method="partitioning (D'Hollander)",
+                nest_name=nest.name,
+                applicable=False,
+                dependence_representation="uniform distance vectors",
+                notes=f"variable-distance dependence: {sol.pair.describe()}",
+            )
+        if sol.offset is not None and not is_zero_vector(sol.offset):
+            distances.append(list(sol.offset))
+
+    if not distances:
+        return MethodResult(
+            method="partitioning (D'Hollander)",
+            nest_name=nest.name,
+            applicable=True,
+            dependence_representation="uniform distance vectors",
+            parallel_levels=tuple(range(nest.depth)),
+            partition_count=1,
+            transform=identity_matrix(nest.depth),
+            notes="no loop-carried dependences",
+        )
+
+    pdm = PseudoDistanceMatrix.from_generators(distances, nest.depth, nest.index_names)
+    if not pdm.is_full_rank:
+        # The 1992 method combines unimodular labeling with partitioning; the
+        # reproduction reports only its partitioning capability here, so a
+        # rank-deficient constant-distance matrix yields the zero-column
+        # parallel loops and no partitions.
+        return MethodResult(
+            method="partitioning (D'Hollander)",
+            nest_name=nest.name,
+            applicable=True,
+            dependence_representation="uniform distance vectors",
+            parallel_levels=tuple(pdm.zero_columns()),
+            partition_count=1,
+            transform=identity_matrix(nest.depth),
+            notes="distance matrix not full rank: partitioning skipped",
+        )
+
+    partitioning = partition_full_rank(pdm)
+    return MethodResult(
+        method="partitioning (D'Hollander)",
+        nest_name=nest.name,
+        applicable=True,
+        dependence_representation="uniform distance vectors",
+        parallel_levels=tuple(pdm.zero_columns()),
+        partition_count=partitioning.num_partitions,
+        transform=identity_matrix(nest.depth),
+        partitioning=partitioning,
+        notes=f"det = {partitioning.num_partitions} partitions",
+    )

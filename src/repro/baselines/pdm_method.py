@@ -1,0 +1,25 @@
+"""The paper's method wrapped in the common baseline interface."""
+
+from __future__ import annotations
+
+from repro.baselines.base import MethodResult
+from repro.core.pipeline import parallelize
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["pdm_method"]
+
+
+def pdm_method(nest: LoopNest, placement: str = "outer") -> MethodResult:
+    """Run the pseudo-distance-matrix method (this work) on a nest."""
+    report = parallelize(nest, placement=placement)
+    return MethodResult(
+        method="pdm (this work)",
+        nest_name=nest.name,
+        applicable=True,
+        dependence_representation="pseudo distance matrix",
+        parallel_levels=report.parallel_levels,
+        partition_count=report.partition_count,
+        transform=report.transform,
+        partitioning=report.partitioning,
+        notes=f"PDM rank {report.pdm.rank}/{nest.depth}",
+    )

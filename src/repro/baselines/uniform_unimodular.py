@@ -1,0 +1,65 @@
+"""Uniform-distance unimodular baseline (Banerjee's framework).
+
+Banerjee's unimodular transformation framework assumes every dependence is a
+*constant* distance vector.  When that assumption holds the same machinery as
+Algorithm 1 can be used to expose fully parallel loops (the distance matrix
+is a special case of the PDM, as the paper's Corollary 5 points out); when a
+variable-distance dependence is present the method is simply not applicable,
+which is exactly the gap the paper fills.  No partitioning is performed — the
+framework only uses unimodular transformations (Table 1, row "Banerjee").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MethodResult
+from repro.core.algorithm1 import transform_non_full_rank
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.dependence.solver import analyze_loop_dependences
+from repro.intlin.matrix import identity_matrix, is_zero_vector
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["uniform_unimodular_method"]
+
+
+def uniform_unimodular_method(nest: LoopNest, placement: str = "outer") -> MethodResult:
+    """Banerjee-style unimodular parallelization, applicable to constant distances only."""
+    solutions = analyze_loop_dependences(nest)
+    distances = []
+    for sol in solutions:
+        if not sol.consistent:
+            continue
+        if not sol.is_uniform:
+            return MethodResult(
+                method="unimodular (Banerjee)",
+                nest_name=nest.name,
+                applicable=False,
+                dependence_representation="uniform distance vectors",
+                notes=f"variable-distance dependence: {sol.pair.describe()}",
+            )
+        if sol.offset is not None and not is_zero_vector(sol.offset):
+            distances.append(list(sol.offset))
+
+    if not distances:
+        return MethodResult(
+            method="unimodular (Banerjee)",
+            nest_name=nest.name,
+            applicable=True,
+            dependence_representation="uniform distance vectors",
+            parallel_levels=tuple(range(nest.depth)),
+            partition_count=1,
+            transform=identity_matrix(nest.depth),
+            notes="no loop-carried dependences",
+        )
+
+    pdm = PseudoDistanceMatrix.from_generators(distances, nest.depth, nest.index_names)
+    result = transform_non_full_rank(pdm, placement=placement)
+    return MethodResult(
+        method="unimodular (Banerjee)",
+        nest_name=nest.name,
+        applicable=True,
+        dependence_representation="uniform distance vectors",
+        parallel_levels=result.zero_columns,
+        partition_count=1,
+        transform=result.transform,
+        notes=f"distance matrix rank {pdm.rank}/{nest.depth}; no partitioning",
+    )

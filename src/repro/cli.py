@@ -1,0 +1,214 @@
+"""Command line interface.
+
+A small front end so the analysis can be driven from loop descriptions in
+plain text files, without writing Python::
+
+    repro-loop analyze examples/loops/example41.loop
+    repro-loop codegen examples/loops/example41.loop
+    repro-loop verify  examples/loops/example41.loop
+    repro-loop compare examples/loops/example41.loop
+    repro-loop figures examples/loops/example41.loop
+
+Loop description format (one item per line, ``#`` starts a comment)::
+
+    name: my-loop
+    loop i1 = -10 .. 10
+    loop i2 = 0 .. i1
+    A[i1, i2] = A[i1 - 1, i2 + 2] + 1.0
+
+Loops are declared outermost first; every remaining non-empty line is a body
+statement.  Bounds may reference outer loop indices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.comparison import compare_methods, comparison_table
+from repro.codegen.python_emitter import emit_original_source, emit_transformed_source
+from repro.codegen.schedule import build_schedule, schedule_statistics
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import parallelize
+from repro.exceptions import LoopNestError, ReproError
+from repro.isdg.build import build_isdg
+from repro.isdg.partitions import partition_labels_of_iterations
+from repro.isdg.render import render_ascii_grid, render_distance_histogram, render_partition_grid
+from repro.isdg.stats import compute_statistics
+from repro.loopnest.builder import LoopNestBuilder
+from repro.loopnest.nest import LoopNest
+from repro.runtime.simulator import simulate_schedule
+from repro.runtime.verification import verify_transformation
+from repro.workloads.suite import WorkloadCase
+
+__all__ = ["parse_loop_text", "parse_loop_file", "main"]
+
+
+def parse_loop_text(text: str, default_name: str = "loop") -> LoopNest:
+    """Parse the textual loop description format into a :class:`LoopNest`."""
+    builder = LoopNestBuilder(default_name)
+    name = default_name
+    statements = 0
+    loops = 0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.lower().startswith("name:"):
+            name = line.split(":", 1)[1].strip() or default_name
+            builder._name = name  # the builder has no setter; adjust directly
+            continue
+        if line.lower().startswith("loop "):
+            if statements:
+                raise LoopNestError(
+                    f"line {line_number}: loop declared after body statements "
+                    "(the nest must be perfectly nested)"
+                )
+            rest = line[5:]
+            try:
+                index_part, bounds_part = rest.split("=", 1)
+                lower_text, upper_text = bounds_part.split("..", 1)
+            except ValueError as exc:
+                raise LoopNestError(
+                    f"line {line_number}: expected 'loop <index> = <lower> .. <upper>', got {line!r}"
+                ) from exc
+            builder.loop(index_part.strip(), lower_text.strip(), upper_text.strip())
+            loops += 1
+            continue
+        if loops == 0:
+            raise LoopNestError(
+                f"line {line_number}: body statement before any 'loop' declaration"
+            )
+        builder.statement(line)
+        statements += 1
+    if loops == 0:
+        raise LoopNestError("the loop description declares no loops")
+    if statements == 0:
+        raise LoopNestError("the loop description has no body statements")
+    return builder.build()
+
+
+def parse_loop_file(path: str) -> LoopNest:
+    """Read and parse a loop description file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_loop_text(text, default_name=name)
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+def _cmd_analyze(nest: LoopNest, args) -> str:
+    report = parallelize(nest, placement=args.placement)
+    transformed = TransformedLoopNest.from_report(report)
+    chunks = build_schedule(transformed)
+    stats = schedule_statistics(chunks)
+    sim = simulate_schedule(chunks, num_processors=args.processors)
+    lines = [str(nest), "", report.summary(), ""]
+    lines.append(
+        f"Schedule: {stats['num_chunks']} independent chunks, "
+        f"ideal speedup {stats['ideal_speedup']:.2f}, "
+        f"simulated speedup on {args.processors} processors {sim.speedup:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_codegen(nest: LoopNest, args) -> str:
+    report = parallelize(nest, placement=args.placement)
+    transformed = TransformedLoopNest.from_report(report)
+    lines = [
+        "# --- original loop -------------------------------------------------",
+        emit_original_source(nest),
+        "# --- transformed (parallelized) loop --------------------------------",
+        emit_transformed_source(transformed),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_verify(nest: LoopNest, args) -> str:
+    report = parallelize(nest, placement=args.placement)
+    result = verify_transformation(nest, report, check_executors=("serial",))
+    return result.describe()
+
+
+def _cmd_compare(nest: LoopNest, args) -> str:
+    case = WorkloadCase(name=nest.name, nest=nest, category="user")
+    rows = compare_methods([case])
+    lines = [comparison_table(rows), ""]
+    for method, result in rows[0].results:
+        lines.append(f"{method}: {result.describe()}")
+    return "\n".join(lines)
+
+
+def _cmd_figures(nest: LoopNest, args) -> str:
+    report = parallelize(nest, placement=args.placement)
+    transformed = TransformedLoopNest.from_report(report)
+    isdg = build_isdg(nest)
+    stats = compute_statistics(isdg, transformed)
+    lines = [stats.describe(), ""]
+    if nest.depth == 2:
+        lines.append("Dependent (o) / independent (.) iterations:")
+        lines.append(render_ascii_grid(isdg))
+        lines.append("")
+        if transformed.partitioning is not None:
+            labels = partition_labels_of_iterations(isdg, transformed)
+            lines.append("Partition labels:")
+            lines.append(render_partition_grid(isdg, labels))
+            lines.append("")
+    lines.append(render_distance_histogram(isdg))
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "codegen": _cmd_codegen,
+    "verify": _cmd_verify,
+    "compare": _cmd_compare,
+    "figures": _cmd_figures,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loop",
+        description="Analyse and parallelize affine loop nests (Yu & D'Hollander, ICPP 2000).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="what to do with the loop")
+    parser.add_argument("loop_file", help="path to a loop description file")
+    parser.add_argument(
+        "--placement",
+        choices=["outer", "inner"],
+        default="outer",
+        help="where Algorithm 1 places the parallel loops (default: outer)",
+    )
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=4,
+        help="processor count for the simulated-speedup report (default: 4)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-loop`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        nest = parse_loop_file(args.loop_file)
+        output = _COMMANDS[args.command](nest, args)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.loop_file}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""The transformed iteration space.
+
+A :class:`TransformedLoopNest` bundles a loop nest with the unimodular
+transformation ``T`` chosen by the analysis (and, optionally, the
+partitioning of the remaining sequential levels).  It knows how to:
+
+* compute the loop bounds of the new indices with Fourier–Motzkin
+  elimination (exactly as the paper does for the Section 4.1 example),
+* enumerate the new iteration space in lexicographic order,
+* map new index vectors back to original index vectors (``i = j @ T^{-1}``),
+* answer which loops are parallel and how iterations group into independent
+  chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.partition import PartitioningResult
+from repro.core.pipeline import ParallelizationReport
+from repro.exceptions import CodegenError
+from repro.intlin.fourier_motzkin import VariableBounds, loop_bounds_from_inequalities
+from repro.intlin.matrix import (
+    Matrix,
+    identity_matrix,
+    mat_copy,
+    mat_equal,
+    unimodular_inverse,
+    vec_mat_mul,
+)
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["TransformedLoopNest"]
+
+
+@dataclass
+class TransformedLoopNest:
+    """A loop nest together with the transformation selected for it."""
+
+    nest: LoopNest
+    transform: Matrix
+    parallel_levels: Tuple[int, ...] = ()
+    partitioning: Optional[PartitioningResult] = None
+    new_index_names: Tuple[str, ...] = ()
+    _inverse: Matrix = field(init=False, repr=False)
+    _bounds: List[VariableBounds] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self.transform = mat_copy(self.transform)
+        depth = self.nest.depth
+        if len(self.transform) != depth:
+            raise CodegenError(
+                f"transformation is {len(self.transform)}x?, expected {depth}x{depth}"
+            )
+        self._inverse = unimodular_inverse(self.transform)
+        if not self.new_index_names:
+            self.new_index_names = tuple(f"j{k + 1}" for k in range(depth))
+        if len(self.new_index_names) != depth:
+            raise CodegenError("new_index_names must have one name per loop level")
+        system = self.nest.inequality_system().transformed(self._inverse)
+        self._bounds = loop_bounds_from_inequalities(system)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_report(cls, report: ParallelizationReport) -> "TransformedLoopNest":
+        """Build the transformed nest selected by :func:`repro.core.parallelize`."""
+        return cls(
+            nest=report.nest,
+            transform=report.transform,
+            parallel_levels=report.parallel_levels,
+            partitioning=report.partitioning,
+            new_index_names=report.new_index_names,
+        )
+
+    @classmethod
+    def identity(cls, nest: LoopNest) -> "TransformedLoopNest":
+        """The untransformed nest wrapped in the same interface."""
+        return cls(nest=nest, transform=identity_matrix(nest.depth))
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        return self.nest.depth
+
+    @property
+    def inverse_transform(self) -> Matrix:
+        return [row[:] for row in self._inverse]
+
+    @property
+    def is_identity(self) -> bool:
+        return mat_equal(self.transform, identity_matrix(self.depth))
+
+    @property
+    def variable_bounds(self) -> List[VariableBounds]:
+        """Fourier–Motzkin bounds of the new loop indices (outermost first)."""
+        return list(self._bounds)
+
+    @property
+    def sequential_levels(self) -> Tuple[int, ...]:
+        return tuple(k for k in range(self.depth) if k not in self.parallel_levels)
+
+    # ------------------------------------------------------------------ #
+    # index mapping
+    # ------------------------------------------------------------------ #
+    def original_iteration(self, new_iteration: Sequence[int]) -> Tuple[int, ...]:
+        """Map a new-space index vector back to the original indices (``i = j @ T^-1``)."""
+        return tuple(vec_mat_mul(list(new_iteration), self._inverse))
+
+    def new_iteration(self, original_iteration: Sequence[int]) -> Tuple[int, ...]:
+        """Map an original index vector into the new space (``j = i @ T``)."""
+        return tuple(vec_mat_mul(list(original_iteration), self.transform))
+
+    def original_env(self, new_iteration: Sequence[int]) -> Dict[str, int]:
+        """Environment dict of original index names for a new-space iteration."""
+        original = self.original_iteration(new_iteration)
+        return {name: value for name, value in zip(self.nest.index_names, original)}
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def iterations(self) -> Iterator[Tuple[int, ...]]:
+        """All new-space iterations in lexicographic order.
+
+        Thanks to the exactness of Fourier–Motzkin scanning for unimodular
+        images, the generated points are exactly ``{i @ T : i in original space}``.
+        """
+        yield from self._iterate(0, [])
+
+    def _iterate(self, level: int, prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if level == self.depth:
+            yield tuple(prefix)
+            return
+        bounds = self._bounds[level]
+        lower = bounds.lower_value(prefix)
+        upper = bounds.upper_value(prefix)
+        if lower is None or upper is None:
+            raise CodegenError(
+                f"loop level {level} of the transformed nest is unbounded; "
+                "the original nest must have a finite iteration space"
+            )
+        for value in range(lower, upper + 1):
+            prefix.append(value)
+            yield from self._iterate(level + 1, prefix)
+            prefix.pop()
+
+    def iteration_count(self) -> int:
+        """Number of new-space iterations (equals the original count)."""
+        return sum(1 for _ in self.iterations())
+
+    # ------------------------------------------------------------------ #
+    # independence structure
+    # ------------------------------------------------------------------ #
+    def chunk_key(self, new_iteration: Sequence[int]) -> Tuple:
+        """The independence class of an iteration.
+
+        Two iterations with different keys never depend on each other: the
+        key combines the values of the parallel (zero-column) loops with the
+        partition label of the sequential levels.
+        """
+        parallel_values = tuple(new_iteration[k] for k in self.parallel_levels)
+        if self.partitioning is not None:
+            label = self.partitioning.label_of(list(new_iteration))
+        else:
+            label = ()
+        return (parallel_values, label)
+
+    def describe(self) -> str:
+        lines = [f"Transformed loop nest of {self.nest.name!r}"]
+        lines.append(f"  new indices: {', '.join(self.new_index_names)}")
+        if self.parallel_levels:
+            names = [self.new_index_names[k] for k in self.parallel_levels]
+            lines.append(f"  doall loops: {', '.join(names)}")
+        if self.partitioning is not None:
+            lines.append(f"  partitions: {self.partitioning.num_partitions}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

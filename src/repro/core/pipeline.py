@@ -1,0 +1,234 @@
+"""The end-to-end parallelization method of the paper.
+
+``parallelize(nest)`` performs, in order:
+
+1. build the pseudo distance matrix of the nest (Section 2);
+2. if the PDM is empty (no dependences) every loop is parallel;
+3. if the PDM is rank deficient, run Algorithm 1 to obtain a legal unimodular
+   transformation with ``n - rank`` zero columns → that many ``doall`` loops
+   (Section 3.2);
+4. if the remaining full-rank block (or the full PDM itself) has a
+   determinant larger than 1, apply the partitioning transformation to obtain
+   ``det`` additional independent partitions (Section 3.3).
+
+The result is a :class:`ParallelizationReport`; code generation and execution
+of the transformed loop live in :mod:`repro.codegen` and :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.algorithm1 import Algorithm1Result, transform_non_full_rank
+from repro.core.legality import check_legal_unimodular, is_legal_unimodular
+from repro.core.partition import PartitioningResult, partition_full_rank
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.core.report import TransformationStep
+from repro.exceptions import ShapeError
+from repro.intlin.matrix import (
+    Matrix,
+    identity_matrix,
+    leading_index,
+    mat_copy,
+    mat_equal,
+)
+from repro.loopnest.nest import LoopNest
+from repro.utils.formatting import format_matrix, indent_block
+
+__all__ = ["ParallelizationReport", "parallelize"]
+
+
+@dataclass(frozen=True)
+class ParallelizationReport:
+    """Everything the analysis derived about one loop nest."""
+
+    nest: LoopNest
+    pdm: PseudoDistanceMatrix
+    placement: str
+    transform: Matrix
+    transformed_pdm: Matrix
+    parallel_levels: Tuple[int, ...]
+    sequential_levels: Tuple[int, ...]
+    partitioning: Optional[PartitioningResult]
+    steps: Tuple[TransformationStep, ...] = field(default=(), compare=False)
+    algorithm1: Optional[Algorithm1Result] = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        return self.nest.depth
+
+    @property
+    def uses_unimodular_transform(self) -> bool:
+        """True if a non-identity unimodular transformation is applied."""
+        return not mat_equal(self.transform, identity_matrix(self.depth))
+
+    @property
+    def uses_partitioning(self) -> bool:
+        return self.partitioning is not None
+
+    @property
+    def partition_count(self) -> int:
+        """Number of independent partitions (1 when partitioning is not used)."""
+        return self.partitioning.num_partitions if self.partitioning else 1
+
+    @property
+    def parallel_loop_count(self) -> int:
+        return len(self.parallel_levels)
+
+    @property
+    def is_fully_sequential(self) -> bool:
+        """True if the method found no parallelism at all."""
+        return self.parallel_loop_count == 0 and self.partition_count == 1
+
+    @property
+    def new_index_names(self) -> Tuple[str, ...]:
+        """Index names of the transformed loop (``j1, j2, ...`` as in the paper)."""
+        return tuple(f"j{k + 1}" for k in range(self.depth))
+
+    def transform_is_legal(self) -> bool:
+        """Re-check Theorem 1 for the reported transformation."""
+        return is_legal_unimodular(self.pdm, self.transform)
+
+    def summary(self) -> str:
+        """Multi-line human readable summary of the analysis."""
+        lines: List[str] = [f"Parallelization report for {self.nest.name!r} (depth {self.depth})"]
+        lines.append(indent_block(self.pdm.describe(), "  "))
+        if self.uses_unimodular_transform:
+            lines.append("  Unimodular transformation T (new index = old index @ T):")
+            lines.append(indent_block(format_matrix(self.transform), "    "))
+            lines.append("  Transformed PDM (PDM @ T):")
+            lines.append(indent_block(format_matrix(self.transformed_pdm), "    "))
+        else:
+            lines.append("  No unimodular transformation needed (identity).")
+        if self.parallel_levels:
+            names = [self.new_index_names[k] for k in self.parallel_levels]
+            lines.append(f"  Parallel (doall) loops: {', '.join(names)}")
+        else:
+            lines.append("  Parallel (doall) loops: none")
+        if self.partitioning:
+            lines.append(indent_block(self.partitioning.describe(), "  "))
+        else:
+            lines.append("  Partitioning: not applied")
+        lines.append(
+            f"  Exploited parallelism: {self.parallel_loop_count} doall loop(s) "
+            f"x {self.partition_count} partition(s)"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def parallelize(
+    nest: LoopNest,
+    placement: str = "outer",
+    include_self: bool = True,
+    allow_partitioning: bool = True,
+) -> ParallelizationReport:
+    """Run the paper's full parallelization method on a loop nest.
+
+    Parameters
+    ----------
+    nest:
+        The perfectly nested affine loop to parallelize.
+    placement:
+        Where to place the parallel loops created by Algorithm 1:
+        ``'outer'`` (coarse grain) or ``'inner'`` (fine grain).
+    include_self:
+        Whether write references are paired with themselves (output
+        self-dependences), as in the paper's Section 4.1 example.
+    allow_partitioning:
+        Allow the Section 3.3 partitioning step when the (remaining) PDM
+        block is full rank with determinant > 1.
+    """
+    if placement not in ("outer", "inner"):
+        raise ShapeError(f"placement must be 'outer' or 'inner', got {placement!r}")
+
+    pdm = PseudoDistanceMatrix.from_loop_nest(nest, include_self=include_self)
+    n = nest.depth
+    steps: List[TransformationStep] = [
+        TransformationStep(
+            "pdm",
+            f"pseudo distance matrix of rank {pdm.rank} (loop depth {n})",
+            pdm.matrix,
+        )
+    ]
+
+    # Case 1: no dependences at all — every loop is a doall loop.
+    if pdm.is_empty:
+        transform = identity_matrix(n)
+        steps.append(
+            TransformationStep("independent", "no loop-carried dependences: all loops parallel")
+        )
+        return ParallelizationReport(
+            nest=nest,
+            pdm=pdm,
+            placement=placement,
+            transform=transform,
+            transformed_pdm=[],
+            parallel_levels=tuple(range(n)),
+            sequential_levels=(),
+            partitioning=None,
+            steps=tuple(steps),
+        )
+
+    algorithm1_result: Optional[Algorithm1Result] = None
+    if pdm.rank < n:
+        algorithm1_result = transform_non_full_rank(pdm, placement=placement)
+        transform = algorithm1_result.transform
+        transformed_pdm = algorithm1_result.transformed
+        parallel_levels = algorithm1_result.zero_columns
+        sequential_levels = algorithm1_result.sequential_columns
+        block = algorithm1_result.sequential_block
+        steps.append(
+            TransformationStep(
+                "algorithm1",
+                f"legal unimodular transformation creating {len(parallel_levels)} zero column(s)",
+                transform,
+            )
+        )
+    else:
+        transform = identity_matrix(n)
+        transformed_pdm = mat_copy(pdm.matrix)
+        parallel_levels = tuple(pdm.zero_columns())
+        sequential_levels = tuple(k for k in range(n) if k not in parallel_levels)
+        block = [[row[c] for c in sequential_levels] for row in transformed_pdm]
+        steps.append(
+            TransformationStep(
+                "full-rank", "the PDM is full rank: no unimodular transformation applied"
+            )
+        )
+
+    check_legal_unimodular(pdm, transform)
+
+    partitioning: Optional[PartitioningResult] = None
+    if allow_partitioning and sequential_levels:
+        block_det = 1
+        for row in block:
+            block_det *= abs(row[leading_index(row)]) if any(row) else 1
+        if block_det > 1:
+            partitioning = partition_full_rank(
+                transformed_pdm, levels=sequential_levels, depth=n
+            )
+            steps.append(
+                TransformationStep(
+                    "partitioning",
+                    f"iteration space split into {partitioning.num_partitions} independent partitions",
+                    partitioning.hnf,
+                )
+            )
+
+    return ParallelizationReport(
+        nest=nest,
+        pdm=pdm,
+        placement=placement,
+        transform=transform,
+        transformed_pdm=transformed_pdm,
+        parallel_levels=tuple(parallel_levels),
+        sequential_levels=tuple(sequential_levels),
+        partitioning=partitioning,
+        steps=tuple(steps),
+        algorithm1=algorithm1_result,
+    )

@@ -1,0 +1,29 @@
+"""Small report data structures shared by the parallelization pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.intlin.matrix import Matrix
+from repro.utils.formatting import format_matrix, indent_block
+
+__all__ = ["TransformationStep"]
+
+
+@dataclass(frozen=True)
+class TransformationStep:
+    """One step of the parallelization pipeline, for human-readable reports."""
+
+    name: str
+    description: str
+    matrix: Optional[Matrix] = None
+
+    def describe(self) -> str:
+        text = f"{self.name}: {self.description}"
+        if self.matrix is not None and self.matrix:
+            text += "\n" + indent_block(format_matrix(self.matrix), "    ")
+        return text
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,115 @@
+"""Elementary unimodular loop transformations.
+
+The paper composes legal transformations from three elementary operations
+(Section 3.1): *right skewing*, *interchange* and *shift* (a cyclic
+permutation moving a parallel loop outwards or inwards).  Loop *reversal* is
+included as well because it is part of the classic unimodular framework the
+paper builds on (Banerjee), and it is used by the baseline methods.
+
+All transformations are ``n x n`` unimodular matrices acting on row index
+vectors: the new index vector is ``i @ T`` and distance vectors transform the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import ShapeError
+from repro.intlin.matrix import Matrix, identity_matrix, mat_mul, permutation_matrix
+from repro.utils.validation import check_int
+
+__all__ = [
+    "identity_transform",
+    "skewing",
+    "interchange",
+    "reversal",
+    "loop_permutation",
+    "shift_to_position",
+    "compose",
+]
+
+
+def identity_transform(depth: int) -> Matrix:
+    """The identity transformation (no reordering)."""
+    return identity_matrix(depth)
+
+
+def skewing(depth: int, source: int, target: int, factor: int = 1) -> Matrix:
+    """Right skewing ``skew(source, target, factor)``: new_target = old_target + factor*old_source.
+
+    The paper's Corollary 2 shows that right skewing (``source < target``) is
+    *always* legal; skewing with ``source > target`` ("left" skewing) is also
+    a unimodular matrix but its legality must be checked with Theorem 1.
+    """
+    depth = check_int(depth, "depth")
+    source = check_int(source, "source")
+    target = check_int(target, "target")
+    factor = check_int(factor, "factor")
+    if not (0 <= source < depth and 0 <= target < depth):
+        raise ShapeError(f"loop levels must be in [0, {depth}), got {source} and {target}")
+    if source == target:
+        raise ShapeError("skewing requires two distinct loop levels")
+    matrix = identity_matrix(depth)
+    matrix[source][target] = factor
+    return matrix
+
+
+def interchange(depth: int, level_a: int, level_b: int) -> Matrix:
+    """Loop interchange of two levels (Corollary 4 gives a sufficient legality test)."""
+    depth = check_int(depth, "depth")
+    level_a = check_int(level_a, "level_a")
+    level_b = check_int(level_b, "level_b")
+    if not (0 <= level_a < depth and 0 <= level_b < depth):
+        raise ShapeError(f"loop levels must be in [0, {depth})")
+    perm = list(range(depth))
+    perm[level_a], perm[level_b] = perm[level_b], perm[level_a]
+    return permutation_matrix(perm)
+
+
+def reversal(depth: int, level: int) -> Matrix:
+    """Loop reversal of one level (runs the loop backwards)."""
+    depth = check_int(depth, "depth")
+    level = check_int(level, "level")
+    if not 0 <= level < depth:
+        raise ShapeError(f"loop level must be in [0, {depth})")
+    matrix = identity_matrix(depth)
+    matrix[level][level] = -1
+    return matrix
+
+
+def loop_permutation(new_order: Sequence[int]) -> Matrix:
+    """General loop permutation: ``new_order[k]`` is the old level placed at new level ``k``."""
+    return permutation_matrix(list(new_order))
+
+
+def shift_to_position(depth: int, level: int, position: int) -> Matrix:
+    """The paper's *shift* transformation: move loop ``level`` to ``position``.
+
+    The relative order of the other loops is preserved (a cyclic shift).
+    By Corollary 3 this is legal whenever the shifted loop corresponds to a
+    zero column of the PDM.
+    """
+    depth = check_int(depth, "depth")
+    level = check_int(level, "level")
+    position = check_int(position, "position")
+    if not (0 <= level < depth and 0 <= position < depth):
+        raise ShapeError(f"levels must be in [0, {depth})")
+    order = [k for k in range(depth) if k != level]
+    order.insert(position, level)
+    return loop_permutation(order)
+
+
+def compose(*transforms: Sequence[Sequence[int]]) -> Matrix:
+    """Compose transformations applied left to right.
+
+    ``compose(T1, T2)`` is the matrix of "apply T1, then T2" for row index
+    vectors: ``i @ (T1 @ T2)``.  Corollary 1 of the paper: a composition of
+    legal transformations is legal.
+    """
+    if not transforms:
+        raise ShapeError("compose() needs at least one transformation")
+    result = [row[:] for row in transforms[0]]
+    for matrix in transforms[1:]:
+        result = mat_mul(result, matrix)
+    return result

@@ -1,0 +1,40 @@
+"""Dependence analysis.
+
+Implements Section 2 of the paper: building the linear dependence equations
+for every pair of array references, solving them exactly over the integers,
+and deriving the distance-vector generators that feed the pseudo distance
+matrix.  It also provides classic baseline dependence tests (GCD, Banerjee
+bounds), direction vectors, and exact iteration-level dependence enumeration
+used to draw the paper's ISDG figures and to validate the analytical results.
+"""
+
+from repro.dependence.distance import (
+    DistanceVector,
+    normalize_distance,
+    lexicographic_class,
+)
+from repro.dependence.equations import ReferencePair, dependence_equation_system, reference_pairs
+from repro.dependence.solver import DependenceSolution, solve_reference_pair, analyze_loop_dependences
+from repro.dependence.direction import DirectionVector, direction_vectors_of_nest
+from repro.dependence.classic_tests import gcd_test, banerjee_test, ClassicTestResult
+from repro.dependence.graph import DependenceEdge, enumerate_dependence_edges, realized_distances
+
+__all__ = [
+    "DistanceVector",
+    "normalize_distance",
+    "lexicographic_class",
+    "ReferencePair",
+    "dependence_equation_system",
+    "reference_pairs",
+    "DependenceSolution",
+    "solve_reference_pair",
+    "analyze_loop_dependences",
+    "DirectionVector",
+    "direction_vectors_of_nest",
+    "gcd_test",
+    "banerjee_test",
+    "ClassicTestResult",
+    "DependenceEdge",
+    "enumerate_dependence_edges",
+    "realized_distances",
+]

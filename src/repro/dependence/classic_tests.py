@@ -1,0 +1,104 @@
+"""Classic dependence tests (GCD and Banerjee) used as baselines.
+
+These tests answer only the binary question "can these two references touch
+the same memory location?"; they do not produce distance information.  The
+paper's point is that the pseudo distance matrix retains the *exact* distance
+lattice, whereas these tests (and direction vectors) lose precision.  They
+are included to populate the related-work comparison (Table 1) and for
+cross-checking: whenever the PDM analysis reports a dependence, the GCD test
+must agree that one is possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dependence.equations import ReferencePair, dependence_equation_system
+from repro.exceptions import DependenceError
+from repro.intlin.gcd import gcd_list
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["ClassicTestResult", "gcd_test", "banerjee_test"]
+
+
+@dataclass(frozen=True)
+class ClassicTestResult:
+    """Outcome of a conservative dependence test."""
+
+    test_name: str
+    pair: ReferencePair
+    dependence_possible: bool
+    per_dimension: Tuple[str, ...]
+
+    def describe(self) -> str:
+        verdict = "possible" if self.dependence_possible else "impossible"
+        return f"{self.test_name}: dependence {verdict} for {self.pair.describe()}"
+
+
+def gcd_test(pair: ReferencePair, index_names: Sequence[str]) -> ClassicTestResult:
+    """The GCD test applied independently to each subscript dimension.
+
+    For dimension ``k`` the dependence equation is
+    ``sum(A[:, k] * x) = c[k]``; an integer solution exists iff
+    ``gcd(A[:, k]) | c[k]``.  The test reports a possible dependence only if
+    every dimension passes.
+    """
+    matrix, constant = dependence_equation_system(pair, index_names)
+    details: List[str] = []
+    possible = True
+    n_dims = len(constant)
+    for k in range(n_dims):
+        column = [row[k] for row in matrix]
+        g = gcd_list(column)
+        if g == 0:
+            ok = constant[k] == 0
+        else:
+            ok = constant[k] % g == 0
+        details.append(f"dim {k}: gcd={g}, rhs={constant[k]}, {'pass' if ok else 'fail'}")
+        possible = possible and ok
+    return ClassicTestResult("gcd", pair, possible, tuple(details))
+
+
+def _extreme_of_linear_form(
+    coefficients: Sequence[int], lowers: Sequence[int], uppers: Sequence[int], maximize: bool
+) -> int:
+    total = 0
+    for c, lo, hi in zip(coefficients, lowers, uppers):
+        if c == 0:
+            continue
+        candidates = (c * lo, c * hi)
+        total += max(candidates) if maximize else min(candidates)
+    return total
+
+
+def banerjee_test(pair: ReferencePair, nest: LoopNest) -> ClassicTestResult:
+    """Banerjee's bounds test over a rectangular iteration space.
+
+    For each dimension the difference ``F(i) - G(j)`` is bounded over the
+    (real relaxation of the) iteration space; a dependence is possible only
+    if ``0`` lies inside the bounds for every dimension.  Requires constant
+    loop bounds; non-rectangular nests raise :class:`DependenceError`.
+    """
+    if not nest.is_rectangular:
+        raise DependenceError("the Banerjee bounds test requires constant loop bounds")
+    index_names = nest.index_names
+    lowers = [b.lower_value({}) for b in nest.bounds]
+    uppers = [b.upper_value({}) for b in nest.bounds]
+
+    matrix, constant = dependence_equation_system(pair, index_names)
+    # x = (i, j): both halves range over the same rectangular bounds.
+    lo2, hi2 = list(lowers) + list(lowers), list(uppers) + list(uppers)
+
+    details: List[str] = []
+    possible = True
+    for k in range(len(constant)):
+        column = [row[k] for row in matrix]
+        low = _extreme_of_linear_form(column, lo2, hi2, maximize=False)
+        high = _extreme_of_linear_form(column, lo2, hi2, maximize=True)
+        ok = low <= constant[k] <= high
+        details.append(
+            f"dim {k}: range [{low}, {high}], rhs={constant[k]}, {'pass' if ok else 'fail'}"
+        )
+        possible = possible and ok
+    return ClassicTestResult("banerjee", pair, possible, tuple(details))

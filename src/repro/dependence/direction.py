@@ -1,0 +1,98 @@
+"""Direction vectors (Wolf & Lam style dependence abstraction).
+
+A direction vector summarises a set of distance vectors per loop level with
+one of ``<`` (positive distance), ``=`` (zero), ``>`` (negative) or ``*``
+(unknown/any).  The paper's Table 1 classifies Wolf & Lam's method as using
+*dependence vectors* (distance or direction); the reproduction uses direction
+vectors computed from the exact solution of the dependence equations (or from
+enumerated iteration-level dependences) as the baseline representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["DirectionVector", "direction_vectors_of_nest", "directions_from_distances"]
+
+
+_SYMBOLS = ("<", "=", ">", "*")
+
+
+@dataclass(frozen=True)
+class DirectionVector:
+    """A per-level direction abstraction of one or more distance vectors."""
+
+    directions: Tuple[str, ...]
+
+    def __post_init__(self):
+        for sym in self.directions:
+            if sym not in _SYMBOLS:
+                raise ValueError(f"invalid direction symbol {sym!r}")
+
+    @classmethod
+    def from_distance(cls, distance: Sequence[int]) -> "DirectionVector":
+        symbols = []
+        for value in distance:
+            if value > 0:
+                symbols.append("<")
+            elif value == 0:
+                symbols.append("=")
+            else:
+                symbols.append(">")
+        return cls(tuple(symbols))
+
+    def merge(self, other: "DirectionVector") -> "DirectionVector":
+        """Least upper bound of two direction vectors (component-wise)."""
+        merged = []
+        for a, b in zip(self.directions, other.directions):
+            merged.append(a if a == b else "*")
+        return DirectionVector(tuple(merged))
+
+    def carried_level(self) -> int:
+        """First level whose direction is definitely non-'=' (or -1 if none)."""
+        for k, sym in enumerate(self.directions):
+            if sym in ("<", ">", "*"):
+                return k
+        return -1
+
+    def allows_parallel_level(self, level: int) -> bool:
+        """Conservatively, can loop ``level`` run in parallel given this vector?
+
+        A dependence does not prevent parallel execution of loop ``level`` if
+        it is carried by an outer loop (some earlier component is strictly
+        ``<``) or if it is independent of the level (component '=' and the
+        dependence is carried elsewhere)."""
+        for k in range(level):
+            if self.directions[k] == "<":
+                return True
+        return self.directions[level] == "="
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.directions) + ")"
+
+
+def directions_from_distances(distances: Iterable[Sequence[int]]) -> List[DirectionVector]:
+    """Distinct direction vectors of a collection of distance vectors."""
+    seen: Set[Tuple[str, ...]] = set()
+    out: List[DirectionVector] = []
+    for dist in distances:
+        vec = DirectionVector.from_distance(dist)
+        if vec.directions not in seen:
+            seen.add(vec.directions)
+            out.append(vec)
+    return out
+
+
+def direction_vectors_of_nest(nest: LoopNest, max_iterations: int = 200_000) -> List[DirectionVector]:
+    """Direction vectors of a nest from exact iteration-level enumeration.
+
+    This is the *measured* (exact) direction information; baseline methods
+    that rely on direction vectors use it as their best-case input.
+    """
+    from repro.dependence.graph import realized_distances
+
+    distances = realized_distances(nest, max_iterations=max_iterations)
+    return directions_from_distances(sorted(distances))

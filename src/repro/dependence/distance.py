@@ -1,0 +1,80 @@
+"""Distance vectors.
+
+A *distance vector* between two dependent iterations ``i`` and ``j`` with
+``i`` executed before ``j`` is ``d = j - i`` (Section 2.1).  Because the
+earlier iteration is the lexicographically smaller one, every dependence
+distance is lexicographically positive; when the raw solution of the
+dependence equations yields a lexicographically negative vector the roles of
+source and sink are swapped, which negates the vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.intlin.matrix import compare_lex, is_lex_positive, is_zero_vector
+from repro.utils.validation import as_int_list
+
+__all__ = ["DistanceVector", "normalize_distance", "lexicographic_class"]
+
+
+@dataclass(frozen=True)
+class DistanceVector:
+    """A concrete dependence distance with bookkeeping about its origin."""
+
+    components: Tuple[int, ...]
+    kind: str = "flow"
+    """Dependence kind carried by this distance: flow, anti or output."""
+
+    def __post_init__(self):
+        object.__setattr__(self, "components", tuple(as_int_list(self.components, "components")))
+
+    @property
+    def is_zero(self) -> bool:
+        return is_zero_vector(self.components)
+
+    @property
+    def is_lex_positive(self) -> bool:
+        return is_lex_positive(self.components)
+
+    @property
+    def level(self) -> int:
+        """The loop level carrying the dependence (index of first nonzero entry), or -1."""
+        for k, v in enumerate(self.components):
+            if v != 0:
+                return k
+        return -1
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(c) for c in self.components) + ")"
+
+
+def normalize_distance(vector: Sequence[int]) -> Optional[List[int]]:
+    """Return the lexicographically positive representative of a raw distance.
+
+    ``None`` is returned for the zero vector (two accesses in the same
+    iteration are not a loop-carried dependence).
+    """
+    vec = as_int_list(vector, "distance")
+    if is_zero_vector(vec):
+        return None
+    if is_lex_positive(vec):
+        return vec
+    return [-v for v in vec]
+
+
+def lexicographic_class(a: Sequence[int], b: Sequence[int]) -> str:
+    """Classify the order of two iteration vectors: 'before', 'equal' or 'after'."""
+    cmp = compare_lex(as_int_list(a, "a"), as_int_list(b, "b"))
+    if cmp < 0:
+        return "before"
+    if cmp == 0:
+        return "equal"
+    return "after"

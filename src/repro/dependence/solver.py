@@ -1,0 +1,122 @@
+"""Solving the dependence equations of a reference pair.
+
+Implements Section 2.2/2.3 of the paper: the diophantine system ``x @ A = c``
+(with ``x = (i, j)``) is solved with the echelon-based solver; the general
+solution is projected onto the distance ``d = j - i``, yielding
+
+* a constant offset ``d0`` (the projection of the particular solution), and
+* one generator per free variable (the projections of the homogeneous basis).
+
+The *lattice generators* of the pair are the nonzero free generators together
+with ``d0`` (equation (2.15)); stacking the generators of every pair and
+taking the Hermite normal form produces the pseudo distance matrix
+(equation (2.21)), which is done in :mod:`repro.core.pdm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.diophantine.linear_system import DiophantineSolution, solve_row_system
+from repro.dependence.distance import normalize_distance
+from repro.dependence.equations import ReferencePair, dependence_equation_system, reference_pairs
+from repro.intlin.lattice import Lattice
+from repro.intlin.matrix import Matrix, Vector, is_zero_vector
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["DependenceSolution", "solve_reference_pair", "analyze_loop_dependences"]
+
+
+def _project_distance(solution_vector: Sequence[int], depth: int) -> List[int]:
+    """Project a solution ``x = (i, j)`` of length ``2n`` onto ``d = j - i``."""
+    return [solution_vector[depth + k] - solution_vector[k] for k in range(depth)]
+
+
+@dataclass(frozen=True)
+class DependenceSolution:
+    """The general solution of one reference pair's dependence equations."""
+
+    pair: ReferencePair
+    depth: int
+    consistent: bool
+    offset: Optional[Vector]
+    """Projection ``d0`` of the particular solution (None when inconsistent)."""
+    free_generators: Matrix
+    """Projections of the homogeneous solution basis (may contain zero rows)."""
+    lattice_generators: Matrix
+    """Nonzero free generators plus the offset (if nonzero): equation (2.15)."""
+    raw: Optional[DiophantineSolution] = field(default=None, repr=False, compare=False)
+
+    @property
+    def has_dependence(self) -> bool:
+        """True if the equations admit at least one integer solution.
+
+        Note that a consistent system may still have no *realized* dependence
+        within finite loop bounds; the analytical PDM is intentionally
+        conservative, exactly as in the paper.
+        """
+        return self.consistent
+
+    @property
+    def is_uniform(self) -> bool:
+        """True if the dependence distance is a single constant vector
+        (Corollary 5: no free generators contribute to the distance)."""
+        if not self.consistent:
+            return False
+        return all(is_zero_vector(row) for row in self.free_generators)
+
+    def distance_lattice(self) -> Lattice:
+        """The lattice spanned by this pair's generators."""
+        return Lattice(self.lattice_generators, dimension=self.depth)
+
+    def describe(self) -> str:
+        if not self.consistent:
+            return f"{self.pair.describe()}: independent (equations inconsistent)"
+        gen = ", ".join(str(tuple(row)) for row in self.lattice_generators) or "none"
+        return (
+            f"{self.pair.describe()}: offset {tuple(self.offset)}, "
+            f"generators [{gen}]"
+        )
+
+
+def solve_reference_pair(pair: ReferencePair, index_names: Sequence[str]) -> DependenceSolution:
+    """Solve the dependence equations of one reference pair."""
+    depth = len(index_names)
+    matrix, constant = dependence_equation_system(pair, index_names)
+    raw = solve_row_system(matrix, constant)
+    if not raw.consistent:
+        return DependenceSolution(
+            pair=pair,
+            depth=depth,
+            consistent=False,
+            offset=None,
+            free_generators=[],
+            lattice_generators=[],
+            raw=raw,
+        )
+
+    offset = _project_distance(raw.particular, depth)
+    free_generators = [_project_distance(row, depth) for row in raw.homogeneous_basis]
+
+    lattice_generators: Matrix = [row[:] for row in free_generators if not is_zero_vector(row)]
+    if not is_zero_vector(offset):
+        lattice_generators.append(offset[:])
+
+    return DependenceSolution(
+        pair=pair,
+        depth=depth,
+        consistent=True,
+        offset=offset,
+        free_generators=free_generators,
+        lattice_generators=lattice_generators,
+        raw=raw,
+    )
+
+
+def analyze_loop_dependences(nest: LoopNest, include_self: bool = True) -> List[DependenceSolution]:
+    """Solve the dependence equations of every reference pair of a loop nest."""
+    return [
+        solve_reference_pair(pair, nest.index_names)
+        for pair in reference_pairs(nest, include_self=include_self)
+    ]

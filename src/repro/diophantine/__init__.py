@@ -1,0 +1,25 @@
+"""Linear diophantine equations and systems.
+
+The dependence equations of the paper (Section 2.2) form a system of linear
+diophantine equations ``x @ A = c`` over the integers, where ``x`` is the
+concatenation ``(i, j)`` of the two iteration vectors.  This subpackage
+solves single equations and systems exactly, returning a particular solution
+together with a basis of the homogeneous solution lattice.
+"""
+
+from repro.diophantine.single_equation import solve_single_equation, SingleEquationSolution
+from repro.diophantine.linear_system import (
+    DiophantineSolution,
+    solve_row_system,
+    solve_column_system,
+    has_integer_solution,
+)
+
+__all__ = [
+    "solve_single_equation",
+    "SingleEquationSolution",
+    "DiophantineSolution",
+    "solve_row_system",
+    "solve_column_system",
+    "has_integer_solution",
+]

@@ -1,0 +1,70 @@
+"""Single linear diophantine equations ``a1*x1 + ... + am*xm = c``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.intlin.gcd import extended_gcd_list, gcd_list
+from repro.intlin.hermite import left_kernel_basis
+from repro.intlin.matrix import Matrix, Vector
+from repro.utils.validation import as_int_list, check_int
+
+__all__ = ["SingleEquationSolution", "solve_single_equation"]
+
+
+@dataclass(frozen=True)
+class SingleEquationSolution:
+    """General solution of ``sum(a_k x_k) = c`` over the integers.
+
+    ``particular + integer combinations of homogeneous_basis rows`` enumerates
+    every solution when ``consistent`` is True.
+    """
+
+    consistent: bool
+    particular: Optional[Vector]
+    homogeneous_basis: Matrix
+    gcd: int
+
+    def sample(self, coefficients: Sequence[int]) -> Vector:
+        """Return ``particular + sum(coefficients[k] * homogeneous_basis[k])``."""
+        if not self.consistent:
+            raise ValueError("the equation has no integer solution")
+        coeffs = as_int_list(coefficients, "coefficients")
+        if len(coeffs) != len(self.homogeneous_basis):
+            raise ValueError(
+                f"expected {len(self.homogeneous_basis)} coefficients, got {len(coeffs)}"
+            )
+        out = list(self.particular)
+        for c, row in zip(coeffs, self.homogeneous_basis):
+            out = [o + c * r for o, r in zip(out, row)]
+        return out
+
+
+def solve_single_equation(coefficients: Sequence[int], constant: int) -> SingleEquationSolution:
+    """Solve ``sum(coefficients[k]*x[k]) = constant`` over the integers.
+
+    This is the classic GCD criterion: a solution exists iff
+    ``gcd(coefficients) | constant`` (with the convention that the all-zero
+    equation is solvable only for ``constant == 0``).
+    """
+    coeffs = as_int_list(coefficients, "coefficients")
+    constant = check_int(constant, "constant")
+    m = len(coeffs)
+    g = gcd_list(coeffs)
+
+    if g == 0:
+        consistent = constant == 0
+        particular = [0] * m if consistent else None
+        basis = [[1 if i == j else 0 for j in range(m)] for i in range(m)] if consistent else []
+        return SingleEquationSolution(consistent, particular, basis, 0)
+
+    if constant % g != 0:
+        return SingleEquationSolution(False, None, [], g)
+
+    _, bezout = extended_gcd_list(coeffs)
+    scale = constant // g
+    particular = [scale * b for b in bezout]
+    # Homogeneous solutions: the left kernel of the column vector of coefficients.
+    basis = left_kernel_basis([[c] for c in coeffs])
+    return SingleEquationSolution(True, particular, basis, g)

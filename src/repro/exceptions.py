@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the analysis / transformation pipeline with a
+single ``except`` clause while still being able to distinguish the individual
+failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "NotUnimodularError",
+    "SingularMatrixError",
+    "InconsistentSystemError",
+    "IllegalTransformationError",
+    "LoopNestError",
+    "SubscriptError",
+    "BoundsError",
+    "DependenceError",
+    "CodegenError",
+    "ExecutionError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A matrix or vector has an incompatible or invalid shape."""
+
+
+class NotUnimodularError(ReproError, ValueError):
+    """A matrix expected to be unimodular (integer, determinant ±1) is not."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A matrix expected to be nonsingular is singular."""
+
+
+class InconsistentSystemError(ReproError, ValueError):
+    """A linear diophantine system has no integer solution."""
+
+
+class IllegalTransformationError(ReproError, ValueError):
+    """A loop transformation violates the legality conditions (Theorem 1)."""
+
+
+class LoopNestError(ReproError, ValueError):
+    """A loop nest is malformed (not perfectly nested, bad depth, ...)."""
+
+
+class SubscriptError(ReproError, ValueError):
+    """An array subscript is not an affine function of the loop indices."""
+
+
+class BoundsError(ReproError, ValueError):
+    """Loop bounds are malformed or produce an empty/unbounded space."""
+
+
+class DependenceError(ReproError, ValueError):
+    """Dependence analysis failed or was queried inconsistently."""
+
+
+class CodegenError(ReproError, ValueError):
+    """Code generation for a (transformed) loop nest failed."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Executing a loop nest (interpreter or parallel executor) failed."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload/benchmark specification is invalid."""

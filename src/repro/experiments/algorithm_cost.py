@@ -1,0 +1,72 @@
+"""Cost of Algorithm 1 (column operation counts).
+
+Section 3.2 remarks that the algorithm takes on the order of
+``n^2 * ln(M)`` column operations (``n`` loop depth, ``M`` the largest PDM
+entry).  This experiment measures the operation count on random full-row-rank
+PDMs of growing depth and entry magnitude so the scaling can be compared
+against that bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.algorithm1 import transform_non_full_rank
+from repro.intlin.hermite import hermite_normal_form
+
+__all__ = ["CostPoint", "algorithm1_cost_sweep", "random_pdm"]
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """Average Algorithm 1 cost for one (depth, rank, magnitude) configuration."""
+
+    depth: int
+    rank: int
+    magnitude: int
+    samples: int
+    mean_column_operations: float
+    max_column_operations: int
+
+
+def random_pdm(depth: int, rank: int, magnitude: int, rng: random.Random) -> List[List[int]]:
+    """A random full-row-rank HNF generator matrix (a synthetic PDM)."""
+    while True:
+        rows = [
+            [rng.randint(-magnitude, magnitude) for _ in range(depth)] for _ in range(rank)
+        ]
+        hnf = hermite_normal_form(rows).hermite
+        if len(hnf) == rank:
+            return hnf
+
+
+def algorithm1_cost_sweep(
+    depths: Sequence[int] = (2, 3, 4, 5, 6),
+    magnitudes: Sequence[int] = (4, 16, 64),
+    samples: int = 20,
+    seed: int = 7,
+) -> List[CostPoint]:
+    """Measure Algorithm 1's column-operation count over random PDMs."""
+    rng = random.Random(seed)
+    points: List[CostPoint] = []
+    for depth in depths:
+        rank = max(1, depth - 1)  # the non-full-rank case the algorithm targets
+        for magnitude in magnitudes:
+            costs = []
+            for _ in range(samples):
+                pdm = random_pdm(depth, rank, magnitude, rng)
+                result = transform_non_full_rank(pdm, depth=depth)
+                costs.append(result.column_operations)
+            points.append(
+                CostPoint(
+                    depth=depth,
+                    rank=rank,
+                    magnitude=magnitude,
+                    samples=samples,
+                    mean_column_operations=sum(costs) / len(costs),
+                    max_column_operations=max(costs),
+                )
+            )
+    return points

@@ -1,0 +1,78 @@
+"""One-shot experiment harness: regenerate every figure and table.
+
+``python -m repro.experiments.harness`` prints the complete experiment
+report; the same entry points are used by ``examples/`` scripts and by the
+pytest-benchmark modules in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.algorithm_cost import algorithm1_cost_sweep
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.speedup import speedup_sweep
+from repro.experiments.tables import table1_measured_rows, table1_related_work
+from repro.utils.formatting import format_table
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+__all__ = ["run_all_experiments", "format_experiment_report", "main"]
+
+
+def run_all_experiments(n: int = 10, suite_n: int = 8) -> Dict[str, object]:
+    """Run every experiment and return the raw results keyed by experiment id."""
+    results: Dict[str, object] = {}
+    for name, driver in ALL_FIGURES.items():
+        results[name] = driver(n)
+    results["table1"] = table1_measured_rows(suite_n)
+    results["speedup-4.1"] = speedup_sweep(example_4_1, sizes=(6, 10, 14), workload_name="example-4.1")
+    results["speedup-4.2"] = speedup_sweep(example_4_2, sizes=(6, 10, 14), workload_name="example-4.2")
+    results["algorithm1-cost"] = algorithm1_cost_sweep(depths=(2, 3, 4, 5), samples=10)
+    return results
+
+
+def format_experiment_report(results: Dict[str, object]) -> str:
+    """Render the complete experiment report as plain text."""
+    sections: List[str] = []
+
+    for key in ("figure1", "figure2", "figure3", "figure4", "figure5"):
+        figure: Optional[FigureResult] = results.get(key)  # type: ignore[assignment]
+        if figure is not None:
+            sections.append(figure.describe())
+
+    table1 = results.get("table1")
+    if table1 is not None:
+        sections.append("=== Table 1 (qualitative) ===\n" + table1_related_work())
+        sections.append("=== Table 1 (measured on the workload suite) ===\n" + table1["table"])
+
+    headers = [
+        "workload", "N", "iterations", "doall loops", "partitions",
+        "chunks", "ideal speedup", "speedup p=4", "speedup p=16",
+    ]
+    for key in ("speedup-4.1", "speedup-4.2"):
+        points = results.get(key)
+        if points:
+            body = [p.as_row() for p in points]
+            sections.append(f"=== Speedup sweep {key} ===\n" + format_table(headers, body))
+
+    cost = results.get("algorithm1-cost")
+    if cost:
+        body = [
+            [p.depth, p.rank, p.magnitude, p.samples, f"{p.mean_column_operations:.1f}", p.max_column_operations]
+            for p in cost
+        ]
+        sections.append(
+            "=== Algorithm 1 cost (column operations) ===\n"
+            + format_table(["depth", "rank", "max |entry|", "samples", "mean ops", "max ops"], body)
+        )
+
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    results = run_all_experiments()
+    print(format_experiment_report(results))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Regeneration of the paper's Table 1 (related-work comparison)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.comparison import (
+    ComparisonRow,
+    compare_methods,
+    comparison_table,
+    related_work_table,
+)
+from repro.utils.formatting import format_table
+from repro.workloads.suite import WorkloadCase, workload_suite
+
+__all__ = ["table1_related_work", "table1_measured_rows"]
+
+
+def table1_related_work() -> str:
+    """The qualitative Table 1 rows for the implemented methods, as text."""
+    rows = related_work_table()
+    headers = ["method", "dependence", "parallelism", "code generation"]
+    body = [[r["method"], r["dependence"], r["parallelism"], r["code generation"]] for r in rows]
+    return format_table(headers, body)
+
+
+def table1_measured_rows(
+    n: int = 8, cases: Optional[Sequence[WorkloadCase]] = None
+) -> Dict[str, object]:
+    """The measured comparison: every implemented method on the workload suite.
+
+    Returns a dict with the raw :class:`ComparisonRow` list, the rendered
+    table and per-method aggregate statistics (how often a method applies,
+    how often it finds any parallelism, its mean ideal speedup).
+    """
+    if cases is None:
+        cases = workload_suite(n)
+    rows: List[ComparisonRow] = compare_methods(cases)
+    method_names = [name for name, _ in rows[0].results] if rows else []
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for method in method_names:
+        applicable = sum(1 for row in rows if row.result_of(method).applicable)
+        found = sum(1 for row in rows if row.result_of(method).found_parallelism)
+        speedups = [row.speedup_of(method) for row in rows]
+        aggregates[method] = {
+            "applicable": applicable,
+            "found_parallelism": found,
+            "mean_ideal_speedup": sum(speedups) / len(speedups) if speedups else 0.0,
+        }
+    return {
+        "rows": rows,
+        "table": comparison_table(rows),
+        "aggregates": aggregates,
+        "qualitative": related_work_table(),
+    }

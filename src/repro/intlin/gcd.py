@@ -1,0 +1,92 @@
+"""Greatest common divisor utilities on Python integers.
+
+These are the scalar building blocks of the unimodular reductions used to
+solve the paper's diophantine dependence equations (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.utils.validation import as_int_list, check_int
+
+__all__ = ["gcd", "lcm", "extended_gcd", "gcd_list", "extended_gcd_list", "content"]
+
+
+def gcd(a: int, b: int) -> int:
+    """Return the non-negative greatest common divisor of ``a`` and ``b``.
+
+    ``gcd(0, 0)`` is defined as ``0``.
+    """
+    a = abs(check_int(a, "a"))
+    b = abs(check_int(b, "b"))
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def lcm(a: int, b: int) -> int:
+    """Return the non-negative least common multiple of ``a`` and ``b``."""
+    a = check_int(a, "a")
+    b = check_int(b, "b")
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // gcd(a, b)
+
+
+def extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+
+    The returned ``g`` is non-negative.  For ``a == b == 0`` the result is
+    ``(0, 0, 0)``.
+    """
+    a = check_int(a, "a")
+    b = check_int(b, "b")
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def gcd_list(values: Sequence[int]) -> int:
+    """Return the non-negative gcd of a (possibly empty) list of integers."""
+    vec = as_int_list(values, "values")
+    g = 0
+    for v in vec:
+        g = gcd(g, v)
+        if g == 1:
+            return 1
+    return g
+
+
+def extended_gcd_list(values: Sequence[int]) -> Tuple[int, List[int]]:
+    """Return ``(g, coeffs)`` with ``sum(c*v for c, v in zip(coeffs, values)) == g``.
+
+    ``g`` is the non-negative gcd of ``values``; for an empty input the result
+    is ``(0, [])``.
+    """
+    vec = as_int_list(values, "values")
+    if not vec:
+        return 0, []
+    g = vec[0]
+    coeffs = [1] + [0] * (len(vec) - 1)
+    if g < 0:
+        g, coeffs[0] = -g, -1
+    for k in range(1, len(vec)):
+        new_g, x, y = extended_gcd(g, vec[k])
+        coeffs = [c * x for c in coeffs]
+        coeffs[k] = y
+        g = new_g
+    return g, coeffs
+
+
+def content(values: Sequence[int]) -> int:
+    """The *content* of an integer vector: the gcd of its entries."""
+    return gcd_list(values)

@@ -1,0 +1,155 @@
+"""Smith normal form of integer matrices.
+
+The Smith Normal Form is not strictly required by the paper's algorithms
+(which only use echelon/Hermite reductions), but it provides an independent
+route to solving the linear diophantine dependence equations and to computing
+lattice invariants (elementary divisors, lattice index).  It is used by the
+test-suite as a cross-check of the echelon-based solver and by the lattice
+module for index computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.intlin.matrix import (
+    Matrix,
+    identity_matrix,
+    mat_copy,
+    mat_mul,
+    mat_shape,
+)
+
+__all__ = ["SmithResult", "smith_normal_form"]
+
+
+@dataclass(frozen=True)
+class SmithResult:
+    """Result of :func:`smith_normal_form`.
+
+    ``left @ original @ right == diagonal`` with ``left`` and ``right``
+    unimodular and ``diagonal`` a (rectangular) diagonal matrix whose
+    nonzero entries ``d1, d2, ...`` are positive and satisfy ``d1 | d2 | ...``.
+    """
+
+    left: Matrix
+    right: Matrix
+    diagonal: Matrix
+    invariant_factors: List[int]
+
+    @property
+    def rank(self) -> int:
+        return len(self.invariant_factors)
+
+
+def _find_pivot(a: Matrix, start: int) -> Tuple[int, int]:
+    """Return the position of the nonzero entry of smallest magnitude in the
+    trailing submatrix ``a[start:, start:]`` or ``(-1, -1)`` if it is zero."""
+    best = (-1, -1)
+    best_val = None
+    m, n = mat_shape(a)
+    for i in range(start, m):
+        for j in range(start, n):
+            v = abs(a[i][j])
+            if v != 0 and (best_val is None or v < best_val):
+                best_val = v
+                best = (i, j)
+    return best
+
+
+def smith_normal_form(mat: Sequence[Sequence[int]]) -> SmithResult:
+    """Compute the Smith normal form ``U @ mat @ V = D`` exactly."""
+    a = mat_copy(mat)
+    m, n = mat_shape(a)
+    left = identity_matrix(m)
+    right = identity_matrix(n)
+
+    def row_op(dst: int, src: int, factor: int) -> None:
+        a[dst] = [x + factor * y for x, y in zip(a[dst], a[src])]
+        left[dst] = [x + factor * y for x, y in zip(left[dst], left[src])]
+
+    def col_op(dst: int, src: int, factor: int) -> None:
+        for row in a:
+            row[dst] += factor * row[src]
+        for row in right:
+            row[dst] += factor * row[src]
+
+    def row_swap(i: int, j: int) -> None:
+        a[i], a[j] = a[j], a[i]
+        left[i], left[j] = left[j], left[i]
+
+    def col_swap(i: int, j: int) -> None:
+        for row in a:
+            row[i], row[j] = row[j], row[i]
+        for row in right:
+            row[i], row[j] = row[j], row[i]
+
+    def row_negate(i: int) -> None:
+        a[i] = [-x for x in a[i]]
+        left[i] = [-x for x in left[i]]
+
+    t = 0
+    limit = min(m, n)
+    while t < limit:
+        pi, pj = _find_pivot(a, t)
+        if pi < 0:
+            break
+        if pi != t:
+            row_swap(t, pi)
+        if pj != t:
+            col_swap(t, pj)
+
+        # Eliminate the rest of row t and column t; restart whenever a smaller
+        # remainder shows up (standard Smith reduction loop).
+        while True:
+            dirty = False
+            for i in range(t + 1, m):
+                if a[i][t] != 0:
+                    q = a[i][t] // a[t][t]
+                    row_op(i, t, -q)
+                    if a[i][t] != 0:
+                        row_swap(t, i)
+                        dirty = True
+            for j in range(t + 1, n):
+                if a[t][j] != 0:
+                    q = a[t][j] // a[t][t]
+                    col_op(j, t, -q)
+                    if a[t][j] != 0:
+                        col_swap(t, j)
+                        dirty = True
+            if not dirty:
+                break
+        if a[t][t] < 0:
+            row_negate(t)
+        t += 1
+
+    # Enforce the divisibility chain d1 | d2 | ... by folding later entries.
+    changed = True
+    while changed:
+        changed = False
+        for k in range(t - 1):
+            dk, dn = a[k][k], a[k + 1][k + 1]
+            if dn % dk != 0:
+                # Classic trick: add column k+1 to column k, re-reduce the 2x2 block.
+                col_op(k, k + 1, 1)
+                while True:
+                    if a[k + 1][k] == 0:
+                        break
+                    q = a[k + 1][k] // a[k][k] if a[k][k] != 0 else 0
+                    if a[k][k] != 0 and q != 0:
+                        row_op(k + 1, k, -q)
+                    if a[k + 1][k] != 0:
+                        row_swap(k, k + 1)
+                # clear the fill-in in row k / column k+1
+                if a[k][k + 1] != 0:
+                    q = a[k][k + 1] // a[k][k]
+                    col_op(k + 1, k, -q)
+                if a[k][k] < 0:
+                    row_negate(k)
+                if a[k + 1][k + 1] < 0:
+                    row_negate(k + 1)
+                changed = True
+
+    invariant_factors = [a[k][k] for k in range(t) if a[k][k] != 0]
+    return SmithResult(left=left, right=right, diagonal=a, invariant_factors=invariant_factors)

@@ -1,0 +1,31 @@
+"""Iteration space dependence graphs (ISDG).
+
+The paper illustrates its method with ISDG figures (Figures 2-5): every node
+is an iteration of the (2-deep) loop, every arrow a dependence between two
+iterations.  This subpackage builds the exact ISDG of a nest, computes the
+statistics reported by the figures (dependent vs. independent iterations,
+distance histogram, partition separation) and renders ASCII versions of the
+figures for the benchmark reports.
+"""
+
+from repro.isdg.build import IterationSpaceDependenceGraph, build_isdg
+from repro.isdg.partitions import (
+    partition_labels_of_iterations,
+    cross_partition_edges,
+    partition_sizes,
+)
+from repro.isdg.render import render_ascii_grid, render_partition_grid, render_distance_histogram
+from repro.isdg.stats import IsdgStatistics, compute_statistics
+
+__all__ = [
+    "IterationSpaceDependenceGraph",
+    "build_isdg",
+    "partition_labels_of_iterations",
+    "cross_partition_edges",
+    "partition_sizes",
+    "render_ascii_grid",
+    "render_partition_grid",
+    "render_distance_histogram",
+    "IsdgStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,110 @@
+"""ASCII rendering of ISDG figures.
+
+The paper's Figures 2-5 plot a 2-D iteration space with dependent iterations
+drawn as solid nodes and arrows between dependent iterations.  A terminal
+cannot draw arrows of arbitrary slope, so the renderer emits:
+
+* a grid with ``o`` for dependent iterations and ``.`` for independent ones
+  (the solid/empty node distinction of the figures),
+* optionally a grid of partition labels (digits / letters), which makes the
+  partition separation of Figures 3 and 5 visible, and
+* a textual distance histogram (the varying arrow lengths of the figures).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ShapeError
+from repro.isdg.build import IterationSpaceDependenceGraph
+
+__all__ = ["render_ascii_grid", "render_partition_grid", "render_distance_histogram"]
+
+_LABEL_CHARS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _check_two_dimensional(isdg: IterationSpaceDependenceGraph) -> None:
+    if isdg.nest.depth != 2:
+        raise ShapeError(
+            f"ASCII ISDG rendering supports 2-deep nests only, got depth {isdg.nest.depth}"
+        )
+
+
+def _axis_ranges(nodes: Sequence[Tuple[int, ...]]) -> Tuple[range, range]:
+    xs = sorted({n[0] for n in nodes})
+    ys = sorted({n[1] for n in nodes})
+    return range(xs[0], xs[-1] + 1), range(ys[0], ys[-1] + 1)
+
+
+def render_ascii_grid(isdg: IterationSpaceDependenceGraph) -> str:
+    """Dependent/independent iteration grid (``o`` vs ``.``), like Figure 2/4."""
+    _check_two_dimensional(isdg)
+    nodes = list(isdg.graph.nodes)
+    if not nodes:
+        return "(empty iteration space)"
+    x_range, y_range = _axis_ranges(nodes)
+    dependent = isdg.dependent_nodes()
+    node_set = set(nodes)
+    lines: List[str] = []
+    # The second index grows to the right, the first index downwards.
+    header = "      " + " ".join(f"{y:>3d}" for y in y_range)
+    lines.append(header)
+    for x in x_range:
+        cells = []
+        for y in y_range:
+            if (x, y) not in node_set:
+                cells.append("   ")
+            elif (x, y) in dependent:
+                cells.append("  o")
+            else:
+                cells.append("  .")
+        lines.append(f"{x:>5d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_partition_grid(
+    isdg: IterationSpaceDependenceGraph,
+    labels: Dict[Tuple[int, ...], Tuple[int, ...]],
+) -> str:
+    """Grid of partition labels (one character per partition), like Figure 3/5."""
+    _check_two_dimensional(isdg)
+    nodes = list(isdg.graph.nodes)
+    if not nodes:
+        return "(empty iteration space)"
+    x_range, y_range = _axis_ranges(nodes)
+    distinct = sorted(set(labels.values()))
+    char_of = {
+        label: _LABEL_CHARS[k % len(_LABEL_CHARS)] for k, label in enumerate(distinct)
+    }
+    lines: List[str] = [
+        "partition labels: "
+        + ", ".join(f"{char_of[label]}={label}" for label in distinct)
+    ]
+    header = "      " + " ".join(f"{y:>3d}" for y in y_range)
+    lines.append(header)
+    node_set = set(nodes)
+    for x in x_range:
+        cells = []
+        for y in y_range:
+            if (x, y) not in node_set:
+                cells.append("   ")
+            else:
+                cells.append(f"  {char_of[labels[(x, y)]]}")
+        lines.append(f"{x:>5d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_distance_histogram(isdg: IterationSpaceDependenceGraph, limit: int = 20) -> str:
+    """Textual histogram of the realized distance vectors (arrow lengths of the figures)."""
+    counts = isdg.distance_counts()
+    if not counts:
+        return "(no dependences)"
+    lines = ["distance vector : count"]
+    for distance, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]:
+        bar = "#" * min(count, 60)
+        lines.append(f"{str(distance):>16s} : {count:>5d} {bar}")
+    remaining = len(counts) - limit
+    if remaining > 0:
+        lines.append(f"... and {remaining} more distinct distances")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""ISDG statistics — the numbers behind the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.isdg.build import IterationSpaceDependenceGraph
+from repro.isdg.partitions import (
+    cross_partition_edges,
+    partition_labels_of_iterations,
+    partition_sizes,
+)
+
+__all__ = ["IsdgStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class IsdgStatistics:
+    """Summary statistics of an ISDG (optionally with a partitioning applied)."""
+
+    nest_name: str
+    num_iterations: int
+    num_edges: int
+    num_dependent: int
+    num_independent: int
+    num_distinct_distances: int
+    kind_counts: Tuple[Tuple[str, int], ...]
+    critical_path_length: int
+    num_partitions: int = 1
+    num_cross_partition_edges: int = 0
+    partition_size_spread: Tuple[int, int] = (0, 0)
+
+    @property
+    def dependent_fraction(self) -> float:
+        if self.num_iterations == 0:
+            return 0.0
+        return self.num_dependent / self.num_iterations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nest": self.nest_name,
+            "iterations": self.num_iterations,
+            "edges": self.num_edges,
+            "dependent": self.num_dependent,
+            "independent": self.num_independent,
+            "distinct distances": self.num_distinct_distances,
+            "kinds": dict(self.kind_counts),
+            "critical path": self.critical_path_length,
+            "partitions": self.num_partitions,
+            "cross-partition edges": self.num_cross_partition_edges,
+            "partition size (min, max)": self.partition_size_spread,
+        }
+
+    def describe(self) -> str:
+        return "\n".join(f"{k}: {v}" for k, v in self.as_dict().items())
+
+
+def compute_statistics(
+    isdg: IterationSpaceDependenceGraph,
+    transformed: Optional[TransformedLoopNest] = None,
+) -> IsdgStatistics:
+    """Compute the figure-level statistics of an ISDG.
+
+    When ``transformed`` is given, the partition structure it induces is also
+    measured (number of partitions realized within the finite iteration space,
+    separation property, partition size spread).
+    """
+    dependent = isdg.dependent_nodes()
+    num_partitions = 1
+    cross = 0
+    spread = (isdg.num_nodes, isdg.num_nodes)
+    if transformed is not None:
+        labels = partition_labels_of_iterations(isdg, transformed)
+        sizes = partition_sizes(labels)
+        num_partitions = len(sizes)
+        cross = len(cross_partition_edges(isdg, labels))
+        if sizes:
+            spread = (min(sizes.values()), max(sizes.values()))
+    return IsdgStatistics(
+        nest_name=isdg.nest.name,
+        num_iterations=isdg.num_nodes,
+        num_edges=isdg.num_edges,
+        num_dependent=len(dependent),
+        num_independent=isdg.num_nodes - len(dependent),
+        num_distinct_distances=len(isdg.distance_counts()),
+        kind_counts=tuple(sorted(isdg.kind_counts().items())),
+        critical_path_length=isdg.critical_path_length(),
+        num_partitions=num_partitions,
+        num_cross_partition_edges=cross,
+        partition_size_spread=spread,
+    )

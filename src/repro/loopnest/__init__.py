@@ -1,0 +1,56 @@
+"""Loop-nest intermediate representation.
+
+The paper's input language is an ``n``-fold perfectly nested loop whose array
+subscripts are affine functions of *all* loop indices (form (2.1)).  This
+subpackage provides:
+
+* :class:`~repro.loopnest.affine.AffineExpr` — exact affine expressions of
+  loop indices,
+* an expression AST for statement bodies,
+* :class:`~repro.loopnest.array_ref.ArrayReference` — a single array access
+  with its access matrix / offset vector,
+* :class:`~repro.loopnest.nest.LoopNest` — the perfect nest itself,
+* a fluent builder and a small textual parser for convenience, and
+* a source-level pretty printer.
+"""
+
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.expr import (
+    Expression,
+    Constant,
+    IndexTerm,
+    ArrayAccess,
+    BinaryOp,
+    UnaryOp,
+    Call,
+    collect_array_accesses,
+)
+from repro.loopnest.array_ref import ArrayReference
+from repro.loopnest.statement import Statement
+from repro.loopnest.bounds import LoopBounds
+from repro.loopnest.nest import LoopNest
+from repro.loopnest.builder import LoopNestBuilder, loop_nest
+from repro.loopnest.parser import parse_affine, parse_expression, parse_statement
+from repro.loopnest.codegen import render_loop_nest
+
+__all__ = [
+    "AffineExpr",
+    "Expression",
+    "Constant",
+    "IndexTerm",
+    "ArrayAccess",
+    "BinaryOp",
+    "UnaryOp",
+    "Call",
+    "collect_array_accesses",
+    "ArrayReference",
+    "Statement",
+    "LoopBounds",
+    "LoopNest",
+    "LoopNestBuilder",
+    "loop_nest",
+    "parse_affine",
+    "parse_expression",
+    "parse_statement",
+    "render_loop_nest",
+]

@@ -1,0 +1,63 @@
+"""Loop bounds.
+
+Bounds are affine expressions of the *outer* loop indices, as in the paper's
+loop form (2.1) where the limits of loop ``k`` may be integer functions of
+indices ``1 .. k-1``.  The step is always 1 in the source program; non-unit
+steps only appear in *generated* (partitioned) loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.exceptions import BoundsError
+from repro.loopnest.affine import AffineExpr
+
+__all__ = ["LoopBounds"]
+
+
+def _as_affine(value: Union[int, AffineExpr], name: str) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, bool):
+        raise BoundsError(f"{name} bound must be an integer or AffineExpr")
+    if isinstance(value, int):
+        return AffineExpr.constant_expr(value)
+    raise BoundsError(f"{name} bound must be an integer or AffineExpr, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """Inclusive lower/upper bounds of one loop level."""
+
+    lower: AffineExpr
+    upper: AffineExpr
+
+    def __init__(self, lower: Union[int, AffineExpr], upper: Union[int, AffineExpr]):
+        object.__setattr__(self, "lower", _as_affine(lower, "lower"))
+        object.__setattr__(self, "upper", _as_affine(upper, "upper"))
+
+    @property
+    def is_constant(self) -> bool:
+        """True if both bounds are integer constants."""
+        return self.lower.is_constant and self.upper.is_constant
+
+    def lower_value(self, env: Mapping[str, int]) -> int:
+        """Evaluate the lower bound for concrete outer-index values."""
+        return self.lower.evaluate(env)
+
+    def upper_value(self, env: Mapping[str, int]) -> int:
+        """Evaluate the upper bound for concrete outer-index values."""
+        return self.upper.evaluate(env)
+
+    def extent(self, env: Mapping[str, int]) -> int:
+        """Number of iterations of this level for the given outer indices."""
+        return max(0, self.upper_value(env) - self.lower_value(env) + 1)
+
+    def variables(self) -> set:
+        """Outer-index names used by the bounds."""
+        return set(self.lower.variables()) | set(self.upper.variables())
+
+    def __str__(self) -> str:
+        return f"{self.lower} .. {self.upper}"

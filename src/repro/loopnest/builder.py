@@ -1,0 +1,90 @@
+"""Fluent builder for loop nests.
+
+Example
+-------
+>>> from repro.loopnest import loop_nest
+>>> nest = (
+...     loop_nest("example")
+...     .loop("i1", -10, 10)
+...     .loop("i2", -10, 10)
+...     .statement("A[i1, i2] = A[i1 - 2, i2 + 1] + 1.0")
+...     .build()
+... )
+>>> nest.depth
+2
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.exceptions import LoopNestError
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.bounds import LoopBounds
+from repro.loopnest.expr import ArrayAccess, Expression
+from repro.loopnest.nest import LoopNest
+from repro.loopnest.parser import parse_affine, parse_expression, parse_statement
+from repro.loopnest.statement import Statement
+
+__all__ = ["LoopNestBuilder", "loop_nest"]
+
+BoundLike = Union[int, str, AffineExpr]
+
+
+class LoopNestBuilder:
+    """Incrementally assemble a :class:`~repro.loopnest.nest.LoopNest`."""
+
+    def __init__(self, name: str = "loop"):
+        self._name = name
+        self._index_names: List[str] = []
+        self._bounds: List[LoopBounds] = []
+        self._statements: List[Statement] = []
+
+    # ------------------------------------------------------------------ #
+    def _coerce_bound(self, value: BoundLike) -> AffineExpr:
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return AffineExpr.constant_expr(value)
+        if isinstance(value, str):
+            return parse_affine(value, self._index_names)
+        raise LoopNestError(f"cannot interpret loop bound {value!r}")
+
+    def loop(self, name: str, lower: BoundLike, upper: BoundLike) -> "LoopNestBuilder":
+        """Add one loop level (outermost first); bounds may reference outer indices."""
+        if name in self._index_names:
+            raise LoopNestError(f"duplicate loop index {name!r}")
+        lower_expr = self._coerce_bound(lower)
+        upper_expr = self._coerce_bound(upper)
+        self._index_names.append(name)
+        self._bounds.append(LoopBounds(lower_expr, upper_expr))
+        return self
+
+    def statement(self, text: str) -> "LoopNestBuilder":
+        """Add a body statement given as source text, e.g. ``"A[i, j] = A[i-1, j] + 1"``."""
+        self._statements.append(parse_statement(text, self._index_names))
+        return self
+
+    def assign(
+        self,
+        array: str,
+        subscripts: Sequence[Union[str, AffineExpr]],
+        rhs: Union[str, Expression],
+    ) -> "LoopNestBuilder":
+        """Add a body statement programmatically."""
+        subs = tuple(
+            sub if isinstance(sub, AffineExpr) else parse_affine(sub, self._index_names)
+            for sub in subscripts
+        )
+        rhs_expr = rhs if isinstance(rhs, Expression) else parse_expression(rhs, self._index_names)
+        self._statements.append(Statement(target=ArrayAccess(array, subs), rhs=rhs_expr))
+        return self
+
+    def build(self) -> LoopNest:
+        """Create the validated loop nest."""
+        return LoopNest(self._index_names, self._bounds, self._statements, name=self._name)
+
+
+def loop_nest(name: str = "loop") -> LoopNestBuilder:
+    """Start building a loop nest with the given report name."""
+    return LoopNestBuilder(name)

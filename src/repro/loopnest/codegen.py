@@ -1,0 +1,33 @@
+"""Source-level rendering of loop nests (paper-style ``do`` loops)."""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["render_loop_nest"]
+
+
+def render_loop_nest(nest, doall_levels: List[int] = None, indent: str = "  ") -> str:
+    """Render a :class:`~repro.loopnest.nest.LoopNest` as readable pseudo-code.
+
+    Parameters
+    ----------
+    nest:
+        The loop nest to render.
+    doall_levels:
+        Optional list of loop levels (0-based) to label ``doall`` instead of
+        ``do`` — used by reports to show which loops are parallel.
+    indent:
+        Indentation unit.
+    """
+    doall = set(doall_levels or [])
+    lines: List[str] = []
+    for level, (name, bound) in enumerate(zip(nest.index_names, nest.bounds)):
+        keyword = "doall" if level in doall else "do"
+        lines.append(f"{indent * level}{keyword} {name} = {bound.lower}, {bound.upper}")
+    body_indent = indent * nest.depth
+    for stmt in nest.statements:
+        lines.append(f"{body_indent}{stmt.to_source()}")
+    for level in range(nest.depth - 1, -1, -1):
+        lines.append(f"{indent * level}enddo")
+    return "\n".join(lines)

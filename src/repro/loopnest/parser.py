@@ -1,0 +1,171 @@
+"""A small textual front end for loop bodies.
+
+The parser accepts ordinary Python expression syntax (via :mod:`ast`) and
+converts it into the library's expression AST, enforcing the paper's
+restrictions: array subscripts and loop bounds must be affine in the loop
+indices, and the only variables allowed are the loop indices themselves.
+
+Examples
+--------
+>>> from repro.loopnest.parser import parse_statement
+>>> stmt = parse_statement("A[i1, i2] = A[i1 - 1, i2 + 2] + 1.0", ["i1", "i2"])
+>>> print(stmt)
+A[i1, i2] = (A[i1 - 1, i2 + 2] + 1.0)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import SubscriptError
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.expr import (
+    ArrayAccess,
+    BinaryOp,
+    Call,
+    Constant,
+    Expression,
+    IndexTerm,
+    UnaryOp,
+)
+from repro.loopnest.statement import Statement
+
+__all__ = ["parse_affine", "parse_expression", "parse_statement"]
+
+
+_BIN_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+}
+
+
+def _parse_ast(text: str, mode: str) -> ast.AST:
+    try:
+        return ast.parse(text.strip(), mode=mode)
+    except SyntaxError as exc:
+        raise SubscriptError(f"cannot parse {text!r}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# affine expressions
+# ---------------------------------------------------------------------------
+
+def _affine_from_node(node: ast.AST, index_names: Sequence[str]) -> AffineExpr:
+    if isinstance(node, ast.Expression):
+        return _affine_from_node(node.body, index_names)
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            raise SubscriptError(f"affine expressions only allow integer constants, got {node.value!r}")
+        return AffineExpr.constant_expr(node.value)
+    if isinstance(node, ast.Name):
+        if node.id not in index_names:
+            raise SubscriptError(
+                f"{node.id!r} is not a loop index (known indices: {list(index_names)})"
+            )
+        return AffineExpr.variable(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_affine_from_node(node.operand, index_names)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+        return _affine_from_node(node.operand, index_names)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Add):
+            return _affine_from_node(node.left, index_names) + _affine_from_node(
+                node.right, index_names
+            )
+        if isinstance(node.op, ast.Sub):
+            return _affine_from_node(node.left, index_names) - _affine_from_node(
+                node.right, index_names
+            )
+        if isinstance(node.op, ast.Mult):
+            left = _affine_from_node(node.left, index_names)
+            right = _affine_from_node(node.right, index_names)
+            if left.is_constant:
+                return right * left.constant
+            if right.is_constant:
+                return left * right.constant
+            raise SubscriptError("products of loop indices are not affine")
+    raise SubscriptError(f"unsupported construct in affine expression: {ast.dump(node)}")
+
+
+def parse_affine(text: str, index_names: Sequence[str]) -> AffineExpr:
+    """Parse an affine expression of the loop indices, e.g. ``"2*i1 - i2 + 3"``."""
+    tree = _parse_ast(text, "eval")
+    return _affine_from_node(tree, list(index_names))
+
+
+# ---------------------------------------------------------------------------
+# general body expressions
+# ---------------------------------------------------------------------------
+
+def _subscripts_from_node(node: ast.AST, index_names: Sequence[str]) -> Tuple[AffineExpr, ...]:
+    if isinstance(node, ast.Tuple):
+        return tuple(_affine_from_node(elt, index_names) for elt in node.elts)
+    return (_affine_from_node(node, index_names),)
+
+
+def _expression_from_node(node: ast.AST, index_names: Sequence[str]) -> Expression:
+    if isinstance(node, ast.Expression):
+        return _expression_from_node(node.body, index_names)
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+            raise SubscriptError(f"unsupported constant {node.value!r}")
+        return Constant(float(node.value) if isinstance(node.value, float) else node.value)
+    if isinstance(node, ast.Name):
+        if node.id in index_names:
+            return IndexTerm(AffineExpr.variable(node.id))
+        raise SubscriptError(
+            f"bare name {node.id!r} is neither a loop index nor an array access"
+        )
+    if isinstance(node, ast.Subscript):
+        if not isinstance(node.value, ast.Name):
+            raise SubscriptError("only simple array names can be subscripted")
+        subscripts = _subscripts_from_node(node.slice, index_names)
+        return ArrayAccess(node.value.id, subscripts)
+    if isinstance(node, ast.UnaryOp):
+        op = "-" if isinstance(node.op, ast.USub) else "+"
+        return UnaryOp(op, _expression_from_node(node.operand, index_names))
+    if isinstance(node, ast.BinOp):
+        op_type = type(node.op)
+        if op_type not in _BIN_OPS:
+            raise SubscriptError(f"unsupported binary operator {op_type.__name__}")
+        return BinaryOp(
+            _BIN_OPS[op_type],
+            _expression_from_node(node.left, index_names),
+            _expression_from_node(node.right, index_names),
+        )
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name):
+            raise SubscriptError("only simple function names may be called")
+        args = tuple(_expression_from_node(arg, index_names) for arg in node.args)
+        return Call(node.func.id, args)
+    raise SubscriptError(f"unsupported construct in expression: {ast.dump(node)}")
+
+
+def parse_expression(text: str, index_names: Sequence[str]) -> Expression:
+    """Parse a right-hand-side expression such as ``"A[i1-1, i2] * 0.5 + B[i2]"``."""
+    tree = _parse_ast(text, "eval")
+    return _expression_from_node(tree, list(index_names))
+
+
+def parse_statement(text: str, index_names: Sequence[str]) -> Statement:
+    """Parse an assignment statement ``"A[i1, i2] = ..."`` into a :class:`Statement`."""
+    tree = _parse_ast(text, "exec")
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.Assign):
+        raise SubscriptError(f"expected a single assignment statement, got {text!r}")
+    assign = tree.body[0]
+    if len(assign.targets) != 1:
+        raise SubscriptError("chained assignments are not supported")
+    target_node = assign.targets[0]
+    if not isinstance(target_node, ast.Subscript) or not isinstance(target_node.value, ast.Name):
+        raise SubscriptError("the assignment target must be an array element")
+    target = ArrayAccess(
+        target_node.value.id, _subscripts_from_node(target_node.slice, index_names)
+    )
+    rhs = _expression_from_node(assign.value, index_names)
+    return Statement(target=target, rhs=rhs)

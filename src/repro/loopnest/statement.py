@@ -1,0 +1,59 @@
+"""Assignment statements of a loop body."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import LoopNestError
+from repro.loopnest.array_ref import ArrayReference
+from repro.loopnest.expr import ArrayAccess, Expression
+
+__all__ = ["Statement"]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """An assignment ``target = rhs`` inside the loop body.
+
+    ``target`` must be an array access (the paper's model: the loop body is a
+    sequence of assignment statements to array elements); ``rhs`` is an
+    arbitrary expression over array reads, the loop indices and constants.
+    """
+
+    target: ArrayAccess
+    rhs: Expression
+
+    def __post_init__(self):
+        if not isinstance(self.target, ArrayAccess):
+            raise LoopNestError("statement target must be an array access")
+        if not isinstance(self.rhs, Expression):
+            raise LoopNestError("statement right-hand side must be an Expression")
+
+    def references(self, statement_index: int) -> List[ArrayReference]:
+        """All array references of the statement: the written target first,
+        then the reads of the right-hand side in textual order."""
+        refs = [ArrayReference.from_access(self.target, True, statement_index, 0)]
+        for pos, access in enumerate(self.rhs.array_accesses(), start=1):
+            refs.append(ArrayReference.from_access(access, False, statement_index, pos))
+        return refs
+
+    def variables(self) -> set:
+        """All loop-index names used by the statement."""
+        names = set(self.target.variables())
+        names |= self.rhs.variables()
+        return names
+
+    def arrays(self) -> set:
+        """All array names touched by the statement."""
+        names = {self.target.array}
+        for access in self.rhs.array_accesses():
+            names.add(access.array)
+        return names
+
+    def to_source(self) -> str:
+        """Render as a line of Python-like source."""
+        return f"{self.target.to_source()} = {self.rhs.to_source()}"
+
+    def __str__(self) -> str:
+        return self.to_source()

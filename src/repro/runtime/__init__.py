@@ -1,0 +1,44 @@
+"""Execution substrate.
+
+The paper's method is evaluated on a Fortran compiler / shared-memory
+machine; the reproduction executes loop nests directly:
+
+* :mod:`repro.runtime.arrays` — NumPy-backed array stores with arbitrary
+  (possibly negative) index origins,
+* :mod:`repro.runtime.interpreter` — sequential execution of original and
+  transformed nests,
+* :mod:`repro.runtime.executor` — chunk-parallel execution (serial, thread
+  pool or process pool),
+* :mod:`repro.runtime.simulator` — idealized parallel-machine model
+  (work / critical path) that is independent of the CPython GIL,
+* :mod:`repro.runtime.verification` — checking that a transformation
+  preserves the program's results.
+"""
+
+from repro.runtime.arrays import OffsetArray, ArrayStore, store_for_nest
+from repro.runtime.interpreter import (
+    execute_nest,
+    execute_transformed,
+    execute_chunk,
+    execute_schedule,
+)
+from repro.runtime.executor import ParallelExecutor, ExecutionResult
+from repro.runtime.simulator import SimulatedMachine, simulate_schedule, SimulationResult
+from repro.runtime.verification import verify_transformation, VerificationReport
+
+__all__ = [
+    "OffsetArray",
+    "ArrayStore",
+    "store_for_nest",
+    "execute_nest",
+    "execute_transformed",
+    "execute_chunk",
+    "execute_schedule",
+    "ParallelExecutor",
+    "ExecutionResult",
+    "SimulatedMachine",
+    "simulate_schedule",
+    "SimulationResult",
+    "verify_transformation",
+    "VerificationReport",
+]

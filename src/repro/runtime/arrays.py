@@ -1,0 +1,174 @@
+"""Array storage for loop execution.
+
+Loop nests in the paper freely index arrays with affine expressions that can
+be negative or exceed the iteration bounds (e.g. ``A(2*i1 + i2 + 3)``).  The
+:class:`OffsetArray` wraps a NumPy array with an integer origin per
+dimension so any subscript inside a declared window is valid; the
+:class:`ArrayStore` is a named collection of such arrays, with deep copy and
+comparison helpers used by the verification machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExecutionError
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["OffsetArray", "ArrayStore", "store_for_nest"]
+
+
+class OffsetArray:
+    """A dense array whose first valid index per dimension is ``origin[k]``.
+
+    Indexing uses plain integer tuples: ``a[i, j]`` with
+    ``origin[k] <= index[k] <= origin[k] + shape[k] - 1``.
+    """
+
+    def __init__(self, origin: Sequence[int], shape: Sequence[int], dtype=np.float64, fill=0.0):
+        self.origin = tuple(int(o) for o in origin)
+        if len(self.origin) != len(shape):
+            raise ExecutionError("origin and shape must have the same length")
+        self.data = np.full(tuple(int(s) for s in shape), fill, dtype=dtype)
+
+    @classmethod
+    def from_window(cls, lows: Sequence[int], highs: Sequence[int], dtype=np.float64, fill=0.0):
+        """Create an array covering the inclusive index window ``[lows, highs]``."""
+        lows = [int(v) for v in lows]
+        highs = [int(v) for v in highs]
+        shape = [hi - lo + 1 for lo, hi in zip(lows, highs)]
+        if any(s <= 0 for s in shape):
+            raise ExecutionError(f"empty array window: lows={lows}, highs={highs}")
+        return cls(lows, shape, dtype=dtype, fill=fill)
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def _map(self, index) -> Tuple[int, ...]:
+        if not isinstance(index, tuple):
+            index = (index,)
+        if len(index) != self.data.ndim:
+            raise ExecutionError(
+                f"index {index} has {len(index)} components, array has {self.data.ndim} dimensions"
+            )
+        mapped = []
+        for k, (value, origin, extent) in enumerate(zip(index, self.origin, self.data.shape)):
+            offset = int(value) - origin
+            if not 0 <= offset < extent:
+                raise ExecutionError(
+                    f"index {index} out of the declared window in dimension {k} "
+                    f"(origin {origin}, extent {extent})"
+                )
+            mapped.append(offset)
+        return tuple(mapped)
+
+    def __getitem__(self, index):
+        return self.data[self._map(index)]
+
+    def __setitem__(self, index, value):
+        self.data[self._map(index)] = value
+
+    def copy(self) -> "OffsetArray":
+        clone = OffsetArray(self.origin, self.data.shape, dtype=self.data.dtype)
+        clone.data[...] = self.data
+        return clone
+
+    def allclose(self, other: "OffsetArray", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        return (
+            self.origin == other.origin
+            and self.data.shape == other.data.shape
+            and np.allclose(self.data, other.data, rtol=rtol, atol=atol)
+        )
+
+    def max_abs_difference(self, other: "OffsetArray") -> float:
+        if self.data.shape != other.data.shape:
+            return float("inf")
+        return float(np.max(np.abs(self.data - other.data))) if self.data.size else 0.0
+
+    def __repr__(self) -> str:
+        return f"OffsetArray(origin={self.origin}, shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class ArrayStore(dict):
+    """A named collection of :class:`OffsetArray` objects."""
+
+    def copy(self) -> "ArrayStore":
+        clone = ArrayStore()
+        for name, array in self.items():
+            clone[name] = array.copy()
+        return clone
+
+    def allclose(self, other: "ArrayStore", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        if set(self.keys()) != set(other.keys()):
+            return False
+        return all(self[name].allclose(other[name], rtol, atol) for name in self)
+
+    def max_abs_difference(self, other: "ArrayStore") -> float:
+        if set(self.keys()) != set(other.keys()):
+            return float("inf")
+        diffs = [self[name].max_abs_difference(other[name]) for name in self]
+        return max(diffs) if diffs else 0.0
+
+
+def store_for_nest(
+    nest: LoopNest,
+    margin: int = 4,
+    dtype=np.float64,
+    initializer: Optional[str] = "index_sum",
+    seed: int = 0,
+) -> ArrayStore:
+    """Create an array store large enough for every access of the nest.
+
+    The subscript window of every array is determined by evaluating all
+    references over the iteration space bounds (exact for rectangular nests,
+    by enumeration otherwise), extended by ``margin`` cells on each side.
+
+    ``initializer`` selects the initial contents:
+
+    * ``"zeros"`` — all zeros,
+    * ``"index_sum"`` — cell value = sum of its indices (deterministic and
+      position dependent, good for catching reordering bugs),
+    * ``"random"`` — reproducible uniform noise from ``seed``.
+    """
+    windows: Dict[str, Tuple[list, list]] = {}
+    references = nest.references()
+
+    def update_window(array: str, subscripts: Tuple[int, ...]) -> None:
+        lows, highs = windows.setdefault(
+            array, ([int(v) for v in subscripts], [int(v) for v in subscripts])
+        )
+        for k, value in enumerate(subscripts):
+            lows[k] = min(lows[k], int(value))
+            highs[k] = max(highs[k], int(value))
+
+    for iteration in nest.iterations():
+        env = nest.env_for(iteration)
+        for ref in references:
+            update_window(ref.array, ref.subscript_values(env))
+
+    rng = np.random.default_rng(seed)
+    store = ArrayStore()
+    for array, (lows, highs) in windows.items():
+        lows = [lo - margin for lo in lows]
+        highs = [hi + margin for hi in highs]
+        offset_array = OffsetArray.from_window(lows, highs, dtype=dtype)
+        if initializer == "index_sum":
+            grids = np.meshgrid(
+                *[np.arange(lo, hi + 1) for lo, hi in zip(lows, highs)], indexing="ij"
+            )
+            offset_array.data[...] = sum(grids).astype(dtype)
+        elif initializer == "random":
+            offset_array.data[...] = rng.uniform(-1.0, 1.0, size=offset_array.shape)
+        elif initializer in (None, "zeros"):
+            pass
+        else:
+            raise ExecutionError(f"unknown initializer {initializer!r}")
+        store[array] = offset_array
+    return store

@@ -1,0 +1,125 @@
+"""Chunk-parallel execution of transformed loop nests.
+
+Chunks produced by :func:`repro.codegen.schedule.build_schedule` are mutually
+independent, so they may execute concurrently.  Three execution modes are
+provided:
+
+* ``serial`` — chunks run one after the other (baseline and reference),
+* ``threads`` — a thread pool; because the chunks never touch the same array
+  cell the shared store needs no locking.  Note that CPython's GIL limits the
+  achievable wall-clock speedup of pure-Python loop bodies; this mode mainly
+  demonstrates correctness under concurrent execution,
+* ``processes`` — a process pool; each worker receives a copy of the store,
+  executes its chunks and sends back the performed writes, which the parent
+  merges.  This achieves real parallelism at the cost of serialisation
+  overhead.
+
+The machine-independent parallelism numbers reported in EXPERIMENTS.md come
+from :mod:`repro.runtime.simulator`; the executors are used for correctness
+under concurrency and for wall-clock sanity checks.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codegen.schedule import Chunk, build_schedule
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.exceptions import ExecutionError
+from repro.runtime.arrays import ArrayStore
+from repro.runtime.interpreter import execute_chunk
+
+__all__ = ["ExecutionResult", "ParallelExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one (possibly parallel) execution."""
+
+    store: ArrayStore
+    mode: str
+    workers: int
+    num_chunks: int
+    elapsed_seconds: float
+    chunk_sizes: Tuple[int, ...] = field(default=())
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.chunk_sizes)
+
+
+def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
+    """Process-pool worker: execute a list of chunks on a private store copy."""
+    transformed, chunks, store = payload
+    writes: List[Tuple[str, Tuple[int, ...], float]] = []
+    for chunk in chunks:
+        writes.extend(execute_chunk(transformed, chunk, store))
+    return writes
+
+
+class ParallelExecutor:
+    """Execute the chunks of a transformed nest serially or in parallel."""
+
+    def __init__(self, mode: str = "serial", workers: Optional[int] = None):
+        if mode not in ("serial", "threads", "processes"):
+            raise ExecutionError(f"unknown execution mode {mode!r}")
+        self.mode = mode
+        self.workers = workers or 4
+
+    def run(
+        self,
+        transformed: TransformedLoopNest,
+        store: ArrayStore,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> ExecutionResult:
+        """Execute the transformed nest on ``store`` (modified in place)."""
+        if chunks is None:
+            chunks = build_schedule(transformed)
+        chunk_sizes = tuple(chunk.size for chunk in chunks)
+        start = time.perf_counter()
+        if self.mode == "serial":
+            for chunk in chunks:
+                execute_chunk(transformed, chunk, store)
+        elif self.mode == "threads":
+            self._run_threads(transformed, chunks, store)
+        else:
+            self._run_processes(transformed, chunks, store)
+        elapsed = time.perf_counter() - start
+        return ExecutionResult(
+            store=store,
+            mode=self.mode,
+            workers=self.workers if self.mode != "serial" else 1,
+            num_chunks=len(chunks),
+            elapsed_seconds=elapsed,
+            chunk_sizes=chunk_sizes,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_threads(
+        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+    ) -> None:
+        # Chunks are pairwise independent (they never access a common cell with
+        # at least one write), so executing them concurrently on the shared
+        # store is safe without locking.
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(execute_chunk, transformed, chunk, store) for chunk in chunks]
+            for future in futures:
+                future.result()
+
+    def _run_processes(
+        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+    ) -> None:
+        if not chunks:
+            return
+        groups: List[List[Chunk]] = [[] for _ in range(min(self.workers, len(chunks)))]
+        # Round-robin over chunks sorted by decreasing size for rough balance.
+        for k, chunk in enumerate(sorted(chunks, key=lambda c: -c.size)):
+            groups[k % len(groups)].append(chunk)
+        payloads = [(transformed, group, store.copy()) for group in groups if group]
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            for writes in pool.map(_worker_execute, payloads):
+                for array, location, value in writes:
+                    store[array][location] = value

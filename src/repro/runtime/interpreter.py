@@ -1,0 +1,101 @@
+"""Sequential interpretation of loop nests.
+
+The interpreter executes a nest statement by statement on an
+:class:`~repro.runtime.arrays.ArrayStore`.  It is deliberately simple and
+direct — it is the semantic reference against which the transformed
+executions (chunk schedules, emitted Python code, parallel executors) are
+validated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.codegen.schedule import Chunk
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.exceptions import ExecutionError
+from repro.loopnest.nest import LoopNest
+from repro.runtime.arrays import ArrayStore
+
+__all__ = ["execute_nest", "execute_transformed", "execute_chunk", "execute_schedule"]
+
+
+def _execute_body(nest: LoopNest, env: Mapping[str, int], store: ArrayStore) -> None:
+    for stmt in nest.statements:
+        value = stmt.rhs.evaluate(env, store)
+        location = stmt.target.subscript_values(env)
+        store[stmt.target.array][location] = value
+
+
+def execute_nest(nest: LoopNest, store: ArrayStore, max_iterations: Optional[int] = None) -> ArrayStore:
+    """Execute the original nest sequentially (lexicographic order) in place."""
+    count = 0
+    for iteration in nest.iterations():
+        count += 1
+        if max_iterations is not None and count > max_iterations:
+            raise ExecutionError(f"iteration budget of {max_iterations} exceeded")
+        _execute_body(nest, nest.env_for(iteration), store)
+    return store
+
+
+def execute_transformed(
+    transformed: TransformedLoopNest, store: ArrayStore, order: str = "lexicographic"
+) -> ArrayStore:
+    """Execute a transformed nest in place.
+
+    ``order`` selects the traversal of the new iteration space:
+
+    * ``"lexicographic"`` — the legal sequential order of the transformed loop;
+    * ``"chunks"`` — chunk after chunk (each chunk internally in order), the
+      order a parallel run would use with a single worker.
+
+    Both must produce results identical to the original nest when the
+    transformation is legal; the test-suite checks exactly that.
+    """
+    nest = transformed.nest
+    if order == "lexicographic":
+        iterations: Iterable[Tuple[int, ...]] = transformed.iterations()
+    elif order == "chunks":
+        from repro.codegen.schedule import build_schedule
+
+        iterations = (
+            iteration for chunk in build_schedule(transformed) for iteration in chunk.iterations
+        )
+    else:
+        raise ExecutionError(f"unknown execution order {order!r}")
+
+    for new_iteration in iterations:
+        env = transformed.original_env(new_iteration)
+        _execute_body(nest, env, store)
+    return store
+
+
+def execute_chunk(
+    transformed: TransformedLoopNest, chunk: Chunk, store: ArrayStore
+) -> List[Tuple[str, Tuple[int, ...], float]]:
+    """Execute one chunk and return the list of performed writes.
+
+    The writes are returned as ``(array, location, value)`` so a parallel
+    driver can execute chunks on copies of the store (or in worker processes)
+    and merge the results; chunks of a legal schedule never write the same
+    location, so merging is order-independent.
+    """
+    nest = transformed.nest
+    writes: List[Tuple[str, Tuple[int, ...], float]] = []
+    for new_iteration in chunk.iterations:
+        env = transformed.original_env(new_iteration)
+        for stmt in nest.statements:
+            value = stmt.rhs.evaluate(env, store)
+            location = stmt.target.subscript_values(env)
+            store[stmt.target.array][location] = value
+            writes.append((stmt.target.array, location, value))
+    return writes
+
+
+def execute_schedule(
+    transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+) -> ArrayStore:
+    """Execute all chunks one after the other on the same store (serial reference)."""
+    for chunk in chunks:
+        execute_chunk(transformed, chunk, store)
+    return store

@@ -1,0 +1,98 @@
+"""Idealized parallel machine model.
+
+The paper reports *structural* parallelism (number of ``doall`` loops,
+``det(PDM)`` partitions); to turn that into speedup numbers that do not
+depend on the CPython GIL or on process start-up costs, the reproduction uses
+a simple simulated machine: every iteration costs one time unit (plus an
+optional per-chunk scheduling overhead) and chunks are scheduled onto ``p``
+processors with the longest-processing-time greedy rule.  The reported
+speedup is ``sequential time / makespan``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.codegen.schedule import Chunk
+
+__all__ = ["SimulationResult", "SimulatedMachine", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Result of simulating one schedule on an idealized machine."""
+
+    num_processors: int
+    num_chunks: int
+    sequential_time: float
+    parallel_time: float
+    max_chunk_size: int
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time == 0:
+            return 1.0
+        return self.sequential_time / self.parallel_time
+
+    @property
+    def efficiency(self) -> float:
+        if self.num_processors == 0:
+            return 0.0
+        return self.speedup / self.num_processors
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_chunks} chunks on {self.num_processors} processors: "
+            f"T_seq={self.sequential_time:.1f}, T_par={self.parallel_time:.1f}, "
+            f"speedup={self.speedup:.2f}, efficiency={self.efficiency:.2f}"
+        )
+
+
+class SimulatedMachine:
+    """A ``p``-processor machine with unit iteration cost."""
+
+    def __init__(self, num_processors: int, iteration_cost: float = 1.0, chunk_overhead: float = 0.0):
+        if num_processors < 1:
+            raise ValueError("the simulated machine needs at least one processor")
+        self.num_processors = int(num_processors)
+        self.iteration_cost = float(iteration_cost)
+        self.chunk_overhead = float(chunk_overhead)
+
+    def chunk_cost(self, chunk: Chunk) -> float:
+        return self.chunk_overhead + self.iteration_cost * chunk.size
+
+    def makespan(self, chunks: Sequence[Chunk]) -> float:
+        """Greedy LPT scheduling of chunks onto the processors."""
+        if not chunks:
+            return 0.0
+        loads = [0.0] * self.num_processors
+        heapq.heapify(loads)
+        for chunk in sorted(chunks, key=lambda c: -c.size):
+            lightest = heapq.heappop(loads)
+            heapq.heappush(loads, lightest + self.chunk_cost(chunk))
+        return max(loads)
+
+    def simulate(self, chunks: Sequence[Chunk]) -> SimulationResult:
+        sequential = sum(self.chunk_cost(chunk) for chunk in chunks)
+        parallel = self.makespan(chunks)
+        return SimulationResult(
+            num_processors=self.num_processors,
+            num_chunks=len(chunks),
+            sequential_time=sequential,
+            parallel_time=parallel,
+            max_chunk_size=max((chunk.size for chunk in chunks), default=0),
+        )
+
+
+def simulate_schedule(
+    chunks: Sequence[Chunk],
+    num_processors: Optional[int] = None,
+    iteration_cost: float = 1.0,
+    chunk_overhead: float = 0.0,
+) -> SimulationResult:
+    """Simulate a schedule; ``num_processors=None`` means one processor per chunk."""
+    processors = num_processors if num_processors is not None else max(1, len(chunks))
+    machine = SimulatedMachine(processors, iteration_cost, chunk_overhead)
+    return machine.simulate(chunks)

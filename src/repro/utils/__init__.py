@@ -1,0 +1,31 @@
+"""Small shared utilities (validation helpers, text formatting)."""
+
+from repro.utils.validation import (
+    check_int,
+    check_int_vector,
+    check_int_matrix,
+    check_square,
+    check_same_length,
+    as_int_list,
+    as_int_table,
+)
+from repro.utils.formatting import (
+    format_matrix,
+    format_vector,
+    format_table,
+    indent_block,
+)
+
+__all__ = [
+    "check_int",
+    "check_int_vector",
+    "check_int_matrix",
+    "check_square",
+    "check_same_length",
+    "as_int_list",
+    "as_int_table",
+    "format_matrix",
+    "format_vector",
+    "format_table",
+    "indent_block",
+]

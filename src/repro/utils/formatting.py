@@ -1,0 +1,47 @@
+"""Plain-text formatting helpers used by reports, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_matrix", "format_vector", "format_table", "indent_block"]
+
+
+def format_vector(vec: Sequence, sep: str = " ") -> str:
+    """Format a vector as ``( a b c )``."""
+    return "( " + sep.join(str(v) for v in vec) + " )"
+
+
+def format_matrix(rows: Sequence[Sequence], indent: str = "") -> str:
+    """Format a matrix with right-aligned columns, one row per line."""
+    table = [[str(v) for v in row] for row in rows]
+    if not table:
+        return indent + "[ empty matrix ]"
+    widths = [max(len(table[r][c]) for r in range(len(table))) for c in range(len(table[0]))]
+    lines = []
+    for row in table:
+        cells = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        lines.append(f"{indent}[ {cells} ]")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], indent: str = "") -> str:
+    """Format a simple left-aligned text table with a header separator row."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    str_rows.extend([[str(c) for c in row] for row in rows])
+    n_cols = max(len(r) for r in str_rows)
+    for row in str_rows:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(r[c]) for r in str_rows) for c in range(n_cols)]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(str_rows[0], widths))
+    lines.append(indent + header_line)
+    lines.append(indent + "-+-".join("-" * w for w in widths))
+    for row in str_rows[1:]:
+        lines.append(indent + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def indent_block(text: str, indent: str = "    ") -> str:
+    """Indent every line of ``text`` by ``indent``."""
+    return "\n".join(indent + line if line else line for line in text.splitlines())

@@ -1,0 +1,44 @@
+"""Workloads: the paper's example loops, synthetic generators and realistic kernels."""
+
+from repro.workloads.paper_examples import (
+    example_4_1,
+    example_4_2,
+    figure1_example,
+    PAPER_EXAMPLES,
+)
+from repro.workloads.synthetic import (
+    uniform_distance_loop,
+    no_dependence_loop,
+    variable_distance_loop,
+    random_affine_loop,
+    three_deep_variable_loop,
+)
+from repro.workloads.kernels import (
+    wavefront_recurrence,
+    constant_partitioning_recurrence,
+    banded_update,
+    strided_scatter,
+    mixed_distance_kernel,
+    KERNELS,
+)
+from repro.workloads.suite import workload_suite, WorkloadCase
+
+__all__ = [
+    "example_4_1",
+    "example_4_2",
+    "figure1_example",
+    "PAPER_EXAMPLES",
+    "uniform_distance_loop",
+    "no_dependence_loop",
+    "variable_distance_loop",
+    "random_affine_loop",
+    "three_deep_variable_loop",
+    "wavefront_recurrence",
+    "constant_partitioning_recurrence",
+    "banded_update",
+    "strided_scatter",
+    "mixed_distance_kernel",
+    "KERNELS",
+    "workload_suite",
+    "WorkloadCase",
+]

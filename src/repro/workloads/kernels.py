@@ -1,0 +1,117 @@
+"""Realistic loop kernels.
+
+These kernels are the kind of loops the paper's introduction motivates:
+recurrences and array updates whose subscripts couple several loop indices,
+producing either constant distances (handled by the earlier unimodular /
+partitioning work the paper extends) or variable distances (the new case).
+They drive the related-work comparison (Table 1) and the speedup study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.loopnest.builder import loop_nest
+from repro.loopnest.nest import LoopNest
+
+__all__ = [
+    "wavefront_recurrence",
+    "constant_partitioning_recurrence",
+    "banded_update",
+    "strided_scatter",
+    "mixed_distance_kernel",
+    "KERNELS",
+]
+
+
+def wavefront_recurrence(n: int = 12) -> LoopNest:
+    """2-D wavefront (Gauss-Seidel-like) recurrence: constant distances (1,0), (0,1).
+
+    The PDM is full rank with determinant 1 — no partition parallelism; only
+    skewing-based pipelining applies.  This is the hard case for every method
+    and a sanity check that the analysis does not over-report parallelism.
+    """
+    return (
+        loop_nest(f"wavefront(N={n})")
+        .loop("i1", 1, n)
+        .loop("i2", 1, n)
+        .statement("A[i1, i2] = 0.25 * (A[i1 - 1, i2] + A[i1, i2 - 1]) + 1.0")
+        .build()
+    )
+
+
+def constant_partitioning_recurrence(n: int = 12, stride: int = 2) -> LoopNest:
+    """The classic constant-distance partitioning example (D'Hollander 1992).
+
+    Distances ``(stride, 0)`` and ``(0, stride)`` give a full-rank PDM with
+    determinant ``stride**2`` independent partitions.
+    """
+    s = int(stride)
+    return (
+        loop_nest(f"constant-partition(N={n}, s={s})")
+        .loop("i1", 0, n)
+        .loop("i2", 0, n)
+        .statement(f"A[i1, i2] = A[i1 - {s}, i2] + A[i1, i2 - {s}] + 1.0")
+        .build()
+    )
+
+
+def banded_update(n: int = 12, band: int = 3) -> LoopNest:
+    """Banded matrix update where the written diagonal depends on a shifted band.
+
+    The 1-D subscript couples both indices (``i1 + i2``), so the dependence
+    distances are variable: every ``d`` with ``d1 + d2 = band`` occurs.  The
+    PDM is ``[[1, -1], [0, band]]`` — full rank with determinant ``band``
+    partitions.
+    """
+    b = int(band)
+    return (
+        loop_nest(f"banded-update(N={n}, band={b})")
+        .loop("i1", 0, n)
+        .loop("i2", 0, n)
+        .statement(f"A[i1 + i2] = A[i1 + i2 - {b}] * 0.5 + B[i1, i2]")
+        .build()
+    )
+
+
+def strided_scatter(n: int = 12, stride: int = 3) -> LoopNest:
+    """A strided scatter/gather update ``A[s*i1 + i2] = f(A[s*i1 + i2 - s])``.
+
+    The coupled 1-D subscript makes the distances variable (``s*d1 + d2 = s``);
+    the PDM is ``[[1, -s], [0, s]]`` — full rank with determinant ``s``, so the
+    partitioning transformation yields ``s`` independent partitions.
+    """
+    s = int(stride)
+    return (
+        loop_nest(f"strided-scatter(N={n}, s={s})")
+        .loop("i1", 0, n)
+        .loop("i2", 0, n)
+        .statement(f"A[{s}*i1 + i2] = A[{s}*i1 + i2 - {s}] + 1.0")
+        .build()
+    )
+
+
+def mixed_distance_kernel(n: int = 10) -> LoopNest:
+    """Two statements mixing a variable-distance update with a uniform recurrence.
+
+    Models a time-stepped update where one array is advanced with a coupled
+    (variable-distance) access pattern while a second array accumulates with a
+    constant stride; both lattices merge into one PDM.
+    """
+    return (
+        loop_nest(f"mixed-distance(N={n})")
+        .loop("i1", -n, n)
+        .loop("i2", -n, n)
+        .statement("A[i1, i2] = A[-i1 - 2, -i1 - i2 - 1] + B[i1, i2]")
+        .statement("B[i1, i2] = B[i1 - 2, i2 - 3] * 0.5 + 1.0")
+        .build()
+    )
+
+
+KERNELS: Dict[str, Callable[..., LoopNest]] = {
+    "wavefront": wavefront_recurrence,
+    "constant-partition": constant_partitioning_recurrence,
+    "banded-update": banded_update,
+    "strided-scatter": strided_scatter,
+    "mixed-distance": mixed_distance_kernel,
+}

@@ -1,0 +1,91 @@
+"""The worked examples of the paper's Section 4 (reconstructed).
+
+The scanned paper text has OCR damage in the numeric coefficients of the
+example loop bodies, but it states their structural outcomes precisely:
+
+* **Example 4.1** — a 2-deep loop over ``-N .. N`` with *variable* dependence
+  distances whose pseudo distance matrix is **not full rank**; Algorithm 1
+  zeroes the leading column (the transformed outer loop becomes ``doall``)
+  and the remaining 1x1 block has determinant 2, so the partitioning step
+  splits the space into **2 partitions** (Figure 3 shows exactly two
+  partitions, labelled by the partition offset of the second loop).
+* **Example 4.2** — a 2-deep loop over ``-N .. N`` with variable distances
+  whose PDM **is full rank with determinant 4**; the partitioning
+  transformation yields **4 independent partitions** (Figure 5 shows four
+  2-D sub-spaces).
+
+The loops below are reconstructions chosen to reproduce exactly those
+properties (PDM rank, zero column after Algorithm 1, determinants, partition
+counts, variable-length dependence arrows in the ISDG); this substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.loopnest.builder import loop_nest
+from repro.loopnest.nest import LoopNest
+
+__all__ = ["example_4_1", "example_4_2", "figure1_example", "PAPER_EXAMPLES"]
+
+
+def example_4_1(n: int = 10) -> LoopNest:
+    """Section 4.1: variable distances, rank-1 PDM ``[[2, -2]]``.
+
+    Every dependence distance is a positive multiple of ``(2, -2)`` (the
+    arrows in Figure 2 get longer further from the diagonal), the PDM is rank
+    deficient, Algorithm 1 produces one ``doall`` loop and the remaining
+    block has determinant 2 → two partitions, as in Figure 3.
+    """
+    return (
+        loop_nest(f"example-4.1(N={n})")
+        .loop("i1", -n, n)
+        .loop("i2", -n, n)
+        .statement("A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0")
+        .build()
+    )
+
+
+def example_4_2(n: int = 10) -> LoopNest:
+    """Section 4.2: variable distances, full-rank PDM ``[[2, 1], [0, 2]]`` (det 4).
+
+    The dependence distances are ``a*(2,1) + b*(0,2)`` with ``a >= 1`` — a
+    genuinely two-parameter family of variable distances — so the PDM is full
+    rank with determinant 4 and the partitioning transformation creates four
+    independent partitions, as in Figure 5.  A second statement adds a
+    classic uniform-distance recurrence on array ``B`` whose distance
+    ``(2, 1)`` already lies inside the same lattice, leaving the PDM
+    unchanged.
+    """
+    return (
+        loop_nest(f"example-4.2(N={n})")
+        .loop("i1", -n, n)
+        .loop("i2", -n, n)
+        .statement("A[i1, i2] = A[-i1 - 2, -i1 - i2 - 1] * 0.5 + 1.0")
+        .statement("B[i1, i2] = B[i1 - 2, i2 - 1] + A[i1, i2]")
+        .build()
+    )
+
+
+def figure1_example(n: int = 6) -> LoopNest:
+    """Figure 1: a loop where a simple unimodular transformation (skewing +
+    interchange) exposes parallelism — the classic wavefront recurrence with
+    constant distances, used to illustrate the unimodular framework the paper
+    extends."""
+    return (
+        loop_nest(f"figure-1-wavefront(N={n})")
+        .loop("i1", 1, n)
+        .loop("i2", 1, n)
+        .statement("A[i1, i2] = A[i1 - 1, i2] + A[i1, i2 - 1]")
+        .build()
+    )
+
+
+def PAPER_EXAMPLES(n: int = 10) -> Dict[str, LoopNest]:
+    """All paper example loops keyed by their section/figure."""
+    return {
+        "figure-1": figure1_example(min(n, 6)),
+        "example-4.1": example_4_1(n),
+        "example-4.2": example_4_2(n),
+    }

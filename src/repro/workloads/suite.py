@@ -1,0 +1,119 @@
+"""A named suite of workloads used by the comparison and ablation benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.loopnest.nest import LoopNest
+from repro.workloads.kernels import (
+    banded_update,
+    constant_partitioning_recurrence,
+    mixed_distance_kernel,
+    strided_scatter,
+    wavefront_recurrence,
+)
+from repro.workloads.paper_examples import example_4_1, example_4_2, figure1_example
+from repro.workloads.synthetic import (
+    no_dependence_loop,
+    three_deep_variable_loop,
+    uniform_distance_loop,
+    variable_distance_loop,
+)
+
+__all__ = ["WorkloadCase", "workload_suite"]
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One workload of the comparison suite.
+
+    ``category`` describes the dependence structure:
+
+    * ``independent`` — no loop-carried dependences,
+    * ``uniform`` — constant distance vectors only,
+    * ``variable`` — genuinely variable distance vectors (the paper's case).
+    """
+
+    name: str
+    nest: LoopNest
+    category: str
+    description: str = ""
+
+
+def workload_suite(n: int = 8) -> List[WorkloadCase]:
+    """The standard workload suite (small enough for exact ISDG validation)."""
+    return [
+        WorkloadCase(
+            name="independent",
+            nest=no_dependence_loop(n),
+            category="independent",
+            description="disjoint read/write arrays; every loop is parallel",
+        ),
+        WorkloadCase(
+            name="wavefront",
+            nest=wavefront_recurrence(n),
+            category="uniform",
+            description="constant distances (1,0),(0,1); det 1 — no partitioning parallelism",
+        ),
+        WorkloadCase(
+            name="constant-partition",
+            nest=constant_partitioning_recurrence(n, stride=2),
+            category="uniform",
+            description="constant distances (2,0),(0,2); 4 partitions (D'Hollander 1992 case)",
+        ),
+        WorkloadCase(
+            name="uniform-skewed",
+            nest=uniform_distance_loop([(1, -1), (2, 0)], n),
+            category="uniform",
+            description="constant distances (1,-1),(2,0); full-rank lattice of determinant 2",
+        ),
+        WorkloadCase(
+            name="figure-1",
+            nest=figure1_example(min(n, 6)),
+            category="uniform",
+            description="paper Figure 1 wavefront illustration",
+        ),
+        WorkloadCase(
+            name="example-4.1",
+            nest=example_4_1(n),
+            category="variable",
+            description="paper Section 4.1: rank-1 PDM, 1 doall loop + 2 partitions",
+        ),
+        WorkloadCase(
+            name="example-4.2",
+            nest=example_4_2(n),
+            category="variable",
+            description="paper Section 4.2: full-rank PDM of determinant 4 → 4 partitions",
+        ),
+        WorkloadCase(
+            name="variable-rank1-3",
+            nest=variable_distance_loop(scale=3, n=n),
+            category="variable",
+            description="variable distances on a rank-1 lattice of content 3",
+        ),
+        WorkloadCase(
+            name="banded-update",
+            nest=banded_update(n, band=3),
+            category="variable",
+            description="coupled subscript i1+i2: variable distances, 3 partitions",
+        ),
+        WorkloadCase(
+            name="strided-scatter",
+            nest=strided_scatter(n, stride=3),
+            category="variable",
+            description="strided coupled subscript: variable distances, 3 partitions",
+        ),
+        WorkloadCase(
+            name="mixed-distance",
+            nest=mixed_distance_kernel(n),
+            category="variable",
+            description="variable-distance update combined with a uniform recurrence",
+        ),
+        WorkloadCase(
+            name="three-deep",
+            nest=three_deep_variable_loop(max(3, n // 2)),
+            category="variable",
+            description="3-deep nest with one dependence-free dimension",
+        ),
+    ]

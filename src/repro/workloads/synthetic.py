@@ -1,0 +1,125 @@
+"""Synthetic loop generators for tests, property checks and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.loopnest.builder import loop_nest
+from repro.loopnest.nest import LoopNest
+
+__all__ = [
+    "uniform_distance_loop",
+    "no_dependence_loop",
+    "variable_distance_loop",
+    "random_affine_loop",
+    "three_deep_variable_loop",
+]
+
+
+def uniform_distance_loop(distances: Sequence[Sequence[int]], n: int = 10, name: Optional[str] = None) -> LoopNest:
+    """A 2-deep loop whose only dependences have the given constant distances.
+
+    Each distance ``(d1, d2)`` contributes one read ``A[i1 - d1, i2 - d2]``
+    to the single statement ``A[i1, i2] = sum(reads) + 1`` — the classic
+    constant-distance recurrence used by the uniform-distance baselines
+    (Banerjee, D'Hollander).
+    """
+    dists = [tuple(int(v) for v in d) for d in distances]
+    for d in dists:
+        if len(d) != 2:
+            raise WorkloadError(f"uniform_distance_loop expects 2-component distances, got {d}")
+    reads = [f"A[i1 - {d[0]}, i2 - {d[1]}]" for d in dists] or ["1.0"]
+    rhs = " + ".join(reads) + " + 1.0"
+    label = name or f"uniform{list(dists)}(N={n})"
+    return (
+        loop_nest(label)
+        .loop("i1", 0, n)
+        .loop("i2", 0, n)
+        .statement(f"A[i1, i2] = {rhs}")
+        .build()
+    )
+
+
+def no_dependence_loop(n: int = 10, name: str = "independent") -> LoopNest:
+    """A fully parallel loop: the written and read arrays are disjoint."""
+    return (
+        loop_nest(f"{name}(N={n})")
+        .loop("i1", 0, n)
+        .loop("i2", 0, n)
+        .statement("A[i1, i2] = B[i1, i2] * 2.0 + 1.0")
+        .build()
+    )
+
+
+def variable_distance_loop(scale: int = 2, n: int = 10, name: Optional[str] = None) -> LoopNest:
+    """A 2-deep loop with variable distances on a rank-1 lattice.
+
+    All distances are positive multiples of ``(scale, -scale)``; the PDM is
+    ``[[scale, -scale]]`` so Algorithm 1 exposes one ``doall`` loop and the
+    partitioning step creates ``scale`` partitions.
+    """
+    scale = int(scale)
+    if scale < 1:
+        raise WorkloadError("scale must be at least 1")
+    label = name or f"variable-rank1(scale={scale}, N={n})"
+    # Dependence:  i1 = (1-s)*j1 - s,  i2 = s*j1 + j2 + s  =>  distance
+    # d = (j1 - i1, j2 - i2) = (s*(j1+1), -s*(j1+1)) — every distance is a
+    # multiple of (s, -s), so the PDM is the single row [[s, -s]].
+    return (
+        loop_nest(label)
+        .loop("i1", -n, n)
+        .loop("i2", -n, n)
+        .statement(
+            f"A[i1, i2] = A[{1 - scale}*i1 - {scale}, {scale}*i1 + i2 + {scale}] + 1.0"
+        )
+        .build()
+    )
+
+
+def random_affine_loop(seed: int = 0, n: int = 6, coefficient_bound: int = 2) -> LoopNest:
+    """A reproducible random 2-deep affine loop (for property-based testing).
+
+    The written reference is ``A[i1, i2]`` and the read reference uses a
+    random affine access ``A[g11*i1 + g12*i2 + c1, g21*i1 + g22*i2 + c2]``,
+    which covers uniform, variable, rank-deficient and inconsistent
+    dependence structures as the coefficients vary.
+    """
+    rng = random.Random(seed)
+
+    def coeff() -> int:
+        return rng.randint(-coefficient_bound, coefficient_bound)
+
+    g = [[coeff(), coeff()], [coeff(), coeff()]]
+    c = [rng.randint(-3, 3), rng.randint(-3, 3)]
+    read = (
+        f"A[{g[0][0]}*i1 + {g[0][1]}*i2 + {c[0]}, "
+        f"{g[1][0]}*i1 + {g[1][1]}*i2 + {c[1]}]"
+    )
+    return (
+        loop_nest(f"random(seed={seed}, N={n})")
+        .loop("i1", -n, n)
+        .loop("i2", -n, n)
+        .statement(f"A[i1, i2] = {read} + 1.0")
+        .build()
+    )
+
+
+def three_deep_variable_loop(n: int = 4, name: str = "three-deep") -> LoopNest:
+    """A 3-deep loop mixing a dependence-free dimension with variable distances.
+
+    The read access couples ``i1`` and ``i3`` exactly like the Section 4.1
+    example (every distance is a multiple of ``(2, 0, -2)``), while ``i2``
+    never appears in a dependence: the PDM is the single row ``[[2, 0, -2]]``,
+    so Algorithm 1 exposes two ``doall`` loops and the remaining block has
+    determinant 2.
+    """
+    return (
+        loop_nest(f"{name}(N={n})")
+        .loop("i1", -n, n)
+        .loop("i2", 0, n)
+        .loop("i3", -n, n)
+        .statement("A[i1, i2, i3] = A[-i1 - 2, i2, 2*i1 + i3 + 2] + 1.0")
+        .build()
+    )

@@ -1,0 +1,152 @@
+"""Tests for the baseline parallelization methods and the comparison harness."""
+
+import pytest
+
+from repro.baselines.base import ideal_speedup_of_result
+from repro.baselines.comparison import (
+    ALL_METHODS,
+    compare_methods,
+    comparison_table,
+    related_work_table,
+)
+from repro.baselines.constant_partitioning import constant_partitioning_method
+from repro.baselines.direction_vector import direction_vector_method
+from repro.baselines.no_transform import no_transform_method
+from repro.baselines.pdm_method import pdm_method
+from repro.baselines.uniform_unimodular import uniform_unimodular_method
+from repro.workloads.kernels import constant_partitioning_recurrence, wavefront_recurrence
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.suite import workload_suite
+from repro.workloads.synthetic import no_dependence_loop, uniform_distance_loop
+
+
+class TestPdmMethod:
+    def test_always_applicable(self, ex41_small, ex42_small):
+        for nest in (ex41_small, ex42_small, wavefront_recurrence(4)):
+            result = pdm_method(nest)
+            assert result.applicable
+            assert result.dependence_representation == "pseudo distance matrix"
+
+    def test_finds_parallelism_on_paper_examples(self, ex41_small, ex42_small):
+        assert pdm_method(ex41_small).found_parallelism
+        assert pdm_method(ex42_small).found_parallelism
+
+
+class TestUniformUnimodular:
+    def test_rejects_variable_distance(self, ex41_small, ex42_small):
+        assert not uniform_unimodular_method(ex41_small).applicable
+        assert not uniform_unimodular_method(ex42_small).applicable
+
+    def test_handles_uniform_loop(self):
+        nest = uniform_distance_loop([(1, -1)], 6)
+        result = uniform_unimodular_method(nest)
+        assert result.applicable
+        # distance (1,-1): skewing exposes one parallel loop
+        assert result.parallel_loop_count == 1
+        assert result.partition_count == 1
+
+    def test_no_dependence(self):
+        result = uniform_unimodular_method(no_dependence_loop(4))
+        assert result.applicable
+        assert result.parallel_loop_count == 2
+
+    def test_wavefront_no_doall(self):
+        result = uniform_unimodular_method(wavefront_recurrence(4))
+        assert result.applicable
+        assert result.parallel_loop_count == 0
+
+
+class TestConstantPartitioning:
+    def test_rejects_variable_distance(self, ex41_small):
+        assert not constant_partitioning_method(ex41_small).applicable
+
+    def test_partitions_constant_loop(self):
+        result = constant_partitioning_method(constant_partitioning_recurrence(6, stride=2))
+        assert result.applicable
+        assert result.partition_count == 4
+        assert result.partitioning is not None
+
+    def test_wavefront_det_one(self):
+        result = constant_partitioning_method(wavefront_recurrence(4))
+        assert result.applicable
+        assert result.partition_count == 1
+
+    def test_rank_deficient_constant_distances(self):
+        nest = uniform_distance_loop([(2, 0)], 6)
+        result = constant_partitioning_method(nest)
+        assert result.applicable
+        assert result.partition_count == 1
+        assert 1 in result.parallel_levels  # the inner loop carries nothing
+
+
+class TestDirectionAndNoTransform:
+    def test_direction_vectors_find_inner_parallel_loop(self):
+        nest = uniform_distance_loop([(1, 0)], 5)
+        result = direction_vector_method(nest)
+        assert result.applicable
+        assert 1 in result.parallel_levels
+        assert result.execution_model == "barrier"
+
+    def test_direction_vectors_miss_partitioning(self):
+        result = direction_vector_method(constant_partitioning_recurrence(5, stride=2))
+        assert result.partition_count == 1
+
+    def test_no_transform_on_independent_loop(self):
+        result = no_transform_method(no_dependence_loop(4))
+        assert result.parallel_levels == (0, 1)
+
+    def test_no_transform_on_wavefront(self):
+        result = no_transform_method(wavefront_recurrence(4))
+        assert result.parallel_levels == ()
+
+    def test_describe(self, ex41_small):
+        assert "doall" in pdm_method(ex41_small).describe()
+        assert "not applicable" in uniform_unimodular_method(ex41_small).describe()
+
+
+class TestIdealSpeedup:
+    def test_pdm_beats_baselines_on_example_42(self, ex42_small):
+        pdm_speedup = ideal_speedup_of_result(ex42_small, pdm_method(ex42_small))
+        for method in (direction_vector_method, no_transform_method):
+            baseline = ideal_speedup_of_result(ex42_small, method(ex42_small))
+            assert pdm_speedup > baseline
+
+    def test_inapplicable_method_gets_unity(self, ex41_small):
+        result = uniform_unimodular_method(ex41_small)
+        assert ideal_speedup_of_result(ex41_small, result) == 1.0
+
+    def test_barrier_model_value(self):
+        nest = uniform_distance_loop([(1, 0)], 5)
+        result = direction_vector_method(nest)
+        # inner loop parallel with a barrier per outer iteration: speedup = inner extent
+        assert ideal_speedup_of_result(nest, result) == pytest.approx(6.0)
+
+    def test_sequential_result_gets_unity(self):
+        nest = wavefront_recurrence(4)
+        assert ideal_speedup_of_result(nest, no_transform_method(nest)) == pytest.approx(1.0)
+
+
+class TestComparisonHarness:
+    def test_compare_methods_rows(self, small_suite):
+        rows = compare_methods(small_suite[:4])
+        assert len(rows) == 4
+        for row in rows:
+            assert set(dict(row.results)) == set(ALL_METHODS)
+            assert all(speedup >= 1.0 for _, speedup in row.speedups)
+
+    def test_pdm_never_worse_than_partitioning_baselines(self, small_suite):
+        rows = compare_methods(small_suite)
+        for row in rows:
+            assert row.speedup_of("pdm") >= row.speedup_of("constant-partitioning") - 1e-9
+            assert row.speedup_of("pdm") >= row.speedup_of("unimodular") - 1e-9
+
+    def test_comparison_table_renders(self, small_suite):
+        rows = compare_methods(small_suite[:3])
+        table = comparison_table(rows)
+        assert "workload" in table
+        assert "pdm" in table
+
+    def test_related_work_table(self):
+        rows = related_work_table()
+        assert len(rows) == 4
+        assert any("This work" in row["method"] for row in rows)

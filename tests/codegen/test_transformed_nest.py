@@ -1,0 +1,103 @@
+"""Tests for the transformed iteration space (Fourier–Motzkin bounds, index mapping)."""
+
+import pytest
+
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import parallelize
+from repro.exceptions import CodegenError
+from repro.intlin.matrix import vec_mat_mul
+from repro.loopnest.builder import loop_nest
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+
+class TestConstruction:
+    def test_identity_wrapper(self, ex41_small):
+        transformed = TransformedLoopNest.identity(ex41_small)
+        assert transformed.is_identity
+        assert transformed.iteration_count() == ex41_small.iteration_count()
+        assert list(transformed.iterations()) == list(ex41_small.iterations())
+
+    def test_from_report(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        assert transformed.parallel_levels == (0,)
+        assert transformed.partitioning is not None
+        assert transformed.new_index_names == ("j1", "j2")
+
+    def test_shape_validation(self, ex41_small):
+        with pytest.raises(CodegenError):
+            TransformedLoopNest(nest=ex41_small, transform=[[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_index_name_validation(self, ex41_small):
+        with pytest.raises(CodegenError):
+            TransformedLoopNest(
+                nest=ex41_small, transform=[[1, 0], [0, 1]], new_index_names=("j1",)
+            )
+
+
+class TestIterationSpace:
+    def test_iteration_count_preserved(self, ex41_report, ex42_report):
+        for report in (ex41_report, ex42_report):
+            transformed = TransformedLoopNest.from_report(report)
+            assert transformed.iteration_count() == report.nest.iteration_count()
+
+    def test_new_space_is_exact_image(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        nest = ex41_report.nest
+        expected = {
+            tuple(vec_mat_mul(list(it), ex41_report.transform)) for it in nest.iterations()
+        }
+        scanned = set(transformed.iterations())
+        assert scanned == expected
+
+    def test_iterations_in_lex_order(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        iterations = list(transformed.iterations())
+        assert iterations == sorted(iterations)
+
+    def test_round_trip_index_mapping(self, ex42_report):
+        transformed = TransformedLoopNest.from_report(ex42_report)
+        for iteration in list(ex42_report.nest.iterations())[:50]:
+            new = transformed.new_iteration(iteration)
+            assert transformed.original_iteration(new) == tuple(iteration)
+
+    def test_original_env(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        new_iter = next(iter(transformed.iterations()))
+        env = transformed.original_env(new_iter)
+        assert set(env) == {"i1", "i2"}
+        assert ex41_report.nest.contains_iteration(
+            [env[name] for name in ex41_report.nest.index_names]
+        )
+
+    def test_triangular_original_space(self):
+        nest = (
+            loop_nest("triangle")
+            .loop("i1", 0, 6)
+            .loop("i2", 0, "i1")
+            .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+            .build()
+        )
+        report = parallelize(nest)
+        transformed = TransformedLoopNest.from_report(report)
+        assert transformed.iteration_count() == nest.iteration_count()
+
+
+class TestChunkKeys:
+    def test_chunk_key_structure(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        keys = {transformed.chunk_key(it) for it in transformed.iterations()}
+        # one key per (j1 value, partition label); j1 ranges over -12..12 => 25 values x 2 labels
+        j1_values = {it[0] for it in transformed.iterations()}
+        assert len(keys) <= len(j1_values) * 2
+        assert len(keys) > len(j1_values)
+
+    def test_chunk_key_without_partitioning(self, ex41_small):
+        transformed = TransformedLoopNest.identity(ex41_small)
+        key = transformed.chunk_key((0, 0))
+        assert key == ((), ())
+
+    def test_describe(self, ex41_report):
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        text = transformed.describe()
+        assert "doall" in text
+        assert "partitions: 2" in text

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 1 (Section 3.2): zeroing columns of a non-full-rank PDM."""
+
+import random
+
+import pytest
+
+from repro.core.algorithm1 import transform_non_full_rank
+from repro.core.legality import is_legal_unimodular
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.exceptions import ShapeError
+from repro.intlin.echelon import is_echelon_lex_positive
+from repro.intlin.hermite import hermite_normal_form
+from repro.intlin.lattice import Lattice
+from repro.intlin.matrix import is_unimodular, is_zero_vector, mat_mul
+from repro.workloads.paper_examples import example_4_1
+
+
+def _random_hnf(depth, rank, magnitude, rng):
+    while True:
+        rows = [[rng.randint(-magnitude, magnitude) for _ in range(depth)] for _ in range(rank)]
+        hnf = hermite_normal_form(rows).hermite
+        if len(hnf) == rank:
+            return hnf
+
+
+class TestExample41:
+    def test_zeroes_the_leading_column(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        result = transform_non_full_rank(pdm)
+        assert result.transformed == [[0, 2]]
+        assert result.zero_columns == (0,)
+        assert result.sequential_columns == (1,)
+        assert result.sequential_block == [[2]]
+        assert result.parallel_loop_count == 1
+        assert is_unimodular(result.transform)
+
+    def test_inner_placement(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        result = transform_non_full_rank(pdm, placement="inner")
+        assert result.zero_columns == (1,)
+        assert result.transformed == [[2, 0]]
+        assert is_legal_unimodular(pdm, result.transform)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize(
+        "matrix,depth",
+        [
+            ([[2, -2]], 2),
+            ([[1, 2, 3]], 3),
+            ([[2, 4, 6], [0, 3, 1]], 3),
+            ([[1, 0, 0], [0, 2, 5]], 3),
+            ([[3, 1, 4, 1]], 4),
+            ([[2, 0, 1, 3], [0, 5, 2, 1], [0, 0, 3, 2]], 4),
+        ],
+    )
+    def test_structure_and_legality(self, matrix, depth):
+        rank = len(matrix)
+        result = transform_non_full_rank(matrix, depth=depth)
+        # shape: n - rank leading zero columns, trailing block echelon lex positive
+        assert result.zero_columns == tuple(range(depth - rank))
+        for row in result.transformed:
+            for col in result.zero_columns:
+                assert row[col] == 0
+        assert is_echelon_lex_positive(result.transformed)
+        assert is_unimodular(result.transform)
+        assert mat_mul(matrix, result.transform) == result.transformed
+        assert is_legal_unimodular(matrix, result.transform)
+
+    @pytest.mark.parametrize("placement", ["outer", "inner"])
+    def test_lattice_preserved_up_to_transform(self, placement):
+        matrix = [[2, 4, 6], [0, 3, 1]]
+        result = transform_non_full_rank(matrix, depth=3, placement=placement)
+        original = Lattice(matrix, dimension=3)
+        image = original.transform(result.transform)
+        assert image == Lattice(result.transformed, dimension=3)
+
+    def test_full_rank_input_gives_no_zero_columns(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        result = transform_non_full_rank(pdm)
+        assert result.zero_columns == ()
+        assert result.transformed == pdm.matrix
+
+    def test_empty_pdm_all_columns_zero(self):
+        result = transform_non_full_rank([], depth=3)
+        assert result.zero_columns == (0, 1, 2)
+        assert result.transform == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_invalid_placement(self):
+        with pytest.raises(ShapeError):
+            transform_non_full_rank([[1, 2]], depth=2, placement="middle")
+
+    def test_depth_required_for_empty_matrix(self):
+        with pytest.raises(ShapeError):
+            transform_non_full_rank([])
+
+    def test_rank_exceeding_depth_rejected(self):
+        with pytest.raises(ShapeError):
+            transform_non_full_rank([[1, 0], [0, 1], [1, 1]], depth=2)
+
+    def test_randomized_invariants(self):
+        rng = random.Random(123)
+        for _ in range(30):
+            depth = rng.randint(2, 5)
+            rank = rng.randint(1, depth)
+            matrix = _random_hnf(depth, rank, rng.randint(2, 12), rng)
+            for placement in ("outer", "inner"):
+                result = transform_non_full_rank(matrix, depth=depth, placement=placement)
+                assert is_unimodular(result.transform)
+                assert mat_mul(matrix, result.transform) == result.transformed
+                assert is_legal_unimodular(matrix, result.transform)
+                assert len(result.zero_columns) == depth - rank
+                for row in result.transformed:
+                    for col in result.zero_columns:
+                        assert row[col] == 0
+
+    def test_operation_count_reported(self):
+        result = transform_non_full_rank([[6, 10, 15]], depth=3)
+        assert result.column_operations > 0

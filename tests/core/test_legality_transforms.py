@@ -1,0 +1,141 @@
+"""Tests for legality (Theorem 1) and elementary unimodular transformations."""
+
+import pytest
+
+from repro.core.legality import (
+    check_legal_unimodular,
+    is_legal_unimodular,
+    lemma2_lex_positive_combination,
+)
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.core.transforms import (
+    compose,
+    identity_transform,
+    interchange,
+    loop_permutation,
+    reversal,
+    shift_to_position,
+    skewing,
+)
+from repro.exceptions import IllegalTransformationError, NotUnimodularError, ShapeError
+from repro.intlin.matrix import is_lex_positive, is_unimodular, vec_mat_mul
+
+
+class TestElementaryTransforms:
+    def test_identity(self):
+        assert identity_transform(3) == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_skewing_matrix(self):
+        t = skewing(2, 0, 1, factor=3)
+        assert t == [[1, 3], [0, 1]]
+        assert vec_mat_mul([2, 5], t) == [2, 11]
+        assert is_unimodular(t)
+
+    def test_skewing_validation(self):
+        with pytest.raises(ShapeError):
+            skewing(2, 0, 0)
+        with pytest.raises(ShapeError):
+            skewing(2, 0, 5)
+
+    def test_interchange(self):
+        t = interchange(3, 0, 2)
+        assert vec_mat_mul([1, 2, 3], t) == [3, 2, 1]
+        assert is_unimodular(t)
+
+    def test_reversal(self):
+        t = reversal(2, 1)
+        assert vec_mat_mul([4, 5], t) == [4, -5]
+        assert is_unimodular(t)
+
+    def test_loop_permutation(self):
+        t = loop_permutation([2, 0, 1])
+        assert vec_mat_mul([10, 20, 30], t) == [30, 10, 20]
+
+    def test_shift_to_position(self):
+        # move loop 2 to the outermost position; others keep relative order
+        t = shift_to_position(3, 2, 0)
+        assert vec_mat_mul([10, 20, 30], t) == [30, 10, 20]
+        t = shift_to_position(3, 0, 2)
+        assert vec_mat_mul([10, 20, 30], t) == [20, 30, 10]
+
+    def test_compose_order(self):
+        first = skewing(2, 0, 1, 1)
+        second = interchange(2, 0, 1)
+        combined = compose(first, second)
+        step_by_step = vec_mat_mul(vec_mat_mul([3, 4], first), second)
+        assert vec_mat_mul([3, 4], combined) == step_by_step
+
+    def test_compose_requires_argument(self):
+        with pytest.raises(ShapeError):
+            compose()
+
+
+class TestLemma2:
+    def test_lex_positive_combination(self):
+        hnf = [[2, -2], [0, 3]]
+        # coefficients lex positive <=> combination lex positive
+        assert lemma2_lex_positive_combination(hnf, [1, 0])
+        assert lemma2_lex_positive_combination(hnf, [0, 2])
+        assert lemma2_lex_positive_combination(hnf, [1, -5])
+        assert not lemma2_lex_positive_combination(hnf, [-1, 2])
+        assert not lemma2_lex_positive_combination(hnf, [0, 0])
+
+    def test_lemma2_exhaustive_small(self):
+        hnf = [[1, 2], [0, 3]]
+        for y0 in range(-3, 4):
+            for y1 in range(-3, 4):
+                combo_positive = lemma2_lex_positive_combination(hnf, [y0, y1])
+                assert combo_positive == is_lex_positive([y0, y1])
+
+
+class TestTheorem1:
+    def test_known_legal_transform_example_41(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        assert is_legal_unimodular(pdm, [[1, 1], [1, 0]])
+
+    def test_order_reversal_is_illegal(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        # reversing the outer loop maps (2, -2) to (-2, -2): lexicographically negative
+        assert not is_legal_unimodular(pdm, reversal(2, 0))
+
+    def test_interchange_illegal_for_wavefront(self):
+        pdm = PseudoDistanceMatrix(matrix=[[1, -1]], depth=2)
+        # interchanging maps (1,-1) to (-1,1): illegal
+        assert not is_legal_unimodular(pdm, interchange(2, 0, 1))
+
+    def test_right_skewing_always_legal(self, ex41_small, ex42_small):
+        # Corollary 2: right skewing never changes the leading elements.
+        for nest in (ex41_small, ex42_small):
+            pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+            for factor in (-3, -1, 1, 2, 5):
+                assert is_legal_unimodular(pdm, skewing(2, 0, 1, factor))
+
+    def test_non_unimodular_rejected(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        assert not is_legal_unimodular(pdm, [[2, 0], [0, 1]])
+        with pytest.raises(NotUnimodularError):
+            check_legal_unimodular(pdm, [[2, 0], [0, 1]])
+
+    def test_check_raises_on_illegal(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        with pytest.raises(IllegalTransformationError):
+            check_legal_unimodular(pdm, reversal(2, 0))
+
+    def test_empty_pdm_everything_legal(self):
+        pdm = PseudoDistanceMatrix(matrix=[], depth=2)
+        assert is_legal_unimodular(pdm, reversal(2, 0))
+        assert is_legal_unimodular(pdm, interchange(2, 0, 1))
+        check_legal_unimodular(pdm, reversal(2, 0))
+
+    def test_legal_transform_preserves_lex_positivity_of_distances(self, ex42_small):
+        # semantic restatement of Theorem 1 checked on concrete lattice points
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        transform = skewing(2, 0, 1, 2)
+        assert is_legal_unimodular(pdm, transform)
+        for coeffs in ([1, 0], [0, 1], [1, 1], [2, -1], [3, 2]):
+            distance = vec_mat_mul(coeffs, pdm.matrix)
+            if is_lex_positive(distance):
+                assert is_lex_positive(vec_mat_mul(distance, transform))
+
+    def test_accepts_raw_matrix_input(self):
+        assert is_legal_unimodular([[2, -2]], [[1, 1], [1, 0]])

@@ -1,0 +1,106 @@
+"""Tests for the partitioning transformation (Section 3.3, Theorem 2)."""
+
+import itertools
+
+import pytest
+
+from repro.core.partition import partition_full_rank
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.dependence.graph import enumerate_dependence_edges
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.workloads.kernels import constant_partitioning_recurrence
+from repro.workloads.paper_examples import example_4_2
+
+
+class TestConstruction:
+    def test_example_42(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        result = partition_full_rank(pdm)
+        assert result.num_partitions == 4
+        assert result.strides == (2, 2)
+        assert result.levels == (0, 1)
+        assert len(list(result.partition_labels())) == 4
+
+    def test_partial_levels(self):
+        # generators [0, 2]: partition only the second level
+        result = partition_full_rank([[0, 2]], levels=[1], depth=2)
+        assert result.num_partitions == 2
+        assert result.levels == (1,)
+
+    def test_requires_full_rank_block(self):
+        with pytest.raises(SingularMatrixError):
+            partition_full_rank([[2, -2]], levels=[0, 1], depth=2)
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ShapeError):
+            partition_full_rank([[2]], levels=[3], depth=2)
+
+    def test_depth_required_for_empty(self):
+        with pytest.raises(ShapeError):
+            partition_full_rank([])
+
+    def test_constant_partition_kernel(self):
+        pdm = PseudoDistanceMatrix.from_loop_nest(constant_partitioning_recurrence(6, stride=3))
+        result = partition_full_rank(pdm)
+        assert result.num_partitions == 9
+        assert result.strides == (3, 3)
+
+
+class TestLabels:
+    def test_labels_cover_det_classes(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        result = partition_full_rank(pdm)
+        labels = {
+            result.label_of((x, y)) for x in range(-6, 7) for y in range(-6, 7)
+        }
+        assert labels == set(result.partition_labels())
+
+    def test_same_partition_iff_difference_in_lattice(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        result = partition_full_rank(pdm)
+        points = list(itertools.product(range(-3, 4), repeat=2))
+        for a in points[:15]:
+            for b in points[:15]:
+                diff = [b[0] - a[0], b[1] - a[1]]
+                assert result.same_partition(a, b) == pdm.lattice.contains(diff)
+
+    def test_label_vector_length_checked(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        result = partition_full_rank(pdm)
+        with pytest.raises(ShapeError):
+            result.label_of((1, 2, 3))
+
+    def test_describe(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        assert "4 independent partitions" in partition_full_rank(pdm).describe()
+
+
+class TestTheorem2Legality:
+    """Dynamic check of Theorem 2: dependent iterations never cross partitions."""
+
+    @pytest.mark.parametrize(
+        "nest_factory",
+        [
+            lambda: example_4_2(6),
+            lambda: constant_partitioning_recurrence(7, stride=2),
+        ],
+    )
+    def test_no_cross_partition_dependence(self, nest_factory):
+        nest = nest_factory()
+        pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+        result = partition_full_rank(pdm)
+        for edge in enumerate_dependence_edges(nest):
+            assert result.label_of(edge.source) == result.label_of(edge.sink)
+
+    def test_partitions_are_nonempty_for_large_enough_space(self):
+        nest = example_4_2(6)
+        pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+        result = partition_full_rank(pdm)
+        counts = {label: 0 for label in result.partition_labels()}
+        for iteration in nest.iterations():
+            counts[result.label_of(iteration)] += 1
+        assert all(count > 0 for count in counts.values())
+        total = sum(counts.values())
+        assert total == nest.iteration_count()
+        # partitions are roughly balanced (within a factor of 2)
+        assert max(counts.values()) <= 2 * min(counts.values())

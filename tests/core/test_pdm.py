@@ -1,0 +1,144 @@
+"""Tests for the pseudo distance matrix (Section 2.3)."""
+
+import pytest
+
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.dependence.graph import realized_distances
+from repro.exceptions import ShapeError
+from repro.loopnest.builder import loop_nest
+from repro.workloads.kernels import (
+    banded_update,
+    constant_partitioning_recurrence,
+    strided_scatter,
+    wavefront_recurrence,
+)
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop, variable_distance_loop
+
+
+class TestConstruction:
+    def test_example_41_pdm(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        assert pdm.matrix == [[2, -2]]
+        assert pdm.rank == 1
+        assert not pdm.is_full_rank
+        assert pdm.determinant() == 2
+        assert pdm.zero_columns() == []
+
+    def test_example_42_pdm(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        assert pdm.matrix == [[2, 1], [0, 2]]
+        assert pdm.is_full_rank
+        assert pdm.determinant() == 4
+        assert pdm.pivots() == [2, 2]
+
+    def test_wavefront_pdm(self):
+        pdm = PseudoDistanceMatrix.from_loop_nest(wavefront_recurrence(5))
+        assert pdm.matrix == [[1, 0], [0, 1]]
+        assert pdm.determinant() == 1
+
+    def test_constant_partition_pdm(self):
+        pdm = PseudoDistanceMatrix.from_loop_nest(constant_partitioning_recurrence(6, stride=2))
+        assert pdm.matrix == [[2, 0], [0, 2]]
+        assert pdm.determinant() == 4
+
+    def test_independent_loop_pdm_empty(self):
+        pdm = PseudoDistanceMatrix.from_loop_nest(no_dependence_loop(4))
+        assert pdm.is_empty
+        assert pdm.zero_columns() == [0, 1]
+        assert pdm.determinant() == 1
+
+    def test_banded_and_strided_kernels(self):
+        assert PseudoDistanceMatrix.from_loop_nest(banded_update(6, band=3)).determinant() == 3
+        assert PseudoDistanceMatrix.from_loop_nest(strided_scatter(6, stride=3)).determinant() == 3
+
+    def test_variable_distance_scale(self):
+        for scale in (2, 3, 4):
+            pdm = PseudoDistanceMatrix.from_loop_nest(variable_distance_loop(scale=scale, n=5))
+            assert pdm.matrix == [[scale, -scale]]
+
+    def test_from_generators(self):
+        pdm = PseudoDistanceMatrix.from_generators([[2, 4], [0, 0], [4, 8]], depth=2)
+        assert pdm.matrix == [[2, 4]]
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            PseudoDistanceMatrix(matrix=[[1, 2, 3]], depth=2)
+        with pytest.raises(ShapeError):
+            PseudoDistanceMatrix(matrix=[[1, 2]], depth=2, index_names=("i1",))
+
+    def test_zero_column_detection(self):
+        # the dependence distance is always (2, 0): the inner loop carries nothing
+        nest = (
+            loop_nest("inner-parallel")
+            .loop("i1", 0, 6)
+            .loop("i2", 0, 6)
+            .statement("A[i1, i2] = A[i1 - 2, i2] + 1.0")
+            .build()
+        )
+        pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+        assert pdm.matrix == [[2, 0]]
+        assert pdm.zero_columns() == [1]
+
+    def test_collapsed_write_creates_inner_output_dependence(self):
+        # A[i1] is rewritten for every i2, so the inner loop is NOT dependence
+        # free: the PDM must contain a generator along i2.
+        nest = (
+            loop_nest("collapsed-write")
+            .loop("i1", 0, 6)
+            .loop("i2", 0, 6)
+            .statement("A[i1] = A[i1 - 2] + 1.0")
+            .build()
+        )
+        pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+        assert pdm.zero_columns() == []
+        assert pdm.contains_distance([0, 1])
+
+
+class TestSoundness:
+    """The defining property: every realized distance lies in the PDM lattice."""
+
+    @pytest.mark.parametrize("factory", [example_4_1, example_4_2])
+    def test_paper_examples(self, factory):
+        nest = factory(6)
+        pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+        for distance in realized_distances(nest):
+            assert pdm.contains_distance(list(distance))
+
+    def test_kernels(self, kernel_nests):
+        for nest in kernel_nests:
+            pdm = PseudoDistanceMatrix.from_loop_nest(nest)
+            for distance in realized_distances(nest):
+                assert pdm.contains_distance(list(distance)), (nest.name, distance)
+
+    def test_indirect_distances_also_contained(self, ex42_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex42_small)
+        realized = list(realized_distances(ex42_small))
+        # sums of realized distances (indirect dependences) stay inside the lattice
+        for a in realized[:10]:
+            for b in realized[:10]:
+                combined = [x + y for x, y in zip(a, b)]
+                assert pdm.contains_distance(combined)
+
+
+class TestOperations:
+    def test_transformed_canonical(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        transformed = pdm.transformed([[1, 1], [1, 0]])
+        assert transformed.matrix == [[0, 2]]
+        raw = pdm.raw_product([[1, 1], [1, 0]])
+        assert raw == [[0, 2]]
+
+    def test_transformed_requires_matching_rows(self, ex41_small):
+        pdm = PseudoDistanceMatrix.from_loop_nest(ex41_small)
+        with pytest.raises(ShapeError):
+            pdm.transformed([[1, 0, 0], [0, 1, 0], [0, 0, 1]])
+
+    def test_empty_pdm_transform(self):
+        pdm = PseudoDistanceMatrix(matrix=[], depth=2)
+        transformed = pdm.transformed([[1, 1], [0, 1]])
+        assert transformed.is_empty
+
+    def test_describe(self, ex41_small, independent_small):
+        assert "rank 1" in PseudoDistanceMatrix.from_loop_nest(ex41_small).describe()
+        assert "no loop-carried" in PseudoDistanceMatrix.from_loop_nest(independent_small).describe()

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end parallelization pipeline."""
+
+import pytest
+
+from repro.core.pipeline import parallelize
+from repro.exceptions import ShapeError
+from repro.intlin.matrix import identity_matrix
+from repro.workloads.kernels import (
+    banded_update,
+    constant_partitioning_recurrence,
+    strided_scatter,
+    wavefront_recurrence,
+)
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop, three_deep_variable_loop
+
+
+class TestPaperExamples:
+    def test_example_41_report(self, ex41_report):
+        report = ex41_report
+        assert report.pdm.matrix == [[2, -2]]
+        assert report.transform == [[1, 1], [1, 0]]
+        assert report.transformed_pdm == [[0, 2]]
+        assert report.parallel_levels == (0,)
+        assert report.sequential_levels == (1,)
+        assert report.partition_count == 2
+        assert report.uses_unimodular_transform
+        assert report.uses_partitioning
+        assert report.transform_is_legal()
+        assert not report.is_fully_sequential
+
+    def test_example_42_report(self, ex42_report):
+        report = ex42_report
+        assert report.pdm.matrix == [[2, 1], [0, 2]]
+        assert not report.uses_unimodular_transform
+        assert report.parallel_levels == ()
+        assert report.partition_count == 4
+        assert report.transform_is_legal()
+
+    def test_example_41_inner_placement(self, ex41_small):
+        report = parallelize(ex41_small, placement="inner")
+        assert report.parallel_levels == (1,)
+        assert report.transformed_pdm == [[2, 0]]
+        assert report.partition_count == 2
+        assert report.transform_is_legal()
+
+    def test_summary_text(self, ex41_report, ex42_report):
+        text41 = ex41_report.summary()
+        assert "doall" in text41.lower() or "Parallel" in text41
+        assert "2 partition" in text41
+        text42 = ex42_report.summary()
+        assert "4 partition" in text42
+
+
+class TestOtherWorkloads:
+    def test_independent_loop_fully_parallel(self):
+        report = parallelize(no_dependence_loop(5))
+        assert report.pdm.is_empty
+        assert report.parallel_levels == (0, 1)
+        assert report.partition_count == 1
+        assert report.transform == identity_matrix(2)
+
+    def test_wavefront_finds_nothing(self):
+        report = parallelize(wavefront_recurrence(5))
+        assert report.parallel_levels == ()
+        assert report.partition_count == 1
+        assert report.is_fully_sequential
+
+    def test_constant_partition_kernel(self):
+        report = parallelize(constant_partitioning_recurrence(6, stride=2))
+        assert report.partition_count == 4
+        assert report.parallel_levels == ()
+
+    def test_banded_and_strided(self):
+        assert parallelize(banded_update(6, band=3)).partition_count == 3
+        assert parallelize(strided_scatter(6, stride=3)).partition_count == 3
+
+    def test_three_deep_nest(self):
+        report = parallelize(three_deep_variable_loop(3))
+        assert report.parallel_loop_count >= 1
+        assert report.transform_is_legal()
+
+    def test_disable_partitioning(self, ex42_small):
+        report = parallelize(ex42_small, allow_partitioning=False)
+        assert report.partitioning is None
+        assert report.partition_count == 1
+
+    def test_invalid_placement(self, ex41_small):
+        with pytest.raises(ShapeError):
+            parallelize(ex41_small, placement="sideways")
+
+    def test_steps_recorded(self, ex41_report):
+        names = [step.name for step in ex41_report.steps]
+        assert "pdm" in names
+        assert "algorithm1" in names
+        assert "partitioning" in names
+        assert all(step.describe() for step in ex41_report.steps)
+
+    def test_new_index_names(self, ex41_report):
+        assert ex41_report.new_index_names == ("j1", "j2")

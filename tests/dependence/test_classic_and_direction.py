@@ -1,0 +1,134 @@
+"""Tests for the classic dependence tests (GCD, Banerjee) and direction vectors."""
+
+import pytest
+
+from repro.dependence.classic_tests import banerjee_test, gcd_test
+from repro.dependence.direction import (
+    DirectionVector,
+    direction_vectors_of_nest,
+    directions_from_distances,
+)
+from repro.dependence.equations import reference_pairs
+from repro.dependence.solver import solve_reference_pair
+from repro.exceptions import DependenceError
+from repro.loopnest.builder import loop_nest
+from repro.workloads.paper_examples import example_4_1
+
+
+def _nest(statement, lo=0, hi=8):
+    return (
+        loop_nest("t")
+        .loop("i1", lo, hi)
+        .loop("i2", lo, hi)
+        .statement(statement)
+        .build()
+    )
+
+
+class TestGcdTest:
+    def test_dependence_possible(self):
+        nest = _nest("A[2*i1, i2] = A[2*i1 - 4, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        result = gcd_test(pair, nest.index_names)
+        assert result.dependence_possible
+
+    def test_dependence_impossible_by_parity(self):
+        nest = _nest("A[2*i1, i2] = A[2*i1 + 1, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        result = gcd_test(pair, nest.index_names)
+        assert not result.dependence_possible
+        assert any("fail" in d for d in result.per_dimension)
+
+    def test_gcd_agrees_with_exact_solver(self):
+        # Whenever the exact solver finds a dependence the GCD test must not rule it out.
+        statements = [
+            "A[i1, i2] = A[i1 - 1, i2 - 2] + 1.0",
+            "A[2*i1 + i2, i2] = A[2*i1 + i2 - 2, i2] + 1.0",
+            "A[3*i1, 2*i2] = A[3*i1 - 6, 2*i2 - 4] + 1.0",
+        ]
+        for statement in statements:
+            nest = _nest(statement)
+            pair = reference_pairs(nest, include_self=False)[0]
+            exact = solve_reference_pair(pair, nest.index_names)
+            conservative = gcd_test(pair, nest.index_names)
+            if exact.consistent:
+                assert conservative.dependence_possible
+
+    def test_describe(self):
+        nest = _nest("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        assert "gcd" in gcd_test(pair, nest.index_names).describe()
+
+
+class TestBanerjeeTest:
+    def test_bounds_rule_out_far_dependence(self):
+        # The read is shifted by 100, far outside the 0..8 iteration space.
+        nest = _nest("A[i1, i2] = A[i1 - 100, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        result = banerjee_test(pair, nest)
+        assert not result.dependence_possible
+
+    def test_bounds_allow_near_dependence(self):
+        nest = _nest("A[i1, i2] = A[i1 - 2, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        assert banerjee_test(pair, nest).dependence_possible
+
+    def test_requires_rectangular_bounds(self):
+        nest = (
+            loop_nest("tri")
+            .loop("i1", 0, 5)
+            .loop("i2", 0, "i1")
+            .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+            .build()
+        )
+        pair = reference_pairs(nest, include_self=False)[0]
+        with pytest.raises(DependenceError):
+            banerjee_test(pair, nest)
+
+    def test_banerjee_weaker_than_gcd_on_parity(self):
+        # Banerjee (real relaxation) cannot see the parity conflict the GCD test sees.
+        nest = _nest("A[2*i1, i2] = A[2*i1 + 1, i2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        assert banerjee_test(pair, nest).dependence_possible
+        assert not gcd_test(pair, nest.index_names).dependence_possible
+
+
+class TestDirectionVectors:
+    def test_from_distance(self):
+        assert DirectionVector.from_distance([2, 0, -1]).directions == ("<", "=", ">")
+
+    def test_invalid_symbol(self):
+        with pytest.raises(ValueError):
+            DirectionVector(("x",))
+
+    def test_merge(self):
+        a = DirectionVector(("<", "="))
+        b = DirectionVector(("<", ">"))
+        assert a.merge(b).directions == ("<", "*")
+
+    def test_carried_level(self):
+        assert DirectionVector(("=", "<")).carried_level() == 1
+        assert DirectionVector(("=", "=")).carried_level() == -1
+
+    def test_allows_parallel_level(self):
+        vec = DirectionVector(("<", "*"))
+        assert vec.allows_parallel_level(1)      # carried by the outer loop
+        assert not vec.allows_parallel_level(0)
+        vec = DirectionVector(("=", "<"))
+        assert vec.allows_parallel_level(0)
+
+    def test_directions_from_distances_dedup(self):
+        vectors = directions_from_distances([[1, 0], [2, 0], [0, 1]])
+        assert len(vectors) == 2
+
+    def test_direction_vectors_of_wavefront(self):
+        nest = _nest("A[i1, i2] = A[i1 - 1, i2] + A[i1, i2 - 1]", hi=5)
+        directions = {v.directions for v in direction_vectors_of_nest(nest)}
+        assert ("<", "=") in directions
+        assert ("=", "<") in directions
+
+    def test_direction_vectors_of_variable_distance_loop(self):
+        directions = direction_vectors_of_nest(example_4_1(5))
+        assert directions  # the loop does carry dependences
+        for vec in directions:
+            assert vec.directions[0] == "<"

@@ -1,0 +1,138 @@
+"""Tests for dependence equation construction and solving (Section 2 of the paper)."""
+
+import pytest
+
+from repro.dependence.distance import lexicographic_class, normalize_distance
+from repro.dependence.equations import dependence_equation_system, reference_pairs
+from repro.dependence.solver import analyze_loop_dependences, solve_reference_pair
+from repro.exceptions import DependenceError
+from repro.intlin.lattice import Lattice
+from repro.loopnest.builder import loop_nest
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+
+def _single_statement_nest(statement, n=6, bounds=(-1, 1)):
+    builder = loop_nest("t").loop("i1", bounds[0] * n, bounds[1] * n).loop(
+        "i2", bounds[0] * n, bounds[1] * n
+    )
+    return builder.statement(statement).build()
+
+
+class TestDistanceHelpers:
+    def test_normalize_distance(self):
+        assert normalize_distance([0, 0]) is None
+        assert normalize_distance([2, -1]) == [2, -1]
+        assert normalize_distance([-2, 1]) == [2, -1]
+        assert normalize_distance([0, -3]) == [0, 3]
+
+    def test_lexicographic_class(self):
+        assert lexicographic_class([1, 0], [1, 1]) == "before"
+        assert lexicographic_class([1, 1], [1, 1]) == "equal"
+        assert lexicographic_class([2, 0], [1, 5]) == "after"
+
+
+class TestReferencePairs:
+    def test_pairs_of_simple_nest(self):
+        nest = _single_statement_nest("A[i1, i2] = A[i1 - 1, i2] + B[i1, i2]")
+        pairs = reference_pairs(nest)
+        arrays = sorted(p.array for p in pairs)
+        # A-write/A-write (self), A-write/A-read; B is read-only -> no pair
+        assert arrays == ["A", "A"]
+
+    def test_pairs_without_self(self):
+        nest = _single_statement_nest("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+        pairs = reference_pairs(nest, include_self=False)
+        assert len(pairs) == 1
+        assert pairs[0].kind == "flow_or_anti"
+
+    def test_self_pair_kind(self):
+        nest = _single_statement_nest("A[i1, i2] = 1.0")
+        pairs = reference_pairs(nest)
+        assert len(pairs) == 1
+        assert pairs[0].kind == "self_output"
+
+    def test_output_pair_between_statements(self):
+        nest = (
+            loop_nest("two")
+            .loop("i1", 0, 4)
+            .loop("i2", 0, 4)
+            .statement("A[i1, i2] = 1.0")
+            .statement("A[i1, i2 - 1] = 2.0")
+            .build()
+        )
+        kinds = {p.kind for p in reference_pairs(nest, include_self=False)}
+        assert "output" in kinds
+
+    def test_inconsistent_dimensionality_rejected(self):
+        nest = (
+            loop_nest("bad")
+            .loop("i1", 0, 3)
+            .loop("i2", 0, 3)
+            .statement("A[i1, i2] = A[i1] + 1.0")
+            .build()
+        )
+        with pytest.raises(DependenceError):
+            reference_pairs(nest)
+
+    def test_equation_system_shape(self):
+        nest = _single_statement_nest("A[i1, i2] = A[i1 - 1, i2 + 2] + 1.0")
+        pair = reference_pairs(nest, include_self=False)[0]
+        matrix, constant = dependence_equation_system(pair, nest.index_names)
+        assert len(matrix) == 4          # 2n rows
+        assert len(matrix[0]) == 2       # d columns
+        assert len(constant) == 2
+
+
+class TestSolveReferencePair:
+    def test_uniform_distance(self):
+        nest = _single_statement_nest("A[i1, i2] = A[i1 - 2, i2 - 3] + 1.0", bounds=(0, 1))
+        pair = reference_pairs(nest, include_self=False)[0]
+        sol = solve_reference_pair(pair, nest.index_names)
+        assert sol.consistent
+        assert sol.is_uniform
+        assert sorted(normalize_distance(sol.offset)) == sorted([2, 3])
+        assert sol.distance_lattice().contains([2, 3])
+
+    def test_no_dependence(self):
+        nest = _single_statement_nest("A[2*i1, i2] = A[2*i1 + 1, i2] + 1.0", bounds=(0, 1))
+        pair = reference_pairs(nest, include_self=False)[0]
+        sol = solve_reference_pair(pair, nest.index_names)
+        assert not sol.consistent
+        assert not sol.has_dependence
+
+    def test_variable_distance_example_41(self):
+        nest = example_4_1(6)
+        solutions = analyze_loop_dependences(nest)
+        flows = [s for s in solutions if s.pair.kind == "flow_or_anti"]
+        assert len(flows) == 1
+        sol = flows[0]
+        assert sol.consistent
+        assert not sol.is_uniform
+        lattice = sol.distance_lattice()
+        assert lattice.rank == 1
+        assert lattice.contains([2, -2])
+        assert lattice.contains([4, -4])
+        assert not lattice.contains([1, -1])
+
+    def test_variable_distance_example_42(self):
+        nest = example_4_2(6)
+        solutions = [s for s in analyze_loop_dependences(nest) if s.consistent]
+        merged = Lattice(
+            [row for s in solutions for row in s.lattice_generators], dimension=2
+        )
+        assert merged.determinant() == 4
+        assert merged.contains([2, 1])
+        assert merged.contains([0, 2])
+
+    def test_self_output_of_injective_write_has_zero_offset_only(self):
+        nest = _single_statement_nest("A[i1, i2] = 1.0", bounds=(0, 1))
+        pair = reference_pairs(nest)[0]
+        sol = solve_reference_pair(pair, nest.index_names)
+        assert sol.consistent
+        assert sol.lattice_generators == []
+
+    def test_describe_strings(self):
+        nest = example_4_1(4)
+        for sol in analyze_loop_dependences(nest):
+            text = sol.describe()
+            assert "A[" in text

@@ -1,0 +1,104 @@
+"""Tests for exact iteration-level dependence enumeration."""
+
+import pytest
+
+from repro.dependence.graph import enumerate_dependence_edges, realized_distances
+from repro.exceptions import DependenceError
+from repro.loopnest.builder import loop_nest
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop
+
+
+def _nest(statement, lo=0, hi=5):
+    return (
+        loop_nest("t")
+        .loop("i1", lo, hi)
+        .loop("i2", lo, hi)
+        .statement(statement)
+        .build()
+    )
+
+
+class TestEnumerateEdges:
+    def test_simple_flow_dependence(self):
+        nest = _nest("A[i1, i2] = A[i1 - 1, i2] + 1.0", hi=3)
+        edges = enumerate_dependence_edges(nest)
+        assert edges
+        assert all(e.kind == "flow" for e in edges)
+        assert all(e.distance == (1, 0) for e in edges)
+        # 3 source rows x 4 columns
+        assert len(edges) == 12
+
+    def test_anti_dependence(self):
+        nest = _nest("A[i1, i2] = A[i1 + 1, i2] + 1.0", hi=3)
+        edges = enumerate_dependence_edges(nest)
+        assert edges
+        assert all(e.kind == "anti" for e in edges)
+        assert all(e.distance == (1, 0) for e in edges)
+
+    def test_output_dependence(self):
+        nest = _nest("A[i1 + i2, 0] = 1.0", hi=3)
+        kinds = {e.kind for e in enumerate_dependence_edges(nest)}
+        assert kinds == {"output"}
+
+    def test_source_is_always_before_sink(self):
+        for nest in (example_4_1(5), example_4_2(5)):
+            for edge in enumerate_dependence_edges(nest):
+                assert edge.source < edge.sink
+                assert edge.distance != (0,) * nest.depth
+
+    def test_kind_filter(self):
+        nest = _nest("A[i1, i2] = A[i1 - 1, i2] + A[i1 + 1, i2]", hi=3)
+        all_edges = enumerate_dependence_edges(nest)
+        flow_only = enumerate_dependence_edges(nest, include_kinds=["flow"])
+        assert {e.kind for e in all_edges} == {"flow", "anti"}
+        assert {e.kind for e in flow_only} == {"flow"}
+        assert len(flow_only) < len(all_edges)
+
+    def test_no_dependence_loop_has_no_edges(self):
+        assert enumerate_dependence_edges(no_dependence_loop(4)) == []
+
+    def test_iteration_limit(self):
+        nest = _nest("A[i1, i2] = A[i1 - 1, i2] + 1.0", hi=9)
+        with pytest.raises(DependenceError):
+            enumerate_dependence_edges(nest, max_iterations=10)
+
+    def test_flow_stops_at_next_write(self):
+        # A[0] is rewritten every iteration of i1 (with i2 fixed): flow edges go
+        # only to the reads before the next write.
+        nest = (
+            loop_nest("t")
+            .loop("i1", 0, 3)
+            .statement("B[i1] = A[0] + 1.0")
+            .statement("A[0] = B[i1] * 2.0")
+            .build()
+        )
+        edges = enumerate_dependence_edges(nest)
+        flow_edges = [e for e in edges if e.kind == "flow" and e.array == "A"]
+        # each write of A[0] feeds exactly the read in the next iteration
+        assert all(e.sink[0] - e.source[0] == 1 for e in flow_edges)
+        assert len(flow_edges) == 3
+
+    def test_example_41_distances_are_multiples(self):
+        distances = realized_distances(example_4_1(8))
+        assert distances
+        for d in distances:
+            assert d[0] % 2 == 0
+            assert d[0] == -d[1]
+
+    def test_example_41_has_variable_distances(self):
+        distances = realized_distances(example_4_1(8))
+        lengths = {abs(d[0]) for d in distances}
+        assert len(lengths) > 1  # genuinely variable
+
+
+class TestRealizedDistances:
+    def test_normalized_lex_positive(self):
+        for nest in (example_4_1(5), example_4_2(5)):
+            for distance in realized_distances(nest):
+                nonzero = [v for v in distance if v != 0]
+                assert nonzero and nonzero[0] > 0
+
+    def test_uniform_loop_distances(self):
+        nest = _nest("A[i1, i2] = A[i1 - 2, i2 - 1] + 1.0")
+        assert realized_distances(nest) == {(2, 1)}

@@ -1,0 +1,113 @@
+"""Tests for the experiment drivers (figures, tables, speedup, Algorithm 1 cost)."""
+
+import pytest
+
+from repro.experiments.algorithm_cost import algorithm1_cost_sweep, random_pdm
+from repro.experiments.figures import (
+    figure1_unimodular_demo,
+    figure2_original_isdg_41,
+    figure3_transformed_isdg_41,
+    figure4_original_isdg_42,
+    figure5_partitioned_isdg_42,
+)
+from repro.experiments.speedup import speedup_sweep, wallclock_measurement
+from repro.experiments.tables import table1_measured_rows, table1_related_work
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+
+class TestFigures:
+    def test_figure1(self):
+        result = figure1_unimodular_demo(4)
+        assert result.statistics.num_edges > 0
+        assert "transform" in result.extra
+        assert "Figure 1" in result.describe()
+
+    def test_figure2_variable_distances(self):
+        result = figure2_original_isdg_41(6)
+        assert result.statistics.num_iterations == 13 * 13
+        assert result.statistics.num_edges > 0
+        # the figure's defining feature: several distinct (variable) distances
+        assert result.statistics.num_distinct_distances > 1
+
+    def test_figure3_two_partitions_no_crossing(self):
+        result = figure3_transformed_isdg_41(6)
+        assert result.extra["partitions"] == 2
+        assert result.statistics.num_partitions == 2
+        assert result.statistics.num_cross_partition_edges == 0
+
+    def test_figure4(self):
+        result = figure4_original_isdg_42(6)
+        assert result.statistics.num_edges > 0
+        assert result.statistics.num_distinct_distances > 1
+
+    def test_figure5_four_partitions_no_crossing(self):
+        result = figure5_partitioned_isdg_42(6)
+        assert result.extra["partitions"] == 4
+        assert result.statistics.num_partitions == 4
+        assert result.statistics.num_cross_partition_edges == 0
+
+    def test_renderings_are_text(self):
+        for result in (figure2_original_isdg_41(5), figure5_partitioned_isdg_42(5)):
+            assert isinstance(result.rendering, str)
+            assert len(result.rendering.splitlines()) > 5
+
+
+class TestTables:
+    def test_qualitative_table(self):
+        text = table1_related_work()
+        assert "pseudo distance matrix" in text
+        assert "uniform distance vectors" in text
+
+    def test_measured_table(self):
+        measured = table1_measured_rows(5)
+        assert "pdm" in measured["aggregates"]
+        pdm_stats = measured["aggregates"]["pdm"]
+        assert pdm_stats["applicable"] == len(measured["rows"])
+        # the PDM method must apply everywhere and find parallelism at least as
+        # often as the uniform-distance baselines
+        assert pdm_stats["found_parallelism"] >= measured["aggregates"]["unimodular"]["found_parallelism"]
+        assert pdm_stats["found_parallelism"] >= measured["aggregates"]["constant-partitioning"]["found_parallelism"]
+        assert "workload" in measured["table"]
+
+
+class TestSpeedup:
+    def test_sweep_shapes(self):
+        points = speedup_sweep(example_4_1, sizes=(4, 6), workload_name="ex41")
+        assert len(points) == 2
+        for point in points:
+            assert point.partitions == 2
+            assert point.parallel_loops == 1
+            assert point.ideal_speedup > 1.0
+            assert point.simulated_speedup_4 <= 4.0 + 1e-9
+            assert point.simulated_speedup_16 >= point.simulated_speedup_4 - 1e-9
+
+    def test_speedup_grows_with_size(self):
+        points = speedup_sweep(example_4_1, sizes=(4, 8))
+        assert points[1].ideal_speedup > points[0].ideal_speedup
+
+    def test_example_42_partition_speedup(self):
+        points = speedup_sweep(example_4_2, sizes=(6,))
+        assert points[0].partitions == 4
+        # with 4 independent partitions the 4-processor speedup approaches 4
+        assert points[0].simulated_speedup_4 > 3.0
+
+    def test_wallclock_measurement_keys(self):
+        timings = wallclock_measurement(example_4_1(4), modes=("serial",))
+        assert set(timings) == {"original", "serial"}
+        assert all(t >= 0.0 for t in timings.values())
+
+
+class TestAlgorithmCost:
+    def test_random_pdm_full_row_rank(self):
+        import random
+
+        rng = random.Random(0)
+        pdm = random_pdm(4, 3, 9, rng)
+        assert len(pdm) == 3
+
+    def test_cost_sweep(self):
+        points = algorithm1_cost_sweep(depths=(2, 3), magnitudes=(4,), samples=3, seed=1)
+        assert len(points) == 2
+        for point in points:
+            assert point.mean_column_operations >= 0.0
+            assert point.max_column_operations >= point.mean_column_operations

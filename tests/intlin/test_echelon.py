@@ -1,0 +1,88 @@
+"""Tests for repro.intlin.echelon."""
+
+import numpy as np
+import pytest
+
+from repro.intlin.echelon import (
+    is_echelon,
+    is_echelon_lex_positive,
+    matrix_rank,
+    row_echelon,
+    row_levels,
+)
+from repro.intlin.matrix import is_unimodular, mat_mul
+
+
+class TestRowEchelon:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[2, 4], [3, 6]],
+            [[1, 2, 3], [4, 5, 6], [7, 8, 9]],
+            [[0, 0], [0, 0]],
+            [[5]],
+            [[2, -3, 1], [4, 1, -2], [0, 7, 7], [6, -2, -1]],
+            [[1, 0, 0, 2], [0, 3, 0, 1]],
+        ],
+    )
+    def test_transform_reproduces_echelon(self, matrix):
+        result = row_echelon(matrix)
+        assert is_unimodular(result.transform)
+        assert mat_mul(result.transform, matrix) == result.echelon
+        assert is_echelon(result.echelon)
+
+    def test_rank_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            a = rng.integers(-3, 4, size=(4, 5))
+            assert row_echelon(a.tolist()).rank == np.linalg.matrix_rank(a)
+
+    def test_pivot_columns_increasing(self):
+        result = row_echelon([[0, 2, 1], [0, 4, 3], [1, 1, 1]])
+        assert result.pivot_columns == sorted(result.pivot_columns)
+        assert len(result.pivot_columns) == result.rank
+
+    def test_positive_pivots_option(self):
+        result = row_echelon([[-2, 4], [0, -3]], positive_pivots=True)
+        for row, col in zip(result.echelon, result.pivot_columns):
+            assert row[col] > 0
+        assert mat_mul(result.transform, [[-2, 4], [0, -3]]) == result.echelon
+
+    def test_zero_matrix(self):
+        result = row_echelon([[0, 0, 0]])
+        assert result.rank == 0
+        assert result.echelon == [[0, 0, 0]]
+
+    def test_nonzero_rows_property(self):
+        result = row_echelon([[2, 4], [1, 2]])
+        assert len(result.nonzero_rows) == result.rank == 1
+
+
+class TestEchelonPredicates:
+    def test_is_echelon_true(self):
+        assert is_echelon([[1, 2, 3], [0, 4, 5], [0, 0, 6]])
+        assert is_echelon([[0, 1, 2], [0, 0, 3], [0, 0, 0]])
+        assert is_echelon([])
+
+    def test_is_echelon_false(self):
+        assert not is_echelon([[0, 1], [1, 0]])  # levels decrease
+        assert not is_echelon([[1, 1], [1, 0]])  # same level
+        assert not is_echelon([[0, 0], [1, 0]])  # zero row before nonzero
+
+    def test_is_echelon_lex_positive(self):
+        assert is_echelon_lex_positive([[1, -5], [0, 3]])
+        assert not is_echelon_lex_positive([[-1, 5], [0, 3]])
+        assert not is_echelon_lex_positive([[1, 5], [3, 0]])
+
+    def test_zero_rows_allowed_at_bottom(self):
+        assert is_echelon_lex_positive([[1, 2], [0, 0]])
+
+    def test_row_levels(self):
+        assert row_levels([[0, 1], [2, 0], [0, 0]]) == [1, 0, -1]
+
+
+class TestRank:
+    def test_rank_simple(self):
+        assert matrix_rank([[1, 2], [2, 4]]) == 1
+        assert matrix_rank([[1, 0], [0, 1]]) == 2
+        assert matrix_rank([[0, 0]]) == 0

@@ -1,0 +1,152 @@
+"""Tests for repro.intlin.fourier_motzkin."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import BoundsError
+from repro.intlin.fourier_motzkin import (
+    BoundExpression,
+    InequalitySystem,
+    LinearInequality,
+    bounds_for_variable,
+    fourier_motzkin_eliminate,
+    loop_bounds_from_inequalities,
+)
+
+
+def _box_system(bounds):
+    """InequalitySystem for a rectangular box given [(lo, hi), ...]."""
+    system = InequalitySystem(len(bounds))
+    for var, (lo, hi) in enumerate(bounds):
+        system.add_lower(var, lo)
+        system.add_upper(var, hi)
+    return system
+
+
+class TestLinearInequality:
+    def test_create_and_evaluate(self):
+        ineq = LinearInequality.create([1, -2], 3)  # x0 - 2*x1 <= 3
+        assert ineq.evaluate([3, 0])
+        assert ineq.evaluate([3, 1])
+        assert not ineq.evaluate([4, 0])
+
+    def test_bounds_constructors(self):
+        lower = LinearInequality.lower_bound(2, 0, -5)  # x0 >= -5
+        upper = LinearInequality.upper_bound(2, 1, 7)   # x1 <= 7
+        assert lower.evaluate([-5, 0])
+        assert not lower.evaluate([-6, 0])
+        assert upper.evaluate([0, 7])
+        assert not upper.evaluate([0, 8])
+
+    def test_trivial_predicates(self):
+        assert LinearInequality.create([0, 0], 1).is_trivially_true()
+        assert LinearInequality.create([0, 0], -1).is_trivially_false()
+        assert not LinearInequality.create([1, 0], -1).is_trivially_false()
+
+    def test_substitute_row_transform(self):
+        # original constraint: i0 <= 4; transform j = i @ T with T = [[1,1],[1,0]]
+        # inverse Tinv = [[0,1],[1,-1]]; i0 = j1 (second new var)
+        ineq = LinearInequality.create([1, 0], 4)
+        new = ineq.substitute_row_transform([[0, 1], [1, -1]])
+        assert new.coefficients == (Fraction(0), Fraction(1))
+        assert new.constant == 4
+
+
+class TestElimination:
+    def test_projection_of_triangle(self):
+        # x0 >= 0, x1 >= 0, x0 + x1 <= 4 : projecting out x1 gives 0 <= x0 <= 4
+        system = InequalitySystem(2)
+        system.add_lower(0, 0)
+        system.add_lower(1, 0)
+        system.add(LinearInequality.create([1, 1], 4))
+        remaining = fourier_motzkin_eliminate(list(system), 1)
+        for ineq in remaining:
+            assert ineq.coefficients[1] == 0
+        # x0 = 4 must still be feasible, x0 = 5 must not
+        assert all(ineq.evaluate([4, 0]) for ineq in remaining)
+        assert not all(ineq.evaluate([5, 0]) for ineq in remaining)
+
+    def test_projection_is_exact_for_box(self):
+        system = _box_system([(-3, 3), (-2, 5)])
+        remaining = fourier_motzkin_eliminate(list(system), 1)
+        assert all(ineq.evaluate([x, 0]) for x in range(-3, 4) for ineq in remaining)
+        assert not all(ineq.evaluate([-4, 0]) for ineq in remaining)
+        assert not all(ineq.evaluate([4, 0]) for ineq in remaining)
+
+
+class TestBoundsExtraction:
+    def test_box_bounds(self):
+        system = _box_system([(-3, 3), (-2, 5)])
+        bounds = loop_bounds_from_inequalities(system)
+        assert bounds[0].lower_value([]) == -3
+        assert bounds[0].upper_value([]) == 3
+        assert bounds[1].lower_value([0]) == -2
+        assert bounds[1].upper_value([0]) == 5
+
+    def test_triangle_bounds_depend_on_outer(self):
+        # 0 <= x0 <= 4, 0 <= x1 <= x0
+        system = InequalitySystem(2)
+        system.add_lower(0, 0)
+        system.add_upper(0, 4)
+        system.add_lower(1, 0)
+        system.add(LinearInequality.create([-1, 1], 0))  # x1 - x0 <= 0
+        bounds = loop_bounds_from_inequalities(system)
+        assert bounds[1].lower_value([2]) == 0
+        assert bounds[1].upper_value([2]) == 2
+        assert bounds[1].upper_value([0]) == 0
+
+    def test_scanning_matches_brute_force(self):
+        # skewed region: -5 <= x0 <= 5, -5 <= x0 + x1 <= 5
+        system = InequalitySystem(2)
+        system.add_lower(0, -5)
+        system.add_upper(0, 5)
+        system.add(LinearInequality.create([1, 1], 5))
+        system.add(LinearInequality.create([-1, -1], 5))
+        bounds = loop_bounds_from_inequalities(system)
+        scanned = set()
+        for x0 in range(bounds[0].lower_value([]), bounds[0].upper_value([]) + 1):
+            lo = bounds[1].lower_value([x0])
+            hi = bounds[1].upper_value([x0])
+            for x1 in range(lo, hi + 1):
+                scanned.add((x0, x1))
+        brute = {
+            (x0, x1)
+            for x0 in range(-10, 11)
+            for x1 in range(-20, 21)
+            if -5 <= x0 <= 5 and -5 <= x0 + x1 <= 5
+        }
+        assert scanned == brute
+
+    def test_infeasible_system_raises(self):
+        system = InequalitySystem(1)
+        system.add_lower(0, 5)
+        system.add_upper(0, 3)
+        with pytest.raises(BoundsError):
+            loop_bounds_from_inequalities(system)
+
+    def test_bounds_for_variable_rejects_uneliminated(self):
+        ineqs = [LinearInequality.create([1, 1], 4)]
+        with pytest.raises(BoundsError):
+            bounds_for_variable(ineqs, 0)
+
+
+class TestBoundExpression:
+    def test_evaluate_and_rounding(self):
+        expr = BoundExpression((Fraction(1, 2),), Fraction(3, 2))
+        assert expr.evaluate_exact([3]) == Fraction(3)
+        assert expr.evaluate_floor([2]) == 2
+        assert expr.evaluate_ceil([2]) == 3
+
+    def test_as_source_integral(self):
+        expr = BoundExpression((Fraction(2),), Fraction(-1))
+        source = expr.as_source(["j1"], "floor")
+        assert eval(source, {"j1": 3}) == 5
+
+    def test_as_source_fractional_uses_rounding(self):
+        import math
+
+        expr = BoundExpression((Fraction(1, 2),), Fraction(0))
+        source = expr.as_source(["j1"], "ceil")
+        assert "ceil" in source
+        assert eval(source, {"math": math, "j1": 3}) == 2

@@ -1,0 +1,94 @@
+"""Tests for repro.intlin.gcd."""
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.intlin.gcd import content, extended_gcd, extended_gcd_list, gcd, gcd_list, lcm
+
+
+class TestGcd:
+    def test_basic_values(self):
+        assert gcd(12, 18) == 6
+        assert gcd(7, 13) == 1
+        assert gcd(0, 5) == 5
+        assert gcd(5, 0) == 5
+
+    def test_zero_zero(self):
+        assert gcd(0, 0) == 0
+
+    def test_negative_arguments(self):
+        assert gcd(-12, 18) == 6
+        assert gcd(12, -18) == 6
+        assert gcd(-12, -18) == 6
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(ShapeError):
+            gcd(1.5, 2)
+        with pytest.raises(ShapeError):
+            gcd(True, 2)
+
+    def test_accepts_integral_float(self):
+        assert gcd(4.0, 6) == 2
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(3, 7) == 21
+
+    def test_zero(self):
+        assert lcm(0, 5) == 0
+        assert lcm(5, 0) == 0
+
+    def test_negative(self):
+        assert lcm(-4, 6) == 12
+
+
+class TestExtendedGcd:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(12, 18), (7, 13), (0, 5), (5, 0), (0, 0), (-12, 18), (12, -18), (-7, -13), (240, 46)],
+    )
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert g == gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_result_gcd_nonnegative(self):
+        g, _, _ = extended_gcd(-4, -6)
+        assert g == 2
+
+
+class TestGcdList:
+    def test_empty(self):
+        assert gcd_list([]) == 0
+
+    def test_single(self):
+        assert gcd_list([-6]) == 6
+
+    def test_many(self):
+        assert gcd_list([12, 18, 30]) == 6
+        assert gcd_list([4, 9]) == 1
+        assert gcd_list([0, 0, 0]) == 0
+
+    def test_short_circuit_on_one(self):
+        assert gcd_list([3, 5, 1000000]) == 1
+
+    def test_content_alias(self):
+        assert content([8, 12, 20]) == 4
+
+
+class TestExtendedGcdList:
+    @pytest.mark.parametrize(
+        "values",
+        [[12, 18, 30], [4, 9], [0, 0, 7], [-6, 10, 15], [5], [0]],
+    )
+    def test_combination_equals_gcd(self, values):
+        g, coeffs = extended_gcd_list(values)
+        assert g == gcd_list(values)
+        assert sum(c * v for c, v in zip(coeffs, values)) == g
+
+    def test_empty(self):
+        g, coeffs = extended_gcd_list([])
+        assert g == 0
+        assert coeffs == []

@@ -1,0 +1,123 @@
+"""Tests for repro.intlin.hermite (HNF, column echelon, integer kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.intlin.hermite import (
+    column_echelon,
+    hermite_normal_form,
+    is_hermite_normal_form,
+    left_kernel_basis,
+    right_kernel_basis,
+)
+from repro.intlin.lattice import Lattice
+from repro.intlin.matrix import is_unimodular, is_zero_vector, mat_mul, mat_transpose, vec_mat_mul
+
+
+class TestHermiteNormalForm:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[2, -2]],
+            [[2, 1], [0, 2]],
+            [[1, -2], [2, 0]],
+            [[3, 6, 9], [2, 4, 8], [1, 1, 1]],
+            [[4, 0], [0, 6], [2, 2]],
+            [[0, 0, 5], [0, 3, 1]],
+        ],
+    )
+    def test_hnf_properties(self, matrix):
+        result = hermite_normal_form(matrix)
+        assert is_unimodular(result.transform)
+        assert mat_mul(result.transform, matrix) == result.full
+        assert is_hermite_normal_form(result.hermite) or result.rank == 0
+        # zero rows (if any) are at the bottom of the full matrix
+        for row in result.full[result.rank:]:
+            assert is_zero_vector(row)
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[2, -2]],
+            [[2, 1], [0, 2]],
+            [[1, -2], [2, 0]],
+            [[6, 4], [4, 6]],
+            [[3, 6, 9], [2, 4, 8], [1, 1, 1]],
+        ],
+    )
+    def test_hnf_preserves_row_lattice(self, matrix):
+        result = hermite_normal_form(matrix)
+        original = Lattice(matrix, dimension=len(matrix[0]))
+        reduced = Lattice(result.hermite, dimension=len(matrix[0]))
+        assert original == reduced
+
+    def test_known_hnf_example_41(self):
+        # The generators of the paper's Section 4.1 reconstruction.
+        result = hermite_normal_form([[2, -2], [4, -4], [2, -2]])
+        assert result.hermite == [[2, -2]]
+
+    def test_known_hnf_example_42(self):
+        result = hermite_normal_form([[2, 1], [0, 2], [2, 1]])
+        assert result.hermite == [[2, 1], [0, 2]]
+
+    def test_above_pivot_reduction(self):
+        result = hermite_normal_form([[1, 7], [0, 3]])
+        # the entry above the pivot 3 must be reduced into [0, 3)
+        assert result.hermite[0][1] in (0, 1, 2)
+
+    def test_is_hermite_normal_form_predicate(self):
+        assert is_hermite_normal_form([[2, 1], [0, 2]])
+        assert not is_hermite_normal_form([[2, 5], [0, 2]])  # 5 not reduced mod 2... above pivot
+        assert not is_hermite_normal_form([[0, 0]])
+        assert not is_hermite_normal_form([[-1, 0], [0, 1]])
+
+
+class TestColumnEchelon:
+    def test_column_echelon_transform(self):
+        matrix = [[2, 4, 6], [1, 3, 5]]
+        result = column_echelon(matrix)
+        assert is_unimodular(result.transform)
+        assert mat_mul(matrix, result.transform) == result.echelon
+        assert result.rank == 2
+
+
+class TestKernels:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[1, 2], [2, 4]],
+            [[1, 0], [0, 1]],
+            [[2, 4, 6], [1, 2, 3], [3, 6, 9]],
+            [[1], [2], [3]],
+        ],
+    )
+    def test_left_kernel(self, matrix):
+        basis = left_kernel_basis(matrix)
+        m = len(matrix)
+        rank = np.linalg.matrix_rank(np.array(matrix))
+        assert len(basis) == m - rank
+        for row in basis:
+            assert vec_mat_mul(row, matrix) == [0] * len(matrix[0])
+
+    def test_right_kernel(self):
+        matrix = [[1, 2, 3]]
+        basis = right_kernel_basis(matrix)
+        assert len(basis) == 2
+        for vec in basis:
+            assert sum(m * v for m, v in zip(matrix[0], vec)) == 0
+
+    def test_left_kernel_spans_all_solutions(self):
+        # every integer solution of x @ A = 0 must be an integer combination
+        # of the returned basis (saturation property).
+        matrix = [[2, 4], [1, 2], [3, 6]]
+        basis = left_kernel_basis(matrix)
+        kernel_lattice = Lattice(basis, dimension=3)
+        # brute force small solutions
+        for x0 in range(-3, 4):
+            for x1 in range(-3, 4):
+                for x2 in range(-3, 4):
+                    if vec_mat_mul([x0, x1, x2], matrix) == [0, 0]:
+                        assert kernel_lattice.contains([x0, x1, x2])
+
+    def test_empty_matrix(self):
+        assert left_kernel_basis([]) == []

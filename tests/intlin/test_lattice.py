@@ -1,0 +1,161 @@
+"""Tests for repro.intlin.lattice."""
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.intlin.lattice import Lattice
+
+
+class TestConstruction:
+    def test_trivial_and_full(self):
+        trivial = Lattice.trivial(3)
+        assert trivial.is_trivial
+        assert trivial.rank == 0
+        assert trivial.dimension == 3
+        full = Lattice.full(2)
+        assert full.is_full_rank
+        assert full.determinant() == 1
+
+    def test_zero_generators_dropped(self):
+        lattice = Lattice([[0, 0], [2, 4]])
+        assert lattice.rank == 1
+
+    def test_dimension_required_for_empty(self):
+        with pytest.raises(ShapeError):
+            Lattice([])
+
+    def test_mismatched_generator_lengths(self):
+        with pytest.raises(ShapeError):
+            Lattice([[1, 2], [1, 2, 3]])
+
+    def test_canonical_basis(self):
+        a = Lattice([[2, -2], [4, -4]])
+        b = Lattice([[2, -2]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_matrix(self):
+        lattice = Lattice.from_matrix([[1, 0], [0, 2]])
+        assert lattice.determinant() == 2
+
+
+class TestMembership:
+    def test_contains(self):
+        lattice = Lattice([[2, 1], [0, 2]])
+        assert lattice.contains([2, 1])
+        assert lattice.contains([0, 2])
+        assert lattice.contains([2, 3])   # (2,1)+(0,2)
+        assert lattice.contains([4, 2])
+        assert lattice.contains([0, 0])
+        assert not lattice.contains([1, 0])
+        assert not lattice.contains([2, 2])
+
+    def test_contains_operator(self):
+        lattice = Lattice([[3, 0]])
+        assert [6, 0] in lattice
+        assert [4, 0] not in lattice
+
+    def test_coordinates_roundtrip(self):
+        lattice = Lattice([[2, 1], [0, 2]])
+        coords = lattice.coordinates([4, 4])
+        assert coords is not None
+        rebuilt = [0, 0]
+        for c, row in zip(coords, lattice.basis):
+            rebuilt = [r + c * b for r, b in zip(rebuilt, row)]
+        assert rebuilt == [4, 4]
+
+    def test_coordinates_none_for_outside(self):
+        lattice = Lattice([[2, 0]])
+        assert lattice.coordinates([1, 0]) is None
+        assert lattice.coordinates([2, 1]) is None
+
+    def test_wrong_dimension_raises(self):
+        lattice = Lattice([[1, 0]])
+        with pytest.raises(ShapeError):
+            lattice.contains([1, 0, 0])
+
+
+class TestResidue:
+    def test_residue_ranges(self):
+        lattice = Lattice([[2, 1], [0, 2]])
+        labels = {lattice.residue([x, y]) for x in range(-6, 7) for y in range(-6, 7)}
+        assert len(labels) == 4  # det = 4 cosets
+        for label in labels:
+            assert 0 <= label[0] < 2
+            assert 0 <= label[1] < 2
+
+    def test_residue_constant_on_cosets(self):
+        lattice = Lattice([[2, -2]])
+        base = lattice.residue([5, 3])
+        assert lattice.residue([5 + 2, 3 - 2]) == base
+        assert lattice.residue([5 + 4, 3 - 4]) == base
+        assert lattice.residue([5 + 1, 3]) != base
+
+    def test_difference_in_lattice_iff_same_residue(self):
+        lattice = Lattice([[2, 1], [0, 3]])
+        vectors = [(x, y) for x in range(-4, 5) for y in range(-4, 5)]
+        for a in vectors[:20]:
+            for b in vectors[:20]:
+                diff = [a[0] - b[0], a[1] - b[1]]
+                same = lattice.residue(list(a)) == lattice.residue(list(b))
+                assert same == lattice.contains(diff)
+
+
+class TestAlgebra:
+    def test_sum(self):
+        a = Lattice([[2, 0]])
+        b = Lattice([[0, 2]])
+        s = a.sum(b)
+        assert s.determinant() == 4
+        assert s.contains([2, 2])
+
+    def test_intersection(self):
+        a = Lattice([[2, 0], [0, 1]])
+        b = Lattice([[1, 0], [0, 3]])
+        inter = a.intersection(b)
+        assert inter.contains([2, 0])
+        assert inter.contains([0, 3])
+        assert not inter.contains([1, 0])
+        assert not inter.contains([0, 1])
+        assert inter.determinant() == 6
+
+    def test_intersection_with_trivial(self):
+        a = Lattice([[1, 0]])
+        assert a.intersection(Lattice.trivial(2)).is_trivial
+
+    def test_sublattice(self):
+        small = Lattice([[4, 0], [0, 4]])
+        big = Lattice([[2, 0], [0, 2]])
+        assert small.is_sublattice_of(big)
+        assert not big.is_sublattice_of(small)
+
+    def test_transform(self):
+        lattice = Lattice([[2, -2]])
+        transformed = lattice.transform([[1, 1], [1, 0]])
+        assert transformed.contains([0, 2])
+        assert transformed.rank == 1
+
+    def test_scaled_and_content(self):
+        lattice = Lattice([[1, 2]])
+        scaled = lattice.scaled(3)
+        assert scaled.contains([3, 6])
+        assert not scaled.contains([1, 2])
+        assert scaled.content() == 3
+        assert Lattice.trivial(2).content() == 0
+
+    def test_zero_coordinates(self):
+        lattice = Lattice([[0, 2], [0, 0]], dimension=2)
+        assert lattice.zero_coordinates() == [0]
+        assert Lattice.trivial(2).zero_coordinates() == [0, 1]
+
+    def test_enumerate_vectors(self):
+        lattice = Lattice([[2, 0], [0, 3]])
+        vectors = set(tuple(v) for v in lattice.enumerate_vectors(1))
+        assert (0, 0) in vectors
+        assert (2, 3) in vectors
+        assert (-2, 3) in vectors
+        assert len(vectors) == 9
+
+    def test_incompatible_dimensions(self):
+        with pytest.raises(ShapeError):
+            Lattice([[1, 0]]).sum(Lattice([[1, 0, 0]]))

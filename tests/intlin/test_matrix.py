@@ -1,0 +1,221 @@
+"""Tests for repro.intlin.matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotUnimodularError, ShapeError
+from repro.intlin.matrix import (
+    add_multiple_of_column,
+    add_multiple_of_row,
+    compare_lex,
+    determinant,
+    identity_matrix,
+    is_integer_matrix,
+    is_lex_negative,
+    is_lex_positive,
+    is_unimodular,
+    is_zero_matrix,
+    is_zero_vector,
+    leading_index,
+    mat_add,
+    mat_copy,
+    mat_equal,
+    mat_hstack,
+    mat_mul,
+    mat_neg,
+    mat_scale,
+    mat_shape,
+    mat_sub,
+    mat_transpose,
+    mat_vec_mul,
+    mat_vstack,
+    negate_column,
+    negate_row,
+    permutation_matrix,
+    swap_columns,
+    swap_rows,
+    unimodular_inverse,
+    vec_mat_mul,
+    zero_matrix,
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        assert identity_matrix(3) == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        assert identity_matrix(0) == []
+
+    def test_identity_negative_dimension(self):
+        with pytest.raises(ShapeError):
+            identity_matrix(-1)
+
+    def test_zero_matrix(self):
+        assert zero_matrix(2, 3) == [[0, 0, 0], [0, 0, 0]]
+
+    def test_copy_from_numpy(self):
+        array = np.array([[1, 2], [3, 4]])
+        assert mat_copy(array) == [[1, 2], [3, 4]]
+
+    def test_copy_is_deep(self):
+        original = [[1, 2], [3, 4]]
+        clone = mat_copy(original)
+        clone[0][0] = 99
+        assert original[0][0] == 1
+
+    def test_shape(self):
+        assert mat_shape([[1, 2, 3]]) == (1, 3)
+        assert mat_shape([]) == (0, 0)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ShapeError):
+            mat_copy([[1, 2], [3]])
+
+    def test_is_integer_matrix(self):
+        assert is_integer_matrix([[1, 2], [3, 4]])
+        assert not is_integer_matrix([[1.5]])
+
+
+class TestArithmetic:
+    def test_matmul(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        assert mat_mul(a, b) == [[19, 22], [43, 50]]
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mat_mul([[1, 2]], [[1, 2]])
+
+    def test_matmul_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(-5, 6, size=(3, 4)).tolist()
+        b = rng.integers(-5, 6, size=(4, 2)).tolist()
+        expected = (np.array(a) @ np.array(b)).tolist()
+        assert mat_mul(a, b) == expected
+
+    def test_vec_mat_mul_row_convention(self):
+        # (1, 2) @ [[1, 1], [1, 0]] = (3, 1)
+        assert vec_mat_mul([1, 2], [[1, 1], [1, 0]]) == [3, 1]
+
+    def test_mat_vec_mul_column_convention(self):
+        assert mat_vec_mul([[1, 1], [1, 0]], [1, 2]) == [3, 1]
+
+    def test_add_sub_neg_scale(self):
+        a = [[1, 2], [3, 4]]
+        b = [[1, 1], [1, 1]]
+        assert mat_add(a, b) == [[2, 3], [4, 5]]
+        assert mat_sub(a, b) == [[0, 1], [2, 3]]
+        assert mat_neg(a) == [[-1, -2], [-3, -4]]
+        assert mat_scale(a, 3) == [[3, 6], [9, 12]]
+
+    def test_stacking(self):
+        a = [[1, 2]]
+        b = [[3, 4]]
+        assert mat_vstack(a, b) == [[1, 2], [3, 4]]
+        assert mat_hstack(a, b) == [[1, 2, 3, 4]]
+
+    def test_transpose(self):
+        assert mat_transpose([[1, 2, 3], [4, 5, 6]]) == [[1, 4], [2, 5], [3, 6]]
+        assert mat_transpose([]) == []
+
+    def test_equality(self):
+        assert mat_equal([[1, 2]], np.array([[1, 2]]))
+        assert not mat_equal([[1, 2]], [[1, 3]])
+
+
+class TestDeterminantUnimodular:
+    def test_determinant_known(self):
+        assert determinant([[1, 2], [3, 4]]) == -2
+        assert determinant([[2, 0], [0, 3]]) == 6
+        assert determinant(identity_matrix(4)) == 1
+
+    def test_determinant_singular(self):
+        assert determinant([[1, 2], [2, 4]]) == 0
+
+    def test_determinant_matches_numpy(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            a = rng.integers(-4, 5, size=(4, 4))
+            expected = int(round(np.linalg.det(a)))
+            assert determinant(a.tolist()) == expected
+
+    def test_determinant_requires_square(self):
+        with pytest.raises(ShapeError):
+            determinant([[1, 2, 3]])
+
+    def test_is_unimodular(self):
+        assert is_unimodular([[1, 1], [1, 0]])
+        assert is_unimodular([[1, 5], [0, 1]])
+        assert not is_unimodular([[2, 0], [0, 1]])
+        assert not is_unimodular([[1, 2, 3]])
+
+    def test_unimodular_inverse_roundtrip(self):
+        t = [[1, 1], [1, 0]]
+        inv = unimodular_inverse(t)
+        assert mat_mul(t, inv) == identity_matrix(2)
+        assert mat_mul(inv, t) == identity_matrix(2)
+
+    def test_unimodular_inverse_bigger(self):
+        t = [[1, 2, 0], [0, 1, 3], [0, 0, 1]]
+        inv = unimodular_inverse(t)
+        assert mat_mul(t, inv) == identity_matrix(3)
+
+    def test_unimodular_inverse_rejects_non_unimodular(self):
+        with pytest.raises(NotUnimodularError):
+            unimodular_inverse([[2, 0], [0, 1]])
+
+
+class TestElementaryOperations:
+    def test_row_operations(self):
+        a = [[1, 2], [3, 4]]
+        assert swap_rows(a, 0, 1) == [[3, 4], [1, 2]]
+        assert add_multiple_of_row(a, 0, 1, 2) == [[1, 2], [5, 8]]
+        assert negate_row(a, 0) == [[-1, -2], [3, 4]]
+
+    def test_column_operations(self):
+        a = [[1, 2], [3, 4]]
+        assert swap_columns(a, 0, 1) == [[2, 1], [4, 3]]
+        assert add_multiple_of_column(a, 0, 1, -1) == [[1, 1], [3, 1]]
+        assert negate_column(a, 1) == [[1, -2], [3, -4]]
+
+    def test_operations_do_not_mutate(self):
+        a = [[1, 2], [3, 4]]
+        swap_rows(a, 0, 1)
+        add_multiple_of_column(a, 0, 1, 5)
+        assert a == [[1, 2], [3, 4]]
+
+    def test_permutation_matrix_row_action(self):
+        # new position k takes old position perm[k]
+        perm = permutation_matrix([1, 0, 2])
+        assert vec_mat_mul([10, 20, 30], perm) == [20, 10, 30]
+
+    def test_permutation_matrix_invalid(self):
+        with pytest.raises(ShapeError):
+            permutation_matrix([0, 0, 1])
+
+
+class TestLexicographic:
+    def test_leading_index(self):
+        assert leading_index([0, 0, 3]) == 2
+        assert leading_index([0, 0, 0]) == -1
+
+    def test_zero_predicates(self):
+        assert is_zero_vector([0, 0])
+        assert not is_zero_vector([0, 1])
+        assert is_zero_matrix([[0, 0], [0, 0]])
+        assert is_zero_matrix([])
+
+    def test_lex_positive_negative(self):
+        assert is_lex_positive([0, 2, -5])
+        assert not is_lex_positive([0, -2, 5])
+        assert not is_lex_positive([0, 0, 0])
+        assert is_lex_negative([0, -1])
+        assert not is_lex_negative([0, 0])
+
+    def test_compare_lex(self):
+        assert compare_lex([1, 2], [1, 3]) == -1
+        assert compare_lex([1, 3], [1, 2]) == 1
+        assert compare_lex([1, 2], [1, 2]) == 0
+
+    def test_compare_lex_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            compare_lex([1], [1, 2])

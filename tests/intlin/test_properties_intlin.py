@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the integer linear algebra core."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.diophantine.linear_system import solve_row_system
+from repro.intlin.echelon import is_echelon, row_echelon
+from repro.intlin.gcd import extended_gcd, gcd
+from repro.intlin.hermite import hermite_normal_form, left_kernel_basis
+from repro.intlin.lattice import Lattice
+from repro.intlin.matrix import (
+    determinant,
+    is_unimodular,
+    mat_mul,
+    unimodular_inverse,
+    vec_mat_mul,
+)
+from repro.intlin.smith import smith_normal_form
+
+small_int = st.integers(min_value=-9, max_value=9)
+
+
+def matrices(max_rows=4, max_cols=4):
+    return st.integers(min_value=1, max_value=max_rows).flatmap(
+        lambda r: st.integers(min_value=1, max_value=max_cols).flatmap(
+            lambda c: st.lists(
+                st.lists(small_int, min_size=c, max_size=c), min_size=r, max_size=r
+            )
+        )
+    )
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_extended_gcd_bezout(a, b):
+    g, x, y = extended_gcd(a, b)
+    assert g == gcd(a, b)
+    assert a * x + b * y == g
+    assert g >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_row_echelon_invariants(matrix):
+    result = row_echelon(matrix)
+    assert is_unimodular(result.transform)
+    assert mat_mul(result.transform, matrix) == result.echelon
+    assert is_echelon(result.echelon)
+    assert result.rank <= min(len(matrix), len(matrix[0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_hermite_preserves_lattice_and_shape(matrix):
+    result = hermite_normal_form(matrix)
+    cols = len(matrix[0])
+    original = Lattice(matrix, dimension=cols)
+    reduced = Lattice(result.hermite, dimension=cols)
+    assert original == reduced
+    # every original row must be inside the HNF lattice
+    for row in matrix:
+        assert reduced.contains(row)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_left_kernel_rows_annihilate(matrix):
+    cols = len(matrix[0])
+    for row in left_kernel_basis(matrix):
+        assert vec_mat_mul(row, matrix) == [0] * cols
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(max_rows=3, max_cols=3))
+def test_smith_decomposition_invariants(matrix):
+    result = smith_normal_form(matrix)
+    assert is_unimodular(result.left)
+    assert is_unimodular(result.right)
+    assert mat_mul(mat_mul(result.left, matrix), result.right) == result.diagonal
+    factors = result.invariant_factors
+    assert all(f > 0 for f in factors)
+    for a, b in zip(factors, factors[1:]):
+        assert b % a == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(max_rows=3, max_cols=3), st.lists(small_int, min_size=3, max_size=3))
+def test_diophantine_solutions_satisfy_system(matrix, coeffs):
+    cols = len(matrix[0])
+    # build a right-hand side that is guaranteed solvable: c = x_true @ A
+    x_true = coeffs[: len(matrix)]
+    constant = vec_mat_mul(x_true, matrix)
+    sol = solve_row_system(matrix, constant)
+    assert sol.consistent
+    assert vec_mat_mul(sol.particular, matrix) == constant
+    for row in sol.homogeneous_basis:
+        assert vec_mat_mul(row, matrix) == [0] * cols
+
+
+def _unimodular_from_operations(operations):
+    """Build a unimodular 3x3 matrix as a product of elementary operations."""
+    matrix = [[1 if i == j else 0 for j in range(3)] for i in range(3)]
+    for kind, a, b, factor in operations:
+        if kind == 0 and a != b:  # add multiple of row a to row b
+            matrix[b] = [x + factor * y for x, y in zip(matrix[b], matrix[a])]
+        elif kind == 1 and a != b:  # swap rows
+            matrix[a], matrix[b] = matrix[b], matrix[a]
+        else:  # negate row a
+            matrix[a] = [-x for x in matrix[a]]
+    return matrix
+
+
+elementary_ops = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(-3, 3),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(elementary_ops)
+def test_unimodular_inverse_roundtrip(operations):
+    matrix = _unimodular_from_operations(operations)
+    assert abs(determinant(matrix)) == 1
+    inverse = unimodular_inverse(matrix)
+    identity = [[1 if i == j else 0 for j in range(3)] for i in range(3)]
+    assert mat_mul(matrix, inverse) == identity
+    assert mat_mul(inverse, matrix) == identity
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(max_rows=3, max_cols=3), st.lists(small_int, min_size=3, max_size=3))
+def test_lattice_membership_of_combinations(matrix, coeffs):
+    cols = len(matrix[0])
+    lattice = Lattice(matrix, dimension=cols)
+    combo = vec_mat_mul(coeffs[: len(matrix)], matrix)
+    assert lattice.contains(combo)
+    residue = lattice.residue(combo)
+    assert residue == lattice.residue([0] * cols)

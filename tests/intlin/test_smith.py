@@ -1,0 +1,72 @@
+"""Tests for repro.intlin.smith."""
+
+import numpy as np
+import pytest
+
+from repro.intlin.matrix import is_unimodular, mat_mul
+from repro.intlin.smith import smith_normal_form
+
+
+def _is_diagonal(matrix):
+    for i, row in enumerate(matrix):
+        for j, value in enumerate(row):
+            if i != j and value != 0:
+                return False
+    return True
+
+
+class TestSmithNormalForm:
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[2, 4], [6, 8]],
+            [[1, 2, 3], [4, 5, 6], [7, 8, 9]],
+            [[2, 0], [0, 3]],
+            [[0, 0], [0, 0]],
+            [[6, 10], [10, 6]],
+            [[1, 2], [3, 4], [5, 6]],
+            [[2, 4, 4], [-6, 6, 12], [10, 4, 16]],
+        ],
+    )
+    def test_decomposition(self, matrix):
+        result = smith_normal_form(matrix)
+        assert is_unimodular(result.left)
+        assert is_unimodular(result.right)
+        assert mat_mul(mat_mul(result.left, matrix), result.right) == result.diagonal
+        assert _is_diagonal(result.diagonal)
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            [[2, 4], [6, 8]],
+            [[6, 10], [10, 6]],
+            [[2, 4, 4], [-6, 6, 12], [10, 4, 16]],
+            [[1, 2, 3], [4, 5, 6], [7, 8, 9]],
+        ],
+    )
+    def test_divisibility_chain(self, matrix):
+        result = smith_normal_form(matrix)
+        factors = result.invariant_factors
+        assert all(f > 0 for f in factors)
+        for a, b in zip(factors, factors[1:]):
+            assert b % a == 0
+
+    def test_rank_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            a = rng.integers(-4, 5, size=(3, 4))
+            result = smith_normal_form(a.tolist())
+            assert result.rank == np.linalg.matrix_rank(a)
+
+    def test_known_example(self):
+        # A classic example: SNF of [[2, 4, 4], [-6, 6, 12], [10, -4, -16]]
+        result = smith_normal_form([[2, 4, 4], [-6, 6, 12], [10, -4, -16]])
+        assert result.invariant_factors == [2, 6, 12]
+
+    def test_determinant_invariance(self):
+        matrix = [[2, 1], [0, 3]]
+        result = smith_normal_form(matrix)
+        product = 1
+        for f in result.invariant_factors:
+            product *= f
+        assert product == abs(2 * 3)

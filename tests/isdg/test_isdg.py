@@ -1,0 +1,140 @@
+"""Tests for the ISDG construction, partition labelling, rendering and statistics."""
+
+import pytest
+
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import parallelize
+from repro.exceptions import ShapeError
+from repro.isdg.build import build_isdg
+from repro.isdg.partitions import (
+    cross_partition_edges,
+    partition_labels_of_iterations,
+    partition_sizes,
+)
+from repro.isdg.render import (
+    render_ascii_grid,
+    render_distance_histogram,
+    render_partition_grid,
+)
+from repro.isdg.stats import compute_statistics
+from repro.workloads.kernels import wavefront_recurrence
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop, three_deep_variable_loop
+
+
+class TestBuild:
+    def test_nodes_cover_iteration_space(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        assert isdg.num_nodes == ex41_small.iteration_count()
+        assert isdg.num_edges == len(isdg.edges)
+        assert isdg.num_edges > 0
+
+    def test_dependent_and_independent_nodes(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        dependent = isdg.dependent_nodes()
+        independent = isdg.independent_nodes()
+        assert dependent
+        assert independent
+        assert len(dependent) + len(independent) == isdg.num_nodes
+
+    def test_no_dependence_loop(self):
+        isdg = build_isdg(no_dependence_loop(4))
+        assert isdg.num_edges == 0
+        assert isdg.critical_path_length() == 1
+        assert len(isdg.independent_nodes()) == isdg.num_nodes
+
+    def test_distance_and_kind_counts(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        distances = isdg.distance_counts()
+        assert all(d[0] > 0 for d in distances)        # lexicographically positive
+        assert len(distances) > 1                      # variable distances
+        kinds = isdg.kind_counts()
+        assert set(kinds) <= {"flow", "anti", "output"}
+
+    def test_critical_path_wavefront(self):
+        # wavefront of size N has a dependence chain across the whole space
+        isdg = build_isdg(wavefront_recurrence(4))
+        assert isdg.critical_path_length() == 7  # (N-1) + (N-1) + 1 along the chain
+
+    def test_weakly_connected_components(self, ex42_small):
+        isdg = build_isdg(ex42_small)
+        components = isdg.weakly_connected_components()
+        assert sum(len(c) for c in components) == isdg.num_nodes
+
+
+class TestPartitions:
+    def test_labels_and_cross_edges_example_42(self, ex42_small, ex42_report):
+        isdg = build_isdg(ex42_small)
+        transformed = TransformedLoopNest.from_report(ex42_report)
+        labels = partition_labels_of_iterations(isdg, transformed)
+        assert set(labels) == set(isdg.graph.nodes)
+        sizes = partition_sizes(labels)
+        assert len(sizes) == 4
+        assert cross_partition_edges(isdg, labels) == []
+
+    def test_labels_without_partitioning(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        transformed = TransformedLoopNest.identity(ex41_small)
+        labels = partition_labels_of_iterations(isdg, transformed)
+        assert set(labels.values()) == {()}
+
+    def test_cross_edges_detected_for_wrong_partitioning(self, ex42_small):
+        # Labelling by the parity of i2 alone is NOT a legal partitioning for
+        # example 4.2 (distances like (2, 1) flip the parity of i2): the
+        # checker must flag crossing edges.
+        isdg = build_isdg(ex42_small)
+        labels = {node: (node[1] % 2 != 0,) for node in isdg.graph.nodes}
+        assert cross_partition_edges(isdg, labels)
+
+
+class TestRendering:
+    def test_ascii_grid(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        text = render_ascii_grid(isdg)
+        assert "o" in text and "." in text
+        # one line per i1 value plus a header
+        assert len(text.splitlines()) == ex41_small.bounds[0].extent({}) + 1
+
+    def test_partition_grid(self, ex42_small, ex42_report):
+        isdg = build_isdg(ex42_small)
+        transformed = TransformedLoopNest.from_report(ex42_report)
+        labels = partition_labels_of_iterations(isdg, transformed)
+        text = render_partition_grid(isdg, labels)
+        assert "partition labels" in text
+        for char in "0123":
+            assert char in text
+
+    def test_histogram(self, ex41_small):
+        isdg = build_isdg(ex41_small)
+        text = render_distance_histogram(isdg)
+        assert "count" in text
+        assert "#" in text
+
+    def test_histogram_empty(self):
+        isdg = build_isdg(no_dependence_loop(3))
+        assert "no dependences" in render_distance_histogram(isdg)
+
+    def test_rendering_requires_two_dimensions(self):
+        isdg = build_isdg(three_deep_variable_loop(2))
+        with pytest.raises(ShapeError):
+            render_ascii_grid(isdg)
+
+
+class TestStatistics:
+    def test_statistics_fields(self, ex41_small, ex41_report):
+        isdg = build_isdg(ex41_small)
+        transformed = TransformedLoopNest.from_report(ex41_report)
+        stats = compute_statistics(isdg, transformed)
+        assert stats.num_iterations == ex41_small.iteration_count()
+        assert stats.num_dependent + stats.num_independent == stats.num_iterations
+        assert stats.num_partitions == 2
+        assert stats.num_cross_partition_edges == 0
+        assert 0.0 < stats.dependent_fraction < 1.0
+        assert stats.partition_size_spread[0] <= stats.partition_size_spread[1]
+
+    def test_statistics_without_transform(self, ex42_small):
+        isdg = build_isdg(ex42_small)
+        stats = compute_statistics(isdg)
+        assert stats.num_partitions == 1
+        assert stats.as_dict()["iterations"] == isdg.num_nodes
+        assert "iterations" in stats.describe()

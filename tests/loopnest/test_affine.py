@@ -1,0 +1,108 @@
+"""Tests for repro.loopnest.affine."""
+
+import pytest
+
+from repro.exceptions import ReproError, SubscriptError
+from repro.loopnest.affine import AffineExpr
+
+
+class TestConstruction:
+    def test_constant(self):
+        expr = AffineExpr.constant_expr(5)
+        assert expr.is_constant
+        assert expr.constant == 5
+        assert expr.evaluate({}) == 5
+
+    def test_variable(self):
+        expr = AffineExpr.variable("i1", 3)
+        assert expr.coefficient("i1") == 3
+        assert expr.coefficient("i2") == 0
+        assert expr.variables() == {"i1"}
+
+    def test_zero_coefficients_dropped(self):
+        expr = AffineExpr({"i1": 0, "i2": 2}, 1)
+        assert expr.variables() == {"i2"}
+
+    def test_from_coefficients(self):
+        expr = AffineExpr.from_coefficients(["i1", "i2"], [2, -1], 4)
+        assert expr.evaluate({"i1": 1, "i2": 3}) == 2 - 3 + 4
+
+    def test_from_coefficients_length_mismatch(self):
+        with pytest.raises(SubscriptError):
+            AffineExpr.from_coefficients(["i1"], [1, 2])
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = AffineExpr.variable("i1") + AffineExpr.variable("i2") * 2 + 3
+        b = AffineExpr.variable("i1") - 1
+        total = a - b
+        assert total.coefficient("i1") == 0
+        assert total.coefficient("i2") == 2
+        assert total.constant == 4
+
+    def test_radd_rsub_rmul(self):
+        expr = 5 + AffineExpr.variable("i")
+        assert expr.constant == 5
+        expr = 5 - AffineExpr.variable("i")
+        assert expr.coefficient("i") == -1
+        expr = 3 * AffineExpr.variable("i")
+        assert expr.coefficient("i") == 3
+
+    def test_neg(self):
+        expr = -(AffineExpr.variable("i1", 2) + 1)
+        assert expr.coefficient("i1") == -2
+        assert expr.constant == -1
+
+    def test_mul_by_non_integer_rejected(self):
+        with pytest.raises(ReproError):
+            AffineExpr.variable("i") * 1.5
+
+    def test_cancellation_produces_constant(self):
+        expr = AffineExpr.variable("i") - AffineExpr.variable("i")
+        assert expr.is_constant
+        assert expr.constant == 0
+
+
+class TestEvaluationVectorization:
+    def test_evaluate_missing_variable(self):
+        expr = AffineExpr.variable("i1")
+        with pytest.raises(SubscriptError):
+            expr.evaluate({"i2": 3})
+
+    def test_vectorize(self):
+        expr = AffineExpr({"i2": 3, "i1": -1}, 7)
+        coeffs, const = expr.vectorize(["i1", "i2", "i3"])
+        assert coeffs == [-1, 3, 0]
+        assert const == 7
+
+    def test_vectorize_unknown_variable(self):
+        expr = AffineExpr.variable("k")
+        with pytest.raises(SubscriptError):
+            expr.vectorize(["i1", "i2"])
+
+    def test_substitute(self):
+        expr = AffineExpr({"i1": 2}, 1)
+        substituted = expr.substitute({"i1": AffineExpr({"j1": 1, "j2": 1}, 0)})
+        assert substituted.coefficient("j1") == 2
+        assert substituted.coefficient("j2") == 2
+        assert substituted.constant == 1
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = AffineExpr({"i": 1}, 2)
+        b = AffineExpr.variable("i") + 2
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AffineExpr({"i": 1}, 3)
+
+    def test_str_forms(self):
+        assert str(AffineExpr.constant_expr(-10)) == "-10"
+        assert str(AffineExpr.variable("i1")) == "i1"
+        text = str(AffineExpr({"i1": 1, "i2": -2}, 3))
+        assert "i1" in text and "i2" in text and "3" in text
+
+    def test_repr_roundtrip_info(self):
+        expr = AffineExpr({"i": 2}, -1)
+        assert "2" in repr(expr) and "-1" in repr(expr)

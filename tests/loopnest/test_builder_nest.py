@@ -1,0 +1,177 @@
+"""Tests for the loop-nest builder, LoopNest and LoopBounds."""
+
+import pytest
+
+from repro.exceptions import BoundsError, LoopNestError
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.bounds import LoopBounds
+from repro.loopnest.builder import loop_nest
+from repro.loopnest.codegen import render_loop_nest
+from repro.loopnest.nest import LoopNest
+from repro.loopnest.parser import parse_statement
+
+
+class TestLoopBounds:
+    def test_constant_bounds(self):
+        bounds = LoopBounds(-3, 7)
+        assert bounds.is_constant
+        assert bounds.lower_value({}) == -3
+        assert bounds.upper_value({}) == 7
+        assert bounds.extent({}) == 11
+
+    def test_affine_bounds(self):
+        bounds = LoopBounds(AffineExpr.variable("i1"), AffineExpr.variable("i1") + 4)
+        assert not bounds.is_constant
+        assert bounds.extent({"i1": 2}) == 5
+        assert bounds.variables() == {"i1"}
+
+    def test_empty_extent(self):
+        assert LoopBounds(5, 3).extent({}) == 0
+
+    def test_invalid_bound_type(self):
+        with pytest.raises(BoundsError):
+            LoopBounds(1.5, 3)
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        nest = (
+            loop_nest("demo")
+            .loop("i1", 0, 4)
+            .loop("i2", 0, "i1")
+            .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+            .build()
+        )
+        assert nest.depth == 2
+        assert nest.name == "demo"
+        assert not nest.is_rectangular
+
+    def test_assign_api(self):
+        nest = (
+            loop_nest()
+            .loop("i", 0, 3)
+            .assign("A", ["2*i"], "A[2*i - 2] + 1.0")
+            .build()
+        )
+        assert nest.statements[0].target.array == "A"
+        assert nest.statements[0].target.subscripts[0].coefficient("i") == 2
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(LoopNestError):
+            loop_nest().loop("i", 0, 3).loop("i", 0, 3)
+
+    def test_bound_referencing_inner_index_rejected(self):
+        with pytest.raises(Exception):
+            loop_nest().loop("i1", 0, "i2").loop("i2", 0, 3).statement(
+                "A[i1, i2] = 1.0"
+            ).build()
+
+
+class TestLoopNest:
+    def _nest(self, n=3):
+        return (
+            loop_nest("t")
+            .loop("i1", 0, n)
+            .loop("i2", 0, n)
+            .statement("A[i1, i2] = A[i1 - 1, i2] + B[i1, i2]")
+            .build()
+        )
+
+    def test_validation_requires_statements(self):
+        with pytest.raises(LoopNestError):
+            LoopNest(["i"], [LoopBounds(0, 3)], [])
+
+    def test_validation_requires_bounds_per_level(self):
+        stmt = parse_statement("A[i] = 1.0", ["i"])
+        with pytest.raises(LoopNestError):
+            LoopNest(["i", "j"], [LoopBounds(0, 3)], [stmt])
+
+    def test_statement_variable_check(self):
+        stmt = parse_statement("A[i, j] = 1.0", ["i", "j"])
+        with pytest.raises(LoopNestError):
+            LoopNest(["i"], [LoopBounds(0, 3)], [stmt])
+
+    def test_iterations_lexicographic(self):
+        nest = self._nest(1)
+        assert list(nest.iterations()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_iteration_count(self):
+        assert self._nest(3).iteration_count() == 16
+
+    def test_iteration_count_triangular(self):
+        nest = (
+            loop_nest()
+            .loop("i1", 0, 3)
+            .loop("i2", 0, "i1")
+            .statement("A[i1, i2] = 1.0")
+            .build()
+        )
+        assert nest.iteration_count() == 4 + 3 + 2 + 1
+
+    def test_contains_iteration(self):
+        nest = self._nest(2)
+        assert nest.contains_iteration((0, 2))
+        assert not nest.contains_iteration((0, 3))
+        assert not nest.contains_iteration((0,))
+
+    def test_env_for(self):
+        nest = self._nest(2)
+        assert nest.env_for((1, 2)) == {"i1": 1, "i2": 2}
+        with pytest.raises(LoopNestError):
+            nest.env_for((1,))
+
+    def test_references(self):
+        nest = self._nest()
+        refs = nest.references()
+        assert len(refs) == 3
+        assert len(nest.write_references()) == 1
+        assert len(nest.read_references()) == 2
+        assert nest.array_names() == {"A", "B"}
+
+    def test_inequality_system_matches_bounds(self):
+        nest = self._nest(4)
+        system = nest.inequality_system()
+        assert system.satisfied_by([0, 4])
+        assert not system.satisfied_by([0, 5])
+        assert not system.satisfied_by([-1, 0])
+
+    def test_with_statements_and_rename(self):
+        nest = self._nest()
+        stmt = parse_statement("A[i1, i2] = 2.0", ["i1", "i2"])
+        replaced = nest.with_statements([stmt])
+        assert len(replaced.statements) == 1
+        renamed = nest.rename("other")
+        assert renamed.name == "other"
+        assert renamed.depth == nest.depth
+
+
+class TestRendering:
+    def test_render_do_loops(self):
+        nest = (
+            loop_nest("r")
+            .loop("i1", -2, 2)
+            .loop("i2", 0, 3)
+            .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+            .build()
+        )
+        text = render_loop_nest(nest)
+        assert "do i1 = -2, 2" in text
+        assert "do i2 = 0, 3" in text
+        assert text.count("enddo") == 2
+
+    def test_render_doall_annotation(self):
+        nest = (
+            loop_nest("r")
+            .loop("i1", 0, 3)
+            .statement("A[i1] = 1.0")
+            .build()
+        )
+        text = render_loop_nest(nest, doall_levels=[0])
+        assert "doall i1" in text
+
+    def test_str_uses_renderer(self):
+        nest = self._simple()
+        assert "do i1" in str(nest)
+
+    def _simple(self):
+        return loop_nest("s").loop("i1", 0, 1).statement("A[i1] = 1.0").build()

@@ -1,0 +1,111 @@
+"""Tests for repro.loopnest.expr (body expression AST)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExecutionError, SubscriptError
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.expr import (
+    ArrayAccess,
+    BinaryOp,
+    Call,
+    Constant,
+    IndexTerm,
+    UnaryOp,
+    collect_array_accesses,
+)
+from repro.runtime.arrays import OffsetArray
+
+
+@pytest.fixture()
+def store():
+    array = OffsetArray.from_window([-5, -5], [5, 5])
+    for x in range(-5, 6):
+        for y in range(-5, 6):
+            array[x, y] = 10 * x + y
+    return {"A": array}
+
+
+def _access(name, *subscripts):
+    return ArrayAccess(name, tuple(AffineExpr(coeffs, const) for coeffs, const in subscripts))
+
+
+class TestNodes:
+    def test_constant(self):
+        assert Constant(2.5).evaluate({}, {}) == 2.5
+        assert Constant(3).to_source() == "3"
+
+    def test_index_term(self, store):
+        term = IndexTerm(AffineExpr({"i1": 2}, 1))
+        assert term.evaluate({"i1": 3}, store) == 7
+        assert term.variables() == {"i1"}
+
+    def test_array_access_evaluate(self, store):
+        access = _access("A", ({"i1": 1}, 0), ({"i2": 1}, -1))
+        assert access.evaluate({"i1": 2, "i2": 3}, store) == 10 * 2 + 2
+        assert access.dimension == 2
+
+    def test_array_access_missing_array(self, store):
+        access = _access("Z", ({"i1": 1}, 0))
+        with pytest.raises(ExecutionError):
+            access.evaluate({"i1": 0}, store)
+
+    def test_array_access_requires_affine(self):
+        with pytest.raises(SubscriptError):
+            ArrayAccess("A", ("not affine",))
+        with pytest.raises(SubscriptError):
+            ArrayAccess("A", ())
+
+    def test_access_matrix(self):
+        access = _access("A", ({"i1": 1, "i2": 2}, 3), ({"i2": -1}, 0))
+        matrix, offsets = access.access_matrix(["i1", "i2"])
+        assert matrix == [[1, 2], [0, -1]]
+        assert offsets == [3, 0]
+
+    def test_binary_and_unary(self, store):
+        expr = BinaryOp("+", Constant(1), UnaryOp("-", Constant(4)))
+        assert expr.evaluate({}, store) == -3
+        expr = BinaryOp("*", IndexTerm(AffineExpr({"i": 1}, 0)), Constant(2.0))
+        assert expr.evaluate({"i": 3}, store) == 6.0
+
+    def test_binary_rejects_unknown_operator(self):
+        with pytest.raises(SubscriptError):
+            BinaryOp("@", Constant(1), Constant(2))
+
+    def test_unary_rejects_unknown_operator(self):
+        with pytest.raises(SubscriptError):
+            UnaryOp("!", Constant(1))
+
+    def test_call(self, store):
+        expr = Call("sqrt", (Constant(9.0),))
+        assert expr.evaluate({}, store) == 3.0
+        expr = Call("max", (Constant(1), Constant(5)))
+        assert expr.evaluate({}, store) == 5
+
+    def test_call_rejects_unknown_function(self):
+        with pytest.raises(SubscriptError):
+            Call("system", (Constant(1),))
+
+
+class TestTraversal:
+    def test_collect_array_accesses_order(self, store):
+        a1 = _access("A", ({"i1": 1}, 0), ({"i2": 1}, 0))
+        a2 = _access("A", ({"i1": 1}, -1), ({"i2": 1}, 0))
+        expr = BinaryOp("+", a1, BinaryOp("*", Constant(2), a2))
+        accesses = collect_array_accesses(expr)
+        assert accesses == [a1, a2]
+
+    def test_variables_union(self):
+        expr = BinaryOp(
+            "+",
+            IndexTerm(AffineExpr({"i1": 1}, 0)),
+            Call("sin", (IndexTerm(AffineExpr({"i2": 1}, 0)),)),
+        )
+        assert expr.variables() == {"i1", "i2"}
+
+    def test_to_source_is_parsable(self):
+        a1 = _access("A", ({"i1": 1}, 1))
+        expr = BinaryOp("/", a1, Constant(2.0))
+        source = expr.to_source()
+        assert "A[" in source and "/" in source

@@ -1,0 +1,124 @@
+"""Tests for repro.loopnest.parser."""
+
+import pytest
+
+from repro.exceptions import SubscriptError
+from repro.loopnest.expr import ArrayAccess, BinaryOp, Call, Constant, IndexTerm
+from repro.loopnest.parser import parse_affine, parse_expression, parse_statement
+
+INDICES = ["i1", "i2"]
+
+
+class TestParseAffine:
+    def test_simple(self):
+        expr = parse_affine("2*i1 - i2 + 3", INDICES)
+        assert expr.coefficient("i1") == 2
+        assert expr.coefficient("i2") == -1
+        assert expr.constant == 3
+
+    def test_commutative_products(self):
+        assert parse_affine("i1*3", INDICES).coefficient("i1") == 3
+        assert parse_affine("3*i1", INDICES).coefficient("i1") == 3
+
+    def test_nested_parentheses(self):
+        expr = parse_affine("-(i1 + 2*(i2 - 1))", INDICES)
+        assert expr.coefficient("i1") == -1
+        assert expr.coefficient("i2") == -2
+        assert expr.constant == 2
+
+    def test_unary_plus(self):
+        assert parse_affine("+i1", INDICES).coefficient("i1") == 1
+
+    def test_rejects_unknown_index(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("i1 + k", INDICES)
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("i1 * i2", INDICES)
+
+    def test_rejects_float_constant(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("i1 + 1.5", INDICES)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SubscriptError):
+            parse_affine("i1 +", INDICES)
+
+
+class TestParseExpression:
+    def test_array_access(self):
+        expr = parse_expression("A[i1 - 1, i2 + 2]", INDICES)
+        assert isinstance(expr, ArrayAccess)
+        assert expr.array == "A"
+        assert expr.subscripts[0].constant == -1
+        assert expr.subscripts[1].constant == 2
+
+    def test_one_dimensional_access(self):
+        expr = parse_expression("A[2*i1 + i2]", INDICES)
+        assert isinstance(expr, ArrayAccess)
+        assert expr.dimension == 1
+
+    def test_arithmetic_tree(self):
+        expr = parse_expression("A[i1, i2] * 0.5 + 1.0", INDICES)
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.left, BinaryOp)
+        assert isinstance(expr.right, Constant)
+
+    def test_index_term(self):
+        expr = parse_expression("i1 + 2", INDICES)
+        assert isinstance(expr, BinaryOp)
+        assert isinstance(expr.left, IndexTerm)
+
+    def test_call(self):
+        expr = parse_expression("sin(A[i1, i2]) + sqrt(4.0)", INDICES)
+        assert isinstance(expr.left, Call)
+        assert expr.left.name == "sin"
+
+    def test_unknown_bare_name(self):
+        with pytest.raises(SubscriptError):
+            parse_expression("A[i1, i2] + scalar", INDICES)
+
+    def test_unknown_function(self):
+        with pytest.raises(SubscriptError):
+            parse_expression("eval(1)", INDICES)
+
+    def test_nonlinear_subscript_rejected(self):
+        with pytest.raises(SubscriptError):
+            parse_expression("A[i1*i2]", INDICES)
+
+    def test_complex_subscripted_value_rejected(self):
+        with pytest.raises(SubscriptError):
+            parse_expression("(A + B)[i1]", INDICES)
+
+
+class TestParseStatement:
+    def test_simple_statement(self):
+        stmt = parse_statement("A[i1, i2] = A[i1 - 1, i2] + 1.0", INDICES)
+        assert stmt.target.array == "A"
+        refs = stmt.references(0)
+        assert len(refs) == 2
+        assert refs[0].is_write and not refs[1].is_write
+
+    def test_statement_roundtrips_through_source(self):
+        stmt = parse_statement("A[i1, i2] = B[2*i1, i2 - 3] * 2.0", INDICES)
+        text = stmt.to_source()
+        reparsed = parse_statement(text, INDICES)
+        assert reparsed.target == stmt.target
+
+    def test_rejects_expression_only(self):
+        with pytest.raises(SubscriptError):
+            parse_statement("A[i1, i2] + 1", INDICES)
+
+    def test_rejects_scalar_target(self):
+        with pytest.raises(SubscriptError):
+            parse_statement("x = A[i1, i2]", INDICES)
+
+    def test_rejects_chained_assignment(self):
+        with pytest.raises(SubscriptError):
+            parse_statement("A[i1, i2] = B[i1, i2] = 1.0", INDICES)
+
+    def test_rejects_multiple_statements(self):
+        with pytest.raises(SubscriptError):
+            parse_statement("A[i1, i2] = 1.0; B[i1, i2] = 2.0", INDICES)

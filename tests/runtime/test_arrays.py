@@ -1,0 +1,103 @@
+"""Tests for the runtime array store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.runtime.arrays import ArrayStore, OffsetArray, store_for_nest
+from repro.workloads.paper_examples import example_4_1
+from repro.workloads.synthetic import no_dependence_loop
+
+
+class TestOffsetArray:
+    def test_window_indexing(self):
+        array = OffsetArray.from_window([-3, 0], [3, 4])
+        array[-3, 0] = 7.0
+        array[3, 4] = 9.0
+        assert array[-3, 0] == 7.0
+        assert array[3, 4] == 9.0
+        assert array.shape == (7, 5)
+
+    def test_one_dimensional(self):
+        array = OffsetArray.from_window([-5], [5])
+        array[-5] = 1.0
+        assert array[-5] == 1.0
+
+    def test_out_of_window_raises(self):
+        array = OffsetArray.from_window([0, 0], [2, 2])
+        with pytest.raises(ExecutionError):
+            array[3, 0]
+        with pytest.raises(ExecutionError):
+            array[0, -1] = 1.0
+
+    def test_wrong_arity_raises(self):
+        array = OffsetArray.from_window([0, 0], [2, 2])
+        with pytest.raises(ExecutionError):
+            array[0]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ExecutionError):
+            OffsetArray.from_window([0], [-1])
+
+    def test_origin_shape_mismatch(self):
+        with pytest.raises(ExecutionError):
+            OffsetArray([0, 0], [3])
+
+    def test_copy_independent(self):
+        array = OffsetArray.from_window([0], [3])
+        clone = array.copy()
+        clone[0] = 5.0
+        assert array[0] == 0.0
+        assert clone[0] == 5.0
+
+    def test_allclose_and_difference(self):
+        a = OffsetArray.from_window([0], [3])
+        b = a.copy()
+        assert a.allclose(b)
+        b[2] = 1e-3
+        assert not a.allclose(b)
+        assert a.max_abs_difference(b) == pytest.approx(1e-3)
+
+
+class TestArrayStore:
+    def test_copy_and_compare(self):
+        store = ArrayStore()
+        store["A"] = OffsetArray.from_window([0, 0], [3, 3])
+        clone = store.copy()
+        clone["A"][1, 1] = 2.0
+        assert not store.allclose(clone)
+        assert store.max_abs_difference(clone) == pytest.approx(2.0)
+
+    def test_mismatched_keys(self):
+        a = ArrayStore()
+        b = ArrayStore()
+        a["A"] = OffsetArray.from_window([0], [1])
+        assert not a.allclose(b)
+        assert a.max_abs_difference(b) == float("inf")
+
+
+class TestStoreForNest:
+    def test_window_covers_all_accesses(self, ex41_small):
+        store = store_for_nest(ex41_small)
+        # executing must never raise an out-of-window error
+        from repro.runtime.interpreter import execute_nest
+
+        execute_nest(ex41_small, store)
+
+    def test_initializers(self):
+        nest = no_dependence_loop(3)
+        zeros = store_for_nest(nest, initializer="zeros")
+        assert float(np.sum(np.abs(zeros["B"].data))) == 0.0
+        index_sum = store_for_nest(nest, initializer="index_sum")
+        assert index_sum["B"][2, 3] == pytest.approx(5.0)
+        random_a = store_for_nest(nest, initializer="random", seed=1)
+        random_b = store_for_nest(nest, initializer="random", seed=1)
+        assert random_a.allclose(random_b)
+
+    def test_unknown_initializer(self):
+        with pytest.raises(ExecutionError):
+            store_for_nest(no_dependence_loop(2), initializer="bogus")
+
+    def test_arrays_present(self, ex41_small):
+        store = store_for_nest(ex41_small)
+        assert set(store.keys()) == {"A"}

@@ -1,0 +1,144 @@
+"""Tests for the command line interface and the loop description format."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_loop_file, parse_loop_text
+from repro.exceptions import LoopNestError, SubscriptError
+
+EXAMPLE_41 = """
+# section 4.1 reconstruction
+name: cli-example
+loop i1 = -6 .. 6
+loop i2 = -6 .. 6
+A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0
+"""
+
+TRIANGULAR = """
+loop i1 = 0 .. 8
+loop i2 = 0 .. i1
+A[i1, i2] = A[i1 - 2, i2] + 1.0
+"""
+
+
+class TestParseLoopText:
+    def test_basic(self):
+        nest = parse_loop_text(EXAMPLE_41)
+        assert nest.name == "cli-example"
+        assert nest.depth == 2
+        assert nest.bounds[0].lower_value({}) == -6
+        assert len(nest.statements) == 1
+
+    def test_affine_bounds(self):
+        nest = parse_loop_text(TRIANGULAR, default_name="tri")
+        assert nest.name == "tri"
+        assert not nest.is_rectangular
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "\n# only a comment\n" + EXAMPLE_41 + "\n   # trailing comment\n"
+        nest = parse_loop_text(text)
+        assert nest.depth == 2
+
+    def test_multiple_statements(self):
+        text = EXAMPLE_41 + "B[i1, i2] = B[i1 - 1, i2] + A[i1, i2]\n"
+        nest = parse_loop_text(text)
+        assert len(nest.statements) == 2
+
+    def test_loop_after_statement_rejected(self):
+        text = "loop i1 = 0 .. 3\nA[i1] = 1.0\nloop i2 = 0 .. 3\n"
+        with pytest.raises(LoopNestError):
+            parse_loop_text(text)
+
+    def test_missing_loops_rejected(self):
+        with pytest.raises(LoopNestError):
+            parse_loop_text("A[i1] = 1.0\n")
+
+    def test_missing_statements_rejected(self):
+        with pytest.raises(LoopNestError):
+            parse_loop_text("loop i1 = 0 .. 3\n")
+
+    def test_malformed_loop_line(self):
+        with pytest.raises(LoopNestError):
+            parse_loop_text("loop i1 from 0 to 3\nA[i1] = 1.0\n")
+
+    def test_bad_statement_propagates(self):
+        with pytest.raises(SubscriptError):
+            parse_loop_text("loop i1 = 0 .. 3\nA[i1*i1] = 1.0\n")
+
+
+class TestParseLoopFile:
+    def test_shipped_example_files(self):
+        from pathlib import Path
+
+        loops_dir = Path(__file__).resolve().parent.parent / "examples" / "loops"
+        names = [
+            "example41.loop",
+            "example42.loop",
+            "banded_update.loop",
+            "triangular_wavefront.loop",
+        ]
+        for name in names:
+            nest = parse_loop_file(str(loops_dir / name))
+            assert nest.depth == 2
+            assert nest.iteration_count() > 0
+
+    def test_file_name_used_as_default_name(self, tmp_path):
+        path = tmp_path / "my_kernel.loop"
+        path.write_text("loop i1 = 0 .. 3\nA[i1] = A[i1 - 1] + 1.0\n")
+        nest = parse_loop_file(str(path))
+        assert nest.name == "my_kernel"
+
+
+class TestMain:
+    @pytest.fixture()
+    def loop_file(self, tmp_path):
+        path = tmp_path / "ex41.loop"
+        path.write_text(EXAMPLE_41)
+        return str(path)
+
+    def test_analyze(self, loop_file, capsys):
+        assert main(["analyze", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "Pseudo distance matrix" in out
+        assert "2 partition" in out
+        assert "ideal speedup" in out
+
+    def test_codegen(self, loop_file, capsys):
+        assert main(["codegen", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "def run_original(arrays):" in out
+        assert "def run_transformed(arrays):" in out
+        assert "# doall" in out
+
+    def test_verify(self, loop_file, capsys):
+        assert main(["verify", loop_file]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare(self, loop_file, capsys):
+        assert main(["compare", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "pdm" in out
+        assert "not applicable" in out  # uniform-distance baselines give up
+
+    def test_figures(self, loop_file, capsys):
+        assert main(["figures", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "partition labels" in out
+        assert "distance vector : count" in out
+
+    def test_inner_placement_flag(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--placement", "inner"]) == 0
+        assert "doall" in capsys.readouterr().out.lower()
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/path.loop"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_loop_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.loop"
+        path.write_text("A[i1] = 1.0\n")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode", "x.loop"])

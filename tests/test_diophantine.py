@@ -1,0 +1,120 @@
+"""Tests for repro.diophantine (single equations and systems)."""
+
+import pytest
+
+from repro.diophantine.linear_system import (
+    has_integer_solution,
+    solve_column_system,
+    solve_row_system,
+)
+from repro.diophantine.single_equation import solve_single_equation
+from repro.exceptions import InconsistentSystemError, ShapeError
+from repro.intlin.matrix import vec_mat_mul
+
+
+class TestSingleEquation:
+    def test_solvable(self):
+        sol = solve_single_equation([4, 6], 10)
+        assert sol.consistent
+        assert 4 * sol.particular[0] + 6 * sol.particular[1] == 10
+        assert sol.gcd == 2
+
+    def test_unsolvable(self):
+        sol = solve_single_equation([4, 6], 7)
+        assert not sol.consistent
+
+    def test_zero_coefficients(self):
+        assert solve_single_equation([0, 0], 0).consistent
+        assert not solve_single_equation([0, 0], 3).consistent
+
+    def test_homogeneous_basis_spans_solutions(self):
+        sol = solve_single_equation([3, 5], 1)
+        for coeffs in ([0], [1], [-2], [5]):
+            x = sol.sample(coeffs)
+            assert 3 * x[0] + 5 * x[1] == 1
+
+    def test_sample_validates_length(self):
+        sol = solve_single_equation([3, 5], 1)
+        with pytest.raises(ValueError):
+            sol.sample([1, 2, 3])
+
+    def test_sample_on_inconsistent(self):
+        sol = solve_single_equation([2, 4], 3)
+        with pytest.raises(ValueError):
+            sol.sample([0])
+
+
+class TestRowSystem:
+    def test_paper_style_system(self):
+        # x @ A = c with a 4x2 matrix (two unknown index vectors, 2-D array)
+        matrix = [[1, 0], [0, 1], [1, 0], [2, 1]]
+        constant = [3, 5]
+        sol = solve_row_system(matrix, constant)
+        assert sol.consistent
+        assert vec_mat_mul(sol.particular, matrix) == constant
+        for row in sol.homogeneous_basis:
+            assert vec_mat_mul(row, matrix) == [0, 0]
+        assert sol.rank + sol.n_free == 4
+
+    def test_all_general_solutions_satisfy_system(self):
+        matrix = [[2, 1], [0, 3], [1, 1]]
+        constant = [4, 5]
+        sol = solve_row_system(matrix, constant)
+        assert sol.consistent
+        for coeffs in ([0], [1], [-3]):
+            x = sol.sample(coeffs + [0] * (sol.n_free - 1))
+            assert vec_mat_mul(x, matrix) == constant
+
+    def test_inconsistent_gcd(self):
+        # 2*x = 3 has no integer solution
+        sol = solve_row_system([[2]], [3])
+        assert not sol.consistent
+        assert sol.particular is None
+
+    def test_inconsistent_rank(self):
+        # x * (1, 1) = (1, 2): impossible since both columns equal
+        sol = solve_row_system([[1, 1]], [1, 2])
+        assert not sol.consistent
+
+    def test_sample_raises_when_inconsistent(self):
+        sol = solve_row_system([[2]], [3])
+        with pytest.raises(InconsistentSystemError):
+            sol.sample([])
+
+    def test_constant_length_validation(self):
+        with pytest.raises(ShapeError):
+            solve_row_system([[1, 2]], [1, 2, 3])
+
+    def test_brute_force_equivalence(self):
+        # The general solution must enumerate exactly the brute-force solution set.
+        matrix = [[2, 0], [1, 1], [0, 3]]
+        constant = [4, 3]
+        sol = solve_row_system(matrix, constant)
+        assert sol.consistent
+        brute = {
+            (x0, x1, x2)
+            for x0 in range(-6, 7)
+            for x1 in range(-6, 7)
+            for x2 in range(-6, 7)
+            if vec_mat_mul([x0, x1, x2], matrix) == constant
+        }
+        generated = set()
+        for t in range(-8, 9):
+            x = sol.sample([t] + [0] * (sol.n_free - 1)) if sol.n_free else sol.particular
+            generated.add(tuple(x))
+        # one free parameter expected here
+        assert sol.n_free == 1
+        assert brute <= generated
+
+    def test_has_integer_solution_helper(self):
+        assert has_integer_solution([[2], [3]], [1])
+        assert not has_integer_solution([[2], [4]], [1])
+
+
+class TestColumnSystem:
+    def test_column_form(self):
+        # A x = c  with A = [[1, 2], [3, 4]], c = (5, 11) -> x = (1, 2)
+        sol = solve_column_system([[1, 2], [3, 4]], [5, 11])
+        assert sol.consistent
+        assert sol.particular == [1, 2]
+        assert sol.n_free == 0

@@ -1,0 +1,93 @@
+"""Tests for repro.utils (validation and formatting helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.utils.formatting import format_matrix, format_table, format_vector, indent_block
+from repro.utils.validation import (
+    as_int_list,
+    as_int_table,
+    check_int,
+    check_int_matrix,
+    check_int_vector,
+    check_same_length,
+    check_square,
+)
+
+
+class TestValidation:
+    def test_check_int_accepts_various(self):
+        assert check_int(5) == 5
+        assert check_int(np.int64(7)) == 7
+        assert check_int(3.0) == 3
+
+    def test_check_int_rejects(self):
+        with pytest.raises(ShapeError):
+            check_int(3.5)
+        with pytest.raises(ShapeError):
+            check_int(True)
+        with pytest.raises(ShapeError):
+            check_int("3")
+
+    def test_as_int_list(self):
+        assert as_int_list((1, 2, 3)) == [1, 2, 3]
+        assert as_int_list(np.array([1, 2])) == [1, 2]
+        with pytest.raises(ShapeError):
+            as_int_list(np.array([[1, 2]]))
+
+    def test_as_int_table(self):
+        assert as_int_table(np.array([[1, 2], [3, 4]])) == [[1, 2], [3, 4]]
+        assert as_int_table([]) == []
+        with pytest.raises(ShapeError):
+            as_int_table([[1], [2, 3]])
+
+    def test_check_vector_length(self):
+        assert check_int_vector([1, 2], length=2) == [1, 2]
+        with pytest.raises(ShapeError):
+            check_int_vector([1, 2], length=3)
+
+    def test_check_matrix_shape(self):
+        assert check_int_matrix([[1, 2]], n_rows=1, n_cols=2) == [[1, 2]]
+        with pytest.raises(ShapeError):
+            check_int_matrix([[1, 2]], n_rows=2)
+        with pytest.raises(ShapeError):
+            check_int_matrix([[1, 2]], n_cols=3)
+
+    def test_check_square(self):
+        assert check_square([[1, 2], [3, 4]]) == [[1, 2], [3, 4]]
+        with pytest.raises(ShapeError):
+            check_square([[1, 2]])
+        with pytest.raises(ShapeError):
+            check_square([])
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ShapeError):
+            check_same_length([1], [1, 2])
+
+
+class TestFormatting:
+    def test_format_vector(self):
+        assert format_vector([1, -2, 3]) == "( 1 -2 3 )"
+
+    def test_format_matrix_alignment(self):
+        text = format_matrix([[1, -20], [300, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("[") for line in lines)
+        assert "300" in lines[1]
+
+    def test_format_matrix_empty(self):
+        assert "empty" in format_matrix([])
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+", " "}
+
+    def test_indent_block(self):
+        assert indent_block("x\ny", "  ") == "  x\n  y"
+        assert indent_block("x\n\ny", "  ") == "  x\n\n  y"

@@ -1,0 +1,151 @@
+"""Tests for the workload definitions (paper examples, synthetic, kernels, suite)."""
+
+import pytest
+
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.core.pipeline import parallelize
+from repro.dependence.graph import realized_distances
+from repro.exceptions import WorkloadError
+from repro.workloads.kernels import (
+    KERNELS,
+    banded_update,
+    constant_partitioning_recurrence,
+    mixed_distance_kernel,
+    strided_scatter,
+    wavefront_recurrence,
+)
+from repro.workloads.paper_examples import PAPER_EXAMPLES, example_4_1, example_4_2, figure1_example
+from repro.workloads.suite import workload_suite
+from repro.workloads.synthetic import (
+    no_dependence_loop,
+    random_affine_loop,
+    three_deep_variable_loop,
+    uniform_distance_loop,
+    variable_distance_loop,
+)
+
+
+class TestPaperExamples:
+    def test_example_41_structure(self):
+        nest = example_4_1(10)
+        assert nest.depth == 2
+        assert nest.bounds[0].lower_value({}) == -10
+        assert nest.bounds[0].upper_value({}) == 10
+        distances = realized_distances(example_4_1(6))
+        # variable distances, all multiples of (2, -2)
+        assert len(distances) > 1
+        assert all(d[0] == -d[1] and d[0] % 2 == 0 for d in distances)
+
+    def test_example_42_structure(self):
+        nest = example_4_2(10)
+        assert nest.depth == 2
+        assert len(nest.statements) == 2
+        assert nest.array_names() == {"A", "B"}
+        pdm = PseudoDistanceMatrix.from_loop_nest(example_4_2(6))
+        assert pdm.determinant() == 4
+
+    def test_figure1_example(self):
+        pdm = PseudoDistanceMatrix.from_loop_nest(figure1_example(5))
+        assert pdm.matrix == [[1, 0], [0, 1]]
+
+    def test_paper_examples_dict(self):
+        examples = PAPER_EXAMPLES(6)
+        assert set(examples) == {"figure-1", "example-4.1", "example-4.2"}
+        for nest in examples.values():
+            assert nest.iteration_count() > 0
+
+
+class TestSynthetic:
+    def test_uniform_distance_loop_distances(self):
+        nest = uniform_distance_loop([(1, 2), (3, 0)], 8)
+        assert realized_distances(nest) >= {(1, 2), (3, 0)}
+
+    def test_uniform_distance_loop_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_distance_loop([(1, 2, 3)], 5)
+
+    def test_no_dependence_loop(self):
+        assert realized_distances(no_dependence_loop(4)) == set()
+
+    @pytest.mark.parametrize("scale", [1, 2, 3, 5])
+    def test_variable_distance_loop_pdm(self, scale):
+        pdm = PseudoDistanceMatrix.from_loop_nest(variable_distance_loop(scale=scale, n=5))
+        assert pdm.matrix == [[scale, -scale]]
+
+    def test_variable_distance_loop_validation(self):
+        with pytest.raises(WorkloadError):
+            variable_distance_loop(scale=0)
+
+    def test_random_affine_loop_reproducible(self):
+        a = random_affine_loop(seed=3)
+        b = random_affine_loop(seed=3)
+        assert str(a) == str(b)
+        c = random_affine_loop(seed=4)
+        assert str(a) != str(c)
+
+    def test_three_deep_loop(self):
+        nest = three_deep_variable_loop(3)
+        assert nest.depth == 3
+        report = parallelize(nest)
+        assert report.transform_is_legal()
+
+
+class TestKernels:
+    def test_kernel_registry(self):
+        assert set(KERNELS) == {
+            "wavefront",
+            "constant-partition",
+            "banded-update",
+            "strided-scatter",
+            "mixed-distance",
+        }
+        for factory in KERNELS.values():
+            nest = factory(5)
+            assert nest.iteration_count() > 0
+
+    def test_wavefront_pdm_determinant_one(self):
+        assert PseudoDistanceMatrix.from_loop_nest(wavefront_recurrence(5)).determinant() == 1
+
+    @pytest.mark.parametrize("stride,expected", [(2, 4), (3, 9)])
+    def test_constant_partition_determinant(self, stride, expected):
+        pdm = PseudoDistanceMatrix.from_loop_nest(
+            constant_partitioning_recurrence(6, stride=stride)
+        )
+        assert pdm.determinant() == expected
+
+    @pytest.mark.parametrize("band", [2, 3, 4])
+    def test_banded_update_determinant(self, band):
+        pdm = PseudoDistanceMatrix.from_loop_nest(banded_update(6, band=band))
+        assert pdm.determinant() == band
+
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_strided_scatter_determinant(self, stride):
+        pdm = PseudoDistanceMatrix.from_loop_nest(strided_scatter(6, stride=stride))
+        assert pdm.determinant() == stride
+
+    def test_mixed_distance_kernel_parallelizable(self):
+        report = parallelize(mixed_distance_kernel(5))
+        assert report.partition_count > 1 or report.parallel_loop_count > 0
+
+
+class TestSuite:
+    def test_suite_contents(self, small_suite):
+        names = [case.name for case in small_suite]
+        assert "example-4.1" in names and "example-4.2" in names
+        assert len(names) == len(set(names))
+        categories = {case.category for case in small_suite}
+        assert categories == {"independent", "uniform", "variable"}
+
+    def test_suite_categories_are_correct(self, small_suite):
+        from repro.dependence.solver import analyze_loop_dependences
+
+        for case in small_suite:
+            solutions = [s for s in analyze_loop_dependences(case.nest) if s.consistent]
+            has_carried = any(s.lattice_generators for s in solutions)
+            if case.category == "independent":
+                assert not has_carried
+            elif case.category == "uniform":
+                assert all(s.is_uniform for s in solutions)
+                assert has_carried
+            else:
+                assert any(not s.is_uniform for s in solutions)
