@@ -8,6 +8,7 @@ plain text files, without writing Python::
     repro-loop verify  examples/loops/example41.loop
     repro-loop compare examples/loops/example41.loop
     repro-loop figures examples/loops/example41.loop
+    repro-loop run     examples/loops/example41.loop --backend vectorized
 
 Loop description format (one item per line, ``#`` starts a comment)::
 
@@ -30,7 +31,7 @@ from repro.baselines.comparison import compare_methods, comparison_table
 from repro.codegen.python_emitter import emit_original_source, emit_transformed_source
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import parallelize, parallelize_and_execute
 from repro.exceptions import LoopNestError, ReproError
 from repro.isdg.build import build_isdg
 from repro.isdg.partitions import partition_labels_of_iterations
@@ -38,6 +39,9 @@ from repro.isdg.render import render_ascii_grid, render_distance_histogram, rend
 from repro.isdg.stats import compute_statistics
 from repro.loopnest.builder import LoopNestBuilder
 from repro.loopnest.nest import LoopNest
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.backends import DEFAULT_BACKEND, available_backends
+from repro.runtime.interpreter import execute_nest
 from repro.runtime.simulator import simulate_schedule
 from repro.runtime.verification import verify_transformation
 from repro.workloads.suite import WorkloadCase
@@ -130,8 +134,35 @@ def _cmd_codegen(nest: LoopNest, args) -> str:
 
 def _cmd_verify(nest: LoopNest, args) -> str:
     report = parallelize(nest, placement=args.placement)
-    result = verify_transformation(nest, report, check_executors=("serial",))
+    result = verify_transformation(
+        nest,
+        report,
+        check_executors=("serial",),
+        check_backends=tuple(b for b in available_backends() if b != "interpreter"),
+    )
     return result.describe()
+
+
+def _cmd_run(nest: LoopNest, args) -> str:
+    """Execute the parallelized nest with the selected backend and report timing."""
+    report, result = parallelize_and_execute(
+        nest, backend=args.backend, mode=args.mode, workers=args.processors
+    )
+    reference = store_for_nest(nest)
+    execute_nest(nest, reference)
+    max_diff = reference.max_abs_difference(result.store)
+    checksum = sum(float(array.data.sum()) for array in result.store.values())
+    lines = [
+        f"Executed {nest.name!r}: {result.total_iterations} iterations in "
+        f"{result.num_chunks} chunks",
+        f"  backend: {result.backend}, mode: {result.mode} "
+        f"({result.workers} worker(s))",
+        f"  elapsed: {result.elapsed_seconds * 1000.0:.2f} ms",
+        f"  store checksum: {checksum:.6f}",
+        f"  max |difference| vs interpreter reference: {max_diff:.3e} "
+        f"({'ok' if max_diff == 0.0 else 'MISMATCH'})",
+    ]
+    return "\n".join(lines)
 
 
 def _cmd_compare(nest: LoopNest, args) -> str:
@@ -168,6 +199,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "compare": _cmd_compare,
     "figures": _cmd_figures,
+    "run": _cmd_run,
 }
 
 
@@ -188,7 +220,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--processors",
         type=int,
         default=4,
-        help="processor count for the simulated-speedup report (default: 4)",
+        help="processor count for the simulated-speedup report and the "
+        "worker count of the 'run' command's executor (default: 4)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="execution backend for the 'run' command (default: interpreter)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+        help="executor mode for the 'run' command (default: serial)",
     )
     return parser
 

@@ -26,7 +26,12 @@ from repro.exceptions import CodegenError
 from repro.intlin.fourier_motzkin import VariableBounds
 from repro.loopnest.nest import LoopNest
 
-__all__ = ["emit_original_source", "emit_transformed_source", "compile_loop_function"]
+__all__ = [
+    "emit_original_source",
+    "emit_transformed_source",
+    "emit_chunk_body_source",
+    "compile_loop_function",
+]
 
 _PREAMBLE_FUNCTIONS = (
     "sin", "cos", "tan", "exp", "log", "sqrt", "floor", "ceil",
@@ -67,6 +72,48 @@ def emit_original_source(nest: LoopNest, function_name: str = "run_original") ->
         level_indent += indent
     lines.extend(_body_lines(nest, level_indent))
     lines.append(f"{indent}return arrays")
+    return "\n".join(lines) + "\n"
+
+
+def _fresh_name(base: str, taken) -> str:
+    """A variant of ``base`` that collides with nothing in ``taken``."""
+    name = base
+    while name in taken:
+        name += "_"
+    return name
+
+
+def emit_chunk_body_source(nest: LoopNest, function_name: str = "run_chunk_body") -> str:
+    """Emit a function executing the body for a list of index vectors.
+
+    The generated ``function_name(arrays, iterations)`` runs the statements
+    for every original-space index vector in ``iterations``, in order.  The
+    compiled backend uses it to execute chunk schedules without re-walking
+    the statement AST per iteration; the caller supplies the (new-space →
+    original-space mapped) iteration list of each chunk.  The parameter
+    names are renamed away from any array or index called ``arrays`` /
+    ``iterations`` — the array prelude would otherwise shadow them.
+    """
+    indent = "    "
+    taken = nest.array_names() | set(nest.index_names)
+    arrays_arg = _fresh_name("arrays", taken)
+    iterations_arg = _fresh_name("iterations", taken)
+    lines = [
+        "import math",
+        f"from math import {', '.join(_PREAMBLE_FUNCTIONS)}",
+        "",
+        "",
+        f"def {function_name}({arrays_arg}, {iterations_arg}):",
+        f'{indent}"""Body of loop nest {nest.name!r} over explicit iterations (generated code)."""',
+    ]
+    for name in sorted(nest.array_names()):
+        lines.append(f'{indent}{name} = {arrays_arg}["{name}"]')
+    unpack = ", ".join(nest.index_names)
+    if nest.depth == 1:
+        unpack += ","
+    lines.append(f"{indent}for {unpack} in {iterations_arg}:")
+    lines.extend(_body_lines(nest, indent * 2))
+    lines.append(f"{indent}return {arrays_arg}")
     return "\n".join(lines) + "\n"
 
 

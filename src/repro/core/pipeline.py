@@ -36,7 +36,7 @@ from repro.intlin.matrix import (
 from repro.loopnest.nest import LoopNest
 from repro.utils.formatting import format_matrix, indent_block
 
-__all__ = ["ParallelizationReport", "parallelize"]
+__all__ = ["ParallelizationReport", "parallelize", "parallelize_and_execute"]
 
 
 @dataclass(frozen=True)
@@ -232,3 +232,38 @@ def parallelize(
         steps=tuple(steps),
         algorithm1=algorithm1_result,
     )
+
+
+def parallelize_and_execute(
+    nest: LoopNest,
+    store=None,
+    backend: str = "interpreter",
+    mode: str = "serial",
+    workers: Optional[int] = None,
+    placement: str = "outer",
+    initializer: str = "index_sum",
+):
+    """Analyse a nest and execute its transformed form through a backend.
+
+    The one-call entry point used by the CLI ``run`` command and the
+    experiment harness: runs :func:`parallelize`, builds the transformed
+    nest and executes it with the selected execution backend
+    (:func:`repro.runtime.backends.available_backends` lists the choices)
+    under the selected :class:`~repro.runtime.executor.ParallelExecutor`
+    mode.
+
+    Returns ``(report, execution_result)``; the final array contents are in
+    ``execution_result.store``.
+    """
+    # Imported here: codegen/runtime import this module for the report type.
+    from repro.codegen.transformed_nest import TransformedLoopNest
+    from repro.runtime.arrays import store_for_nest
+    from repro.runtime.executor import ParallelExecutor
+
+    report = parallelize(nest, placement=placement)
+    transformed = TransformedLoopNest.from_report(report)
+    if store is None:
+        store = store_for_nest(nest, initializer=initializer)
+    executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
+    result = executor.run(transformed, store)
+    return report, result

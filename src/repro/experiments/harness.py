@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.experiments.algorithm_cost import algorithm1_cost_sweep
+from repro.experiments.backends import backend_comparison, backend_comparison_table
 from repro.experiments.figures import ALL_FIGURES, FigureResult
 from repro.experiments.speedup import speedup_sweep
 from repro.experiments.tables import table1_measured_rows, table1_related_work
@@ -28,6 +29,7 @@ def run_all_experiments(n: int = 10, suite_n: int = 8) -> Dict[str, object]:
     results["speedup-4.1"] = speedup_sweep(example_4_1, sizes=(6, 10, 14), workload_name="example-4.1")
     results["speedup-4.2"] = speedup_sweep(example_4_2, sizes=(6, 10, 14), workload_name="example-4.2")
     results["algorithm1-cost"] = algorithm1_cost_sweep(depths=(2, 3, 4, 5), samples=10)
+    results["backend-comparison"] = backend_comparison(n=max(16, 2 * n))
     return results
 
 
@@ -64,6 +66,13 @@ def format_experiment_report(results: Dict[str, object]) -> str:
         sections.append(
             "=== Algorithm 1 cost (column operations) ===\n"
             + format_table(["depth", "rank", "max |entry|", "samples", "mean ops", "max ops"], body)
+        )
+
+    backend_rows = results.get("backend-comparison")
+    if backend_rows:
+        sections.append(
+            "=== Execution backends (wall-clock, differential-checked) ===\n"
+            + backend_comparison_table(backend_rows)
         )
 
     return "\n\n".join(sections)

@@ -7,8 +7,11 @@ machine; the reproduction executes loop nests directly:
   (possibly negative) index origins,
 * :mod:`repro.runtime.interpreter` — sequential execution of original and
   transformed nests,
+* :mod:`repro.runtime.backends` — pluggable execution backends (AST
+  interpreter, ``compile()``d loop bodies, NumPy-vectorized rounds) behind a
+  registry; every backend is differential-tested against the interpreter,
 * :mod:`repro.runtime.executor` — chunk-parallel execution (serial, thread
-  pool or process pool),
+  pool or process pool) through a selectable backend,
 * :mod:`repro.runtime.simulator` — idealized parallel-machine model
   (work / critical path) that is independent of the CPython GIL,
 * :mod:`repro.runtime.verification` — checking that a transformation
@@ -22,6 +25,17 @@ from repro.runtime.interpreter import (
     execute_chunk,
     execute_schedule,
 )
+from repro.runtime.backends import (
+    ExecutionBackend,
+    InterpreterBackend,
+    CompiledBackend,
+    VectorizedBackend,
+    register_backend,
+    get_backend,
+    resolve_backend,
+    available_backends,
+    DEFAULT_BACKEND,
+)
 from repro.runtime.executor import ParallelExecutor, ExecutionResult
 from repro.runtime.simulator import SimulatedMachine, simulate_schedule, SimulationResult
 from repro.runtime.verification import verify_transformation, VerificationReport
@@ -34,6 +48,15 @@ __all__ = [
     "execute_transformed",
     "execute_chunk",
     "execute_schedule",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "CompiledBackend",
+    "VectorizedBackend",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
+    "DEFAULT_BACKEND",
     "ParallelExecutor",
     "ExecutionResult",
     "SimulatedMachine",

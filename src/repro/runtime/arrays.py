@@ -92,6 +92,18 @@ class OffsetArray:
             return float("inf")
         return float(np.max(np.abs(self.data - other.data))) if self.data.size else 0.0
 
+    def identical(self, other: "OffsetArray") -> bool:
+        """Bit-exact equality: same origin, shape and every element equal.
+
+        NaN cells count as equal (``equal_nan``) — a body that legitimately
+        produces NaN must not make two matching results compare unequal.
+        """
+        return (
+            self.origin == other.origin
+            and self.data.shape == other.data.shape
+            and bool(np.array_equal(self.data, other.data, equal_nan=True))
+        )
+
     def __repr__(self) -> str:
         return f"OffsetArray(origin={self.origin}, shape={self.data.shape}, dtype={self.data.dtype})"
 
@@ -115,6 +127,12 @@ class ArrayStore(dict):
             return float("inf")
         diffs = [self[name].max_abs_difference(other[name]) for name in self]
         return max(diffs) if diffs else 0.0
+
+    def identical(self, other: "ArrayStore") -> bool:
+        """Bit-exact equality of every array (the differential-test contract)."""
+        if set(self.keys()) != set(other.keys()):
+            return False
+        return all(self[name].identical(other[name]) for name in self)
 
 
 def store_for_nest(

@@ -1,0 +1,547 @@
+"""Pluggable execution backends for transformed loop nests.
+
+The interpreter in :mod:`repro.runtime.interpreter` walks the statement AST
+once per iteration — it is the semantic *reference*, not a fast executor.
+This module turns execution into a pluggable subsystem with three backends:
+
+* ``interpreter`` — the reference semantics, unchanged;
+* ``compiled`` — the loop body is emitted as Python source once (via
+  :mod:`repro.codegen.python_emitter`) and ``compile()``d into a reusable
+  function, removing the per-iteration AST walk;
+* ``vectorized`` — iterations that the analysis proved independent are
+  executed as NumPy gather/compute/scatter operations.
+
+The vectorized backend exploits exactly the structure the paper derives: the
+chunks of a legal schedule (:func:`repro.codegen.schedule.build_schedule`)
+never depend on each other, while iterations *inside* a chunk must stay in
+order.  Execution therefore proceeds in *rounds*: round ``r`` takes the
+``r``-th iteration of every chunk — a set of pairwise-independent iterations
+— and executes the whole set with fancy-indexed NumPy operations, statement
+by statement.  Intra-chunk order is preserved (round ``r`` precedes round
+``r + 1``) and inter-chunk order is free, so the schedule is legal whenever
+the chunks are truly independent.  The wall-clock speedup of this backend is
+thus precisely the parallelism the paper's method exposes.
+
+Two safety nets keep the backend bit-identical to the interpreter:
+
+* a *static* vectorizability check on the statement AST (unknown node kinds
+  fall back to sequential execution for the whole nest);
+* an optional *dynamic* chunk-independence check (on by default): the
+  subscripts of every access are evaluated vectorized up front and the whole
+  run falls back to chunk-major sequential execution if any array cell is
+  touched by two different chunks with at least one write — i.e. whenever
+  the premise that makes round-major interleaving legal does not hold.
+
+Math calls (``sin``, ``exp``, …) are applied elementwise through the *same*
+scalar functions the interpreter uses, so even transcendental results are
+bit-identical (NumPy's ufuncs may differ in the last ulp).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.schedule import Chunk, build_schedule
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.exceptions import ExecutionError
+from repro.loopnest.expr import (
+    _BINARY_OPS,
+    _CALLS,
+    ArrayAccess,
+    BinaryOp,
+    Call,
+    Constant,
+    Expression,
+    IndexTerm,
+    UnaryOp,
+)
+from repro.loopnest.nest import LoopNest
+from repro.runtime.arrays import ArrayStore, OffsetArray
+from repro.runtime.interpreter import _execute_body
+from repro.runtime.interpreter import execute_chunk as _interpret_chunk
+
+__all__ = [
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "CompiledBackend",
+    "VectorizedBackend",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "available_backends",
+    "DEFAULT_BACKEND",
+]
+
+DEFAULT_BACKEND = "interpreter"
+
+
+# ---------------------------------------------------------------------------
+# backend interface and registry
+# ---------------------------------------------------------------------------
+
+class ExecutionBackend:
+    """How the iterations of a (transformed) loop nest are executed.
+
+    A backend must be semantically indistinguishable from the interpreter:
+    the differential test-suite runs every registered backend against
+    :func:`repro.runtime.interpreter.execute_nest` and requires bit-identical
+    array contents.
+    """
+
+    name = "abstract"
+
+    @property
+    def per_chunk_name(self) -> str:
+        """Name of the backend that actually runs under chunk-granular
+        execution (the thread executor calls :meth:`execute_chunk` per
+        chunk).  Backends that delegate there — the vectorized backend
+        needs the whole schedule to batch across chunks — override this so
+        executor results report what really executed."""
+        return self.name
+
+    def execute(
+        self,
+        transformed: TransformedLoopNest,
+        store: ArrayStore,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> ArrayStore:
+        """Execute the whole transformed nest in a legal order (in place)."""
+        if chunks is None:
+            chunks = build_schedule(transformed)
+        for chunk in chunks:
+            self.execute_chunk(transformed, chunk, store)
+        return store
+
+    def execute_chunk(
+        self, transformed: TransformedLoopNest, chunk: Chunk, store: ArrayStore
+    ) -> None:
+        """Execute one chunk's iterations, in order, in place."""
+        raise NotImplementedError
+
+    def execute_original(self, nest: LoopNest, store: ArrayStore) -> ArrayStore:
+        """Execute an untransformed nest sequentially through this backend."""
+        return self.execute(TransformedLoopNest.identity(nest), store)
+
+
+_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    _REGISTRY[str(name)] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown execution backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(**options)
+
+
+def resolve_backend(backend) -> ExecutionBackend:
+    """Accept a backend name or an already-constructed backend instance."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    return get_backend(str(backend))
+
+
+# ---------------------------------------------------------------------------
+# interpreter backend
+# ---------------------------------------------------------------------------
+
+class InterpreterBackend(ExecutionBackend):
+    """The reference backend: per-iteration AST interpretation."""
+
+    name = "interpreter"
+
+    def execute(self, transformed, store, chunks=None) -> ArrayStore:
+        # Same traversal as the chunk-wise default, but without collecting
+        # the per-write log that execute_chunk builds for the process pool.
+        if chunks is None:
+            chunks = build_schedule(transformed)
+        nest = transformed.nest
+        for chunk in chunks:
+            for iteration in chunk.iterations:
+                _execute_body(nest, transformed.original_env(iteration), store)
+        return store
+
+    def execute_chunk(self, transformed, chunk, store) -> None:
+        _interpret_chunk(transformed, chunk, store)
+
+
+# ---------------------------------------------------------------------------
+# compiled backend
+# ---------------------------------------------------------------------------
+
+class CompiledBackend(ExecutionBackend):
+    """Execute through ``compile()``d Python emitted by the code generator.
+
+    The loop body is rendered to source once per nest (see
+    :func:`repro.codegen.python_emitter.emit_chunk_body_source`) and compiled
+    into a function ``body(arrays, iterations)`` that runs the statements for
+    a list of original-space index vectors.  Re-walking the expression AST
+    per iteration is gone; array accesses still go through
+    :class:`~repro.runtime.arrays.OffsetArray` so semantics (including
+    window checks) are identical to the interpreter.
+    """
+
+    name = "compiled"
+
+    # Keyed by nest identity; weak so caching never outlives the nest and
+    # never touches the nest object itself (which must stay picklable for
+    # the process-pool executor).
+    _body_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+    _original_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    @classmethod
+    def body_function(cls, nest: LoopNest):
+        """The compiled body function of ``nest`` (cached per nest object)."""
+        function = cls._body_cache.get(nest)
+        if function is None:
+            from repro.codegen.python_emitter import (
+                compile_loop_function,
+                emit_chunk_body_source,
+            )
+
+            source = emit_chunk_body_source(nest, function_name="run_chunk_body")
+            function = compile_loop_function(source, "run_chunk_body")
+            cls._body_cache[nest] = function
+        return function
+
+    def execute_chunk(self, transformed, chunk, store) -> None:
+        body = self.body_function(transformed.nest)
+        originals = [transformed.original_iteration(it) for it in chunk.iterations]
+        body(store, originals)
+
+    def execute_original(self, nest: LoopNest, store: ArrayStore) -> ArrayStore:
+        """Run the original nest through the compiled whole-nest source."""
+        function = self._original_cache.get(nest)
+        if function is None:
+            from repro.codegen.python_emitter import compile_loop_function, emit_original_source
+
+            source = emit_original_source(nest, function_name="run_original")
+            function = compile_loop_function(source, "run_original")
+            self._original_cache[nest] = function
+        function(store)
+        return store
+
+
+# ---------------------------------------------------------------------------
+# vectorized backend
+# ---------------------------------------------------------------------------
+
+def _nest_is_vectorizable(nest: LoopNest) -> bool:
+    """Static check: every expression node kind has a vectorized evaluation."""
+
+    def supported(expr: Expression) -> bool:
+        if isinstance(expr, (Constant, IndexTerm, ArrayAccess)):
+            return True
+        if isinstance(expr, BinaryOp):
+            return supported(expr.left) and supported(expr.right)
+        if isinstance(expr, UnaryOp):
+            return supported(expr.operand)
+        if isinstance(expr, Call):
+            return expr.name in _CALLS and all(supported(a) for a in expr.args)
+        return False
+
+    return all(supported(stmt.rhs) for stmt in nest.statements)
+
+
+def _vec_affine(affine, env: Dict[str, np.ndarray]):
+    """Evaluate an AffineExpr over column vectors (returns array or int)."""
+    total = affine.constant
+    for name, coeff in affine.coefficients.items():
+        total = total + coeff * env[name]
+    return total
+
+
+def _index_terms(expr: Expression):
+    """All IndexTerm nodes of an expression tree."""
+    if isinstance(expr, IndexTerm):
+        yield expr
+    elif isinstance(expr, BinaryOp):
+        yield from _index_terms(expr.left)
+        yield from _index_terms(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from _index_terms(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from _index_terms(arg)
+
+
+def _subscript_offsets(
+    array_name: str, array: OffsetArray, subscripts, env: Dict[str, np.ndarray], count: int
+) -> Tuple[np.ndarray, ...]:
+    """Per-dimension zero-based offsets of an access for all round iterations.
+
+    Raises :class:`ExecutionError` if any subscript leaves the declared
+    window — fancy indexing would otherwise wrap negative offsets silently.
+    """
+    offsets: List[np.ndarray] = []
+    for k, sub in enumerate(subscripts):
+        values = _vec_affine(sub, env)
+        off = np.asarray(values - array.origin[k], dtype=np.int64)
+        if off.ndim == 0:
+            off = np.full(count, int(off), dtype=np.int64)
+        extent = array.data.shape[k]
+        if off.size and (int(off.min()) < 0 or int(off.max()) >= extent):
+            raise ExecutionError(
+                f"subscript of {array_name!r} leaves the declared window in "
+                f"dimension {k} (origin {array.origin[k]}, extent {extent})"
+            )
+        offsets.append(off)
+    return tuple(offsets)
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Round-based NumPy execution of the independent-chunk schedule.
+
+    Parameters
+    ----------
+    check_independence:
+        Re-verify dynamically that the chunks are truly independent — no
+        array cell is accessed by two different chunks with at least one
+        write.  Chunk independence is exactly what makes *any* round-major
+        interleaving legal, so when the check fails the whole run falls
+        back to chunk-major compiled execution (the interpreter's order).
+        The check is vectorized (one sort + segmented reduction per array),
+        so it costs a small constant factor, and it turns the backend into
+        a defense-in-depth net under the legality theorems.
+    min_parallel_width:
+        NumPy call overhead dominates narrow rounds, so a schedule with
+        fewer than this many chunks is delegated wholesale to the compiled
+        backend (rounds can never be wider than the chunk count).  The
+        differential tests construct the backend with ``min_parallel_width=2``
+        to force the round path even on tiny schedules.
+    """
+
+    name = "vectorized"
+
+    @property
+    def per_chunk_name(self) -> str:
+        return "compiled"
+
+    def __init__(self, check_independence: bool = True, min_parallel_width: int = 8):
+        self.check_independence = bool(check_independence)
+        self.min_parallel_width = max(2, int(min_parallel_width))
+        # Engine that executed the most recent execute() call — "compiled"
+        # when the run was delegated, "vectorized" when rounds ran.  The
+        # executor reports it so CLI output and experiment rows say what
+        # actually executed.
+        self.last_execution_engine = self.name
+        self.stats: Dict[str, int] = {
+            "rounds": 0,
+            "vectorized_rounds": 0,
+            "fallback_rounds": 0,
+            "vectorized_iterations": 0,
+            "fallback_iterations": 0,
+            "delegated_runs": 0,
+            "illegal_schedule_fallbacks": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def execute(self, transformed, store, chunks=None) -> ArrayStore:
+        if chunks is None:
+            chunks = build_schedule(transformed)
+        if not chunks:
+            return store
+        nest = transformed.nest
+        self.last_execution_engine = self.name
+        if not _nest_is_vectorizable(nest) or len(chunks) < self.min_parallel_width:
+            # Not enough cross-chunk parallelism (or an unsupported body):
+            # fall back to sequential execution through the compiled backend,
+            # which is bit-identical and strictly faster than interpreting.
+            self.stats["delegated_runs"] += 1
+            self.last_execution_engine = "compiled"
+            CompiledBackend().execute(transformed, store, chunks=chunks)
+            return store
+
+        # ---- plan: round layout and subscript offsets, computed once ----
+        inverse = np.asarray(transformed.inverse_transform, dtype=np.int64)
+        depth = transformed.depth
+        all_new = np.concatenate(
+            [
+                np.asarray(chunk.iterations, dtype=np.int64).reshape(chunk.size, depth)
+                for chunk in chunks
+            ]
+        )
+        round_ids = np.concatenate(
+            [np.arange(chunk.size, dtype=np.int64) for chunk in chunks]
+        )
+        chunk_ids = np.concatenate(
+            [np.full(chunk.size, j, dtype=np.int64) for j, chunk in enumerate(chunks)]
+        )
+        order = np.argsort(round_ids, kind="stable")
+        originals = (all_new @ inverse)[order]
+        round_ids = round_ids[order]
+        chunk_ids = chunk_ids[order]
+        num_rounds = int(round_ids[-1]) + 1
+        bounds = np.searchsorted(round_ids, np.arange(num_rounds + 1))
+        env = {name: originals[:, k] for k, name in enumerate(nest.index_names)}
+        total = originals.shape[0]
+
+        # Offsets of every distinct array access and the values of every
+        # IndexTerm, over all iterations at once (equal nodes share an
+        # entry).  The window check of the interpreter happens here, up
+        # front.
+        offset_cache: Dict[object, Tuple[np.ndarray, ...]] = {}
+        term_cache: Dict[object, object] = {}
+        accesses: List[Tuple[ArrayAccess, bool]] = []
+        for stmt in nest.statements:
+            accesses.append((stmt.target, True))
+            accesses.extend((read, False) for read in stmt.rhs.array_accesses())
+            for term in _index_terms(stmt.rhs):
+                if term not in term_cache:
+                    term_cache[term] = _vec_affine(term.affine, env)
+        for access, _ in accesses:
+            if access.array not in store:
+                raise ExecutionError(
+                    f"array {access.array!r} is not defined in the store"
+                )
+            if access not in offset_cache:
+                offset_cache[access] = _subscript_offsets(
+                    access.array, store[access.array], access.subscripts, env, total
+                )
+
+        if self.check_independence and not self._chunks_are_independent(
+            accesses, offset_cache, store, chunk_ids
+        ):
+            # Two chunks share a cell with a write: the schedule is not the
+            # independent partition the analysis promised, so *no* round
+            # interleaving is known to be legal.  Execute chunk-major (the
+            # interpreter's order) through the compiled backend instead.
+            self.stats["illegal_schedule_fallbacks"] += 1
+            self.last_execution_engine = "compiled"
+            CompiledBackend().execute(transformed, store, chunks=chunks)
+            return store
+
+        # ---- execute round by round ----
+        body = CompiledBackend.body_function(nest)
+        for r in range(num_rounds):
+            lo, hi = int(bounds[r]), int(bounds[r + 1])
+            count = hi - lo
+            self.stats["rounds"] += 1
+            if count < 2:
+                self.stats["fallback_rounds"] += 1
+                self.stats["fallback_iterations"] += count
+                body(store, [tuple(int(v) for v in row) for row in originals[lo:hi]])
+                continue
+            self.stats["vectorized_rounds"] += 1
+            self.stats["vectorized_iterations"] += count
+            window = slice(lo, hi)
+            for stmt in nest.statements:
+                values = self._evaluate(
+                    stmt.rhs, offset_cache, term_cache, window, store, count
+                )
+                target = store[stmt.target.array]
+                offsets = tuple(off[window] for off in offset_cache[stmt.target])
+                target.data[offsets] = values
+        return store
+
+    def execute_chunk(self, transformed, chunk, store) -> None:
+        # A single chunk is internally sequential — there is nothing to
+        # vectorize across, so chunk-granular execution (the thread
+        # executor) runs the compiled body.  Cross-chunk vectorization
+        # happens in :meth:`execute`, which receives the whole schedule.
+        CompiledBackend().execute_chunk(transformed, chunk, store)
+
+    # ------------------------------------------------------------------ #
+    def _chunks_are_independent(
+        self,
+        accesses: Sequence[Tuple[ArrayAccess, bool]],
+        offset_cache: Dict[object, Tuple[np.ndarray, ...]],
+        store: ArrayStore,
+        chunk_ids: np.ndarray,
+    ) -> bool:
+        """True if no array cell is accessed by two different chunks with a write.
+
+        This is the full premise of round-major execution (Lemma 1 /
+        Theorem 2): with independent chunks any interleaving that preserves
+        intra-chunk order is legal, including the vectorized rounds (which
+        contain at most one iteration of each chunk).  Checking cells shared
+        *within* a round would be insufficient — a cross-round, cross-chunk
+        conflict also reorders execution relative to the chunk-major
+        reference.  One sort + segmented reduction per array, all NumPy.
+        """
+        total = chunk_ids.shape[0]
+        per_array: Dict[str, List[Tuple[np.ndarray, bool]]] = {}
+        for access, is_write in accesses:
+            flat = np.ravel_multi_index(offset_cache[access], store[access.array].data.shape)
+            per_array.setdefault(access.array, []).append((flat, is_write))
+        for records in per_array.values():
+            cells = np.concatenate([flat for flat, _ in records])
+            owners = np.concatenate([chunk_ids for _ in records])
+            writes = np.concatenate(
+                [np.full(total, is_write, dtype=np.int8) for _, is_write in records]
+            )
+            order = np.argsort(cells, kind="stable")
+            cells, owners, writes = cells[order], owners[order], writes[order]
+            starts = np.flatnonzero(np.r_[True, cells[1:] != cells[:-1]])
+            owner_min = np.minimum.reduceat(owners, starts)
+            owner_max = np.maximum.reduceat(owners, starts)
+            any_write = np.maximum.reduceat(writes, starts)
+            if bool(np.any((owner_min != owner_max) & (any_write > 0))):
+                return False
+        return True
+
+    def _evaluate(
+        self, expr: Expression, offset_cache, term_cache, window, store: ArrayStore, count: int
+    ):
+        """Vectorized expression evaluation (bit-identical to the interpreter)."""
+        if isinstance(expr, Constant):
+            return expr.value
+        if isinstance(expr, IndexTerm):
+            value = term_cache[expr]
+            return value[window] if np.ndim(value) else value
+        if isinstance(expr, ArrayAccess):
+            offsets = tuple(off[window] for off in offset_cache[expr])
+            return store[expr.array].data[offsets]
+        if isinstance(expr, BinaryOp):
+            left = self._evaluate(expr.left, offset_cache, term_cache, window, store, count)
+            right = self._evaluate(expr.right, offset_cache, term_cache, window, store, count)
+            if expr.op in ("/", "//", "%") and bool(np.any(np.asarray(right) == 0)):
+                # NumPy would warn and yield inf/nan/0 where the interpreter
+                # raises; match the interpreter's error behavior instead.
+                raise ZeroDivisionError(f"division by zero in {expr.to_source()}")
+            return _BINARY_OPS[expr.op](left, right)
+        if isinstance(expr, UnaryOp):
+            value = self._evaluate(expr.operand, offset_cache, term_cache, window, store, count)
+            return -value if expr.op == "-" else value
+        if isinstance(expr, Call):
+            args = [
+                self._evaluate(a, offset_cache, term_cache, window, store, count)
+                for a in expr.args
+            ]
+            function = _CALLS[expr.name]
+            if all(np.ndim(a) == 0 for a in args):
+                return function(*args)
+            # Apply the interpreter's scalar function elementwise: NumPy's
+            # transcendental ufuncs can differ in the last ulp, which would
+            # break the bit-identical contract of the differential harness.
+            columns = [
+                np.full(count, a) if np.ndim(a) == 0 else np.asarray(a) for a in args
+            ]
+            out = np.empty(count, dtype=np.float64)
+            for i in range(count):
+                out[i] = function(*(column[i] for column in columns))
+            return out
+        raise ExecutionError(  # pragma: no cover - guarded by _nest_is_vectorizable
+            f"expression node {type(expr).__name__} has no vectorized evaluation"
+        )
+
+
+register_backend("interpreter", InterpreterBackend)
+register_backend("compiled", CompiledBackend)
+register_backend("vectorized", VectorizedBackend)

@@ -14,9 +14,15 @@ provided:
   merges.  This achieves real parallelism at the cost of serialisation
   overhead.
 
+Orthogonally to the mode, *how* the iterations of a chunk (or of the whole
+schedule, in serial mode) are executed is chosen by an execution backend
+(:mod:`repro.runtime.backends`): the AST ``interpreter`` reference, the
+``compiled`` backend or the NumPy ``vectorized`` backend.  Every backend is
+pinned to the interpreter's semantics by the differential test-suite.
+
 The machine-independent parallelism numbers reported in EXPERIMENTS.md come
 from :mod:`repro.runtime.simulator`; the executors are used for correctness
-under concurrency and for wall-clock sanity checks.
+under concurrency and for wall-clock measurements.
 """
 
 from __future__ import annotations
@@ -26,11 +32,13 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.codegen.schedule import Chunk, build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
 from repro.runtime.arrays import ArrayStore
-from repro.runtime.interpreter import execute_chunk
+from repro.runtime.backends import DEFAULT_BACKEND, ExecutionBackend, resolve_backend
 
 __all__ = ["ExecutionResult", "ParallelExecutor"]
 
@@ -45,6 +53,7 @@ class ExecutionResult:
     num_chunks: int
     elapsed_seconds: float
     chunk_sizes: Tuple[int, ...] = field(default=())
+    backend: str = DEFAULT_BACKEND
 
     @property
     def total_iterations(self) -> int:
@@ -52,22 +61,44 @@ class ExecutionResult:
 
 
 def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
-    """Process-pool worker: execute a list of chunks on a private store copy."""
-    transformed, chunks, store = payload
+    """Process-pool worker: execute chunks on a private store copy.
+
+    The chunks of one group are executed through the group's backend (the
+    vectorized backend can therefore still batch across the group's chunks).
+    The changed cells are found by a NumPy diff against a pristine copy and
+    their final values sent back for merging: chunks of a legal schedule
+    never write a cell another worker writes, so final values merge
+    order-independently.  A write that leaves a cell's value unchanged is
+    indistinguishable from no write in the diff — and equally harmless to
+    skip, since the parent's copy already holds that value.
+    """
+    backend, transformed, chunks, store = payload
+    pristine = store.copy()
+    backend.execute(transformed, store, chunks=chunks)
     writes: List[Tuple[str, Tuple[int, ...], float]] = []
-    for chunk in chunks:
-        writes.extend(execute_chunk(transformed, chunk, store))
+    for name, array in store.items():
+        changed = np.nonzero(array.data != pristine[name].data)
+        values = array.data[changed]
+        for flat_index, value in zip(zip(*changed), values):
+            location = tuple(int(i) + o for i, o in zip(flat_index, array.origin))
+            writes.append((name, location, float(value)))
     return writes
 
 
 class ParallelExecutor:
     """Execute the chunks of a transformed nest serially or in parallel."""
 
-    def __init__(self, mode: str = "serial", workers: Optional[int] = None):
+    def __init__(
+        self,
+        mode: str = "serial",
+        workers: Optional[int] = None,
+        backend: object = DEFAULT_BACKEND,
+    ):
         if mode not in ("serial", "threads", "processes"):
             raise ExecutionError(f"unknown execution mode {mode!r}")
         self.mode = mode
         self.workers = workers or 4
+        self.backend: ExecutionBackend = resolve_backend(backend)
 
     def run(
         self,
@@ -81,13 +112,24 @@ class ParallelExecutor:
         chunk_sizes = tuple(chunk.size for chunk in chunks)
         start = time.perf_counter()
         if self.mode == "serial":
-            for chunk in chunks:
-                execute_chunk(transformed, chunk, store)
+            self.backend.execute(transformed, store, chunks=chunks)
         elif self.mode == "threads":
             self._run_threads(transformed, chunks, store)
         else:
             self._run_processes(transformed, chunks, store)
         elapsed = time.perf_counter() - start
+        # Report the engine that actually ran: thread mode executes
+        # chunk-granularly (where the vectorized backend delegates), and a
+        # serial run may have fallen back dynamically (narrow schedule,
+        # unvectorizable body, failed independence check).  Process mode
+        # reports the requested backend; each worker group decides on its
+        # own copy.
+        if self.mode == "threads":
+            effective = self.backend.per_chunk_name
+        elif self.mode == "serial":
+            effective = getattr(self.backend, "last_execution_engine", self.backend.name)
+        else:
+            effective = self.backend.name
         return ExecutionResult(
             store=store,
             mode=self.mode,
@@ -95,6 +137,7 @@ class ParallelExecutor:
             num_chunks=len(chunks),
             elapsed_seconds=elapsed,
             chunk_sizes=chunk_sizes,
+            backend=effective,
         )
 
     # ------------------------------------------------------------------ #
@@ -105,7 +148,10 @@ class ParallelExecutor:
         # at least one write), so executing them concurrently on the shared
         # store is safe without locking.
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(execute_chunk, transformed, chunk, store) for chunk in chunks]
+            futures = [
+                pool.submit(self.backend.execute_chunk, transformed, chunk, store)
+                for chunk in chunks
+            ]
             for future in futures:
                 future.result()
 
@@ -118,7 +164,12 @@ class ParallelExecutor:
         # Round-robin over chunks sorted by decreasing size for rough balance.
         for k, chunk in enumerate(sorted(chunks, key=lambda c: -c.size)):
             groups[k % len(groups)].append(chunk)
-        payloads = [(transformed, group, store.copy()) for group in groups if group]
+        # The backend instance itself is shipped to the workers (all built-in
+        # backends pickle cheaply), so per-instance options like a custom
+        # min_parallel_width survive the process boundary.
+        payloads = [
+            (self.backend, transformed, group, store.copy()) for group in groups if group
+        ]
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
             for writes in pool.map(_worker_execute, payloads):
                 for array, location, value in writes:

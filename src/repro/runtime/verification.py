@@ -19,6 +19,7 @@ from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.pipeline import ParallelizationReport
 from repro.loopnest.nest import LoopNest
 from repro.runtime.arrays import ArrayStore, store_for_nest
+from repro.runtime.backends import get_backend
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.interpreter import execute_nest, execute_transformed
 
@@ -52,6 +53,7 @@ def verify_transformation(
     store: Optional[ArrayStore] = None,
     check_emitted_code: bool = True,
     check_executors: Sequence[str] = ("serial", "threads"),
+    check_backends: Sequence[str] = ("compiled", "vectorized"),
     tolerance: float = 1e-9,
     initializer: str = "index_sum",
 ) -> VerificationReport:
@@ -70,6 +72,9 @@ def verify_transformation(
         Also compile the emitted Python source of the transformed loop and run it.
     check_executors:
         Parallel execution modes to exercise (subset of serial/threads/processes).
+    check_backends:
+        Execution backends to run against the interpreter reference (any
+        subset of :func:`repro.runtime.backends.available_backends`).
     """
     if isinstance(transformed, ParallelizationReport):
         transformed = TransformedLoopNest.from_report(transformed)
@@ -102,6 +107,12 @@ def verify_transformation(
         executed = store.copy()
         ParallelExecutor(mode=mode, workers=4).run(transformed, executed, chunks=schedule)
         checks[f"executor/{mode}"] = reference.max_abs_difference(executed)
+
+    for backend_name in check_backends:
+        backend = get_backend(backend_name)
+        executed = store.copy()
+        backend.execute(transformed, executed, chunks=schedule)
+        checks[f"backend/{backend_name}"] = reference.max_abs_difference(executed)
 
     passed = all(diff <= tolerance for diff in checks.values())
     return VerificationReport(nest_name=nest.name, passed=passed, checks=checks, tolerance=tolerance)

@@ -1,0 +1,105 @@
+"""Round-trip properties of the integer decompositions on seeded random input.
+
+Complementary to the hypothesis suite in ``test_properties_intlin.py``:
+here the matrices come from a seeded NumPy RNG (fully reproducible, no
+shrinking) and the checks are *reconstruction* identities —
+
+* Hermite: ``U @ M == full`` and ``M == U^{-1} @ full`` with ``|det U| = 1``;
+* Smith:   ``L @ M @ R == D`` and ``M == L^{-1} @ D @ R^{-1}`` with
+  ``|det L| = |det R| = 1`` and the divisibility chain ``d1 | d2 | ...``;
+* column echelon: ``M @ T == E`` with ``|det T| = 1``.
+
+Exact integer arithmetic throughout — any drift is a hard failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.intlin.hermite import (
+    column_echelon,
+    hermite_normal_form,
+    is_hermite_normal_form,
+)
+from repro.intlin.matrix import (
+    determinant,
+    is_unimodular,
+    mat_mul,
+    unimodular_inverse,
+)
+from repro.intlin.smith import smith_normal_form
+
+SEEDS = list(range(25))
+
+
+def _random_matrix(seed: int):
+    """A seeded random integer matrix with small entries (1-5 rows/cols)."""
+    rng = np.random.default_rng(seed)
+    rows = int(rng.integers(1, 6))
+    cols = int(rng.integers(1, 6))
+    mat = rng.integers(-9, 10, size=(rows, cols))
+    return [[int(v) for v in row] for row in mat]
+
+
+def _unimodular(mat) -> bool:
+    return is_unimodular(mat) and abs(determinant(mat)) == 1
+
+
+class TestHermiteRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transform_reconstructs_input(self, seed):
+        matrix = _random_matrix(seed)
+        result = hermite_normal_form(matrix)
+        assert _unimodular(result.transform)
+        # forward: U @ M == full reduced matrix
+        assert mat_mul(result.transform, matrix) == result.full
+        # round trip: M == U^{-1} @ full
+        inverse = unimodular_inverse(result.transform)
+        assert mat_mul(inverse, result.full) == matrix
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_hermite_rows_are_canonical(self, seed):
+        result = hermite_normal_form(_random_matrix(seed))
+        assert result.hermite == result.full[: result.rank]
+        for row in result.full[result.rank:]:
+            assert all(v == 0 for v in row)
+        if result.hermite:
+            assert is_hermite_normal_form(result.hermite)
+
+
+class TestSmithRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_decomposition_reconstructs_input(self, seed):
+        matrix = _random_matrix(seed)
+        result = smith_normal_form(matrix)
+        assert _unimodular(result.left)
+        assert _unimodular(result.right)
+        # forward: L @ M @ R == D
+        assert mat_mul(mat_mul(result.left, matrix), result.right) == result.diagonal
+        # round trip: M == L^{-1} @ D @ R^{-1}
+        left_inv = unimodular_inverse(result.left)
+        right_inv = unimodular_inverse(result.right)
+        assert mat_mul(mat_mul(left_inv, result.diagonal), right_inv) == matrix
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_invariant_factor_chain(self, seed):
+        result = smith_normal_form(_random_matrix(seed))
+        factors = result.invariant_factors
+        assert all(d > 0 for d in factors)
+        for smaller, larger in zip(factors, factors[1:]):
+            assert larger % smaller == 0
+        # the diagonal is zero off the pivot positions
+        for i, row in enumerate(result.diagonal):
+            for j, value in enumerate(row):
+                if i != j:
+                    assert value == 0
+
+
+class TestColumnEchelonRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transform_reconstructs_input(self, seed):
+        matrix = _random_matrix(seed)
+        result = column_echelon(matrix)
+        assert _unimodular(result.transform)
+        assert mat_mul(matrix, result.transform) == result.echelon
+        inverse = unimodular_inverse(result.transform)
+        assert mat_mul(result.echelon, inverse) == matrix

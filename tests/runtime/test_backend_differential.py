@@ -1,0 +1,382 @@
+"""Differential test harness: every execution backend vs. the interpreter.
+
+The interpreter (:func:`repro.runtime.interpreter.execute_nest`) is the
+semantic reference.  Every registered backend — and every executor mode on
+top of every backend — must produce **bit-identical** final array stores on:
+
+* the full workload suite (:func:`repro.workloads.suite.workload_suite`),
+* randomized synthetic nests drawn from a seeded RNG (uniform-distance,
+  coupled variable-distance and 4.1-style anti-diagonal patterns).
+
+``ArrayStore.identical`` compares with ``np.array_equal`` — no tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.schedule import build_schedule
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import parallelize
+from repro.exceptions import ExecutionError
+from repro.loopnest.builder import loop_nest
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.backends import (
+    CompiledBackend,
+    ExecutionBackend,
+    InterpreterBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.interpreter import execute_nest
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.suite import workload_suite
+
+SUITE = workload_suite(5)
+SUITE_IDS = [case.name for case in SUITE]
+
+# The vectorized backend is exercised twice: with its default width
+# threshold (narrow schedules delegate to the compiled body) and with the
+# round path forced, so cross-chunk vectorization is covered even on the
+# small suite sizes.
+BACKEND_VARIANTS = [
+    ("interpreter", {}),
+    ("compiled", {}),
+    ("vectorized", {}),
+    ("vectorized", {"min_parallel_width": 2}),
+    ("vectorized", {"check_independence": False, "min_parallel_width": 2}),
+]
+VARIANT_IDS = [
+    "interpreter", "compiled", "vectorized", "vectorized-forced", "vectorized-unchecked",
+]
+
+
+def _reference_and_transformed(nest):
+    reference = store_for_nest(nest)
+    execute_nest(nest, reference.copy())  # warm sanity: must not raise
+    transformed = TransformedLoopNest.from_report(parallelize(nest))
+    base = store_for_nest(nest)
+    ref = base.copy()
+    execute_nest(nest, ref)
+    return base, ref, transformed
+
+
+class TestWorkloadSuiteDifferential:
+    @pytest.mark.parametrize("case", SUITE, ids=SUITE_IDS)
+    @pytest.mark.parametrize(
+        "backend_name, options", BACKEND_VARIANTS, ids=VARIANT_IDS
+    )
+    def test_backend_matches_interpreter_reference(self, case, backend_name, options):
+        base, ref, transformed = _reference_and_transformed(case.nest)
+        backend = get_backend(backend_name, **options)
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result), (
+            f"backend {backend_name!r} ({options}) diverged on {case.name!r}: "
+            f"max |diff| = {ref.max_abs_difference(result):.3e}"
+        )
+
+    @pytest.mark.parametrize("mode", ["serial", "threads"])
+    @pytest.mark.parametrize("backend_name", ["interpreter", "compiled", "vectorized"])
+    def test_executor_modes_per_backend(self, mode, backend_name):
+        for case in SUITE[:6]:
+            base, ref, transformed = _reference_and_transformed(case.nest)
+            result = base.copy()
+            backend = get_backend(backend_name)
+            outcome = ParallelExecutor(mode=mode, workers=4, backend=backend).run(
+                transformed, result
+            )
+            # The result reports the engine that actually ran: thread mode is
+            # chunk-granular (the vectorized backend delegates there) and a
+            # serial vectorized run may fall back dynamically.
+            assert outcome.backend in (backend.name, backend.per_chunk_name)
+            if backend_name != "vectorized":
+                assert outcome.backend == backend_name
+            assert ref.identical(result), (mode, backend_name, case.name)
+
+    @pytest.mark.parametrize("backend_name", ["compiled", "vectorized"])
+    def test_process_mode_merges_backend_writes(self, backend_name):
+        nest = example_4_2(4)
+        base, ref, transformed = _reference_and_transformed(nest)
+        result = base.copy()
+        ParallelExecutor(mode="processes", workers=2, backend=backend_name).run(
+            transformed, result
+        )
+        assert ref.identical(result)
+
+
+# ---------------------------------------------------------------------------
+# randomized synthetic nests (seeded)
+# ---------------------------------------------------------------------------
+
+def _random_nest(rng: np.random.Generator):
+    """A random but analyzable 2-deep nest with genuine dependences."""
+    n = int(rng.integers(4, 8))
+    pattern = int(rng.integers(0, 3))
+    if pattern == 0:
+        # uniform distance recurrence
+        a, b = int(rng.integers(1, 3)), int(rng.integers(0, 3))
+        body = f"A[i1, i2] = A[i1 - {a}, i2 - {b}] * 0.5 + {float(rng.integers(1, 4))}"
+    elif pattern == 1:
+        # coupled 1-D subscript: variable distances
+        p, q = int(rng.integers(2, 4)), int(rng.integers(2, 4))
+        body = f"A[{p}*i1 + i2] = A[{p}*i1 + i2 - {q}] + B[i1, i2]"
+    else:
+        # 4.1-style anti-diagonal flip
+        a = 2 * int(rng.integers(1, 3))
+        m = int(rng.integers(1, 3))
+        body = f"A[i1, i2] = A[-i1 - {a}, {m}*i1 + i2 + {a}] + 1.0"
+    lo = int(rng.integers(-3, 1))
+    builder = loop_nest(f"random-{pattern}").loop("i1", lo, lo + n).loop("i2", lo, lo + n)
+    builder.statement(body)
+    if rng.integers(0, 2):
+        # B is read 2-D everywhere, so its window stays consistent no matter
+        # which pattern the first statement drew for A.
+        builder.statement("C[i1, i2] = C[i1 - 2, i2] + B[i1, i2] * 0.25")
+    return builder.build()
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_nests_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        nest = _random_nest(rng)
+        base, ref, transformed = _reference_and_transformed(nest)
+        for backend_name, options in BACKEND_VARIANTS:
+            backend = get_backend(backend_name, **options)
+            result = base.copy()
+            backend.execute(transformed, result)
+            assert ref.identical(result), (seed, nest.name, backend_name, options)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_initial_contents(self, seed):
+        nest = _random_nest(np.random.default_rng(100 + seed))
+        base = store_for_nest(nest, initializer="random", seed=seed)
+        ref = base.copy()
+        execute_nest(nest, ref)
+        transformed = TransformedLoopNest.from_report(parallelize(nest))
+        for backend_name, options in BACKEND_VARIANTS:
+            result = base.copy()
+            get_backend(backend_name, **options).execute(transformed, result)
+            assert ref.identical(result), (seed, backend_name)
+
+
+# ---------------------------------------------------------------------------
+# backend-specific behavior
+# ---------------------------------------------------------------------------
+
+class TestVectorizedBehavior:
+    def test_wide_schedule_actually_vectorizes(self):
+        nest = example_4_1(8)
+        base, ref, transformed = _reference_and_transformed(nest)
+        backend = VectorizedBackend(min_parallel_width=2)
+        backend.execute(transformed, base.copy())
+        assert backend.stats["vectorized_rounds"] > 0
+        assert backend.stats["vectorized_iterations"] > backend.stats["fallback_iterations"]
+
+    def test_sequential_nest_falls_back(self):
+        # The wavefront has no chunk parallelism: every round is a singleton.
+        nest = (
+            loop_nest("wavefront")
+            .loop("i1", 1, 6)
+            .loop("i2", 1, 6)
+            .statement("A[i1, i2] = A[i1 - 1, i2] + A[i1, i2 - 1]")
+            .build()
+        )
+        base, ref, transformed = _reference_and_transformed(nest)
+        backend = VectorizedBackend(min_parallel_width=2)
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result)
+        assert backend.stats["vectorized_rounds"] == 0
+
+    def test_narrow_schedule_delegates_to_compiled(self):
+        nest = example_4_2(5)  # 4 chunks < default width threshold
+        base, ref, transformed = _reference_and_transformed(nest)
+        backend = VectorizedBackend()
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result)
+        assert backend.stats["delegated_runs"] == 1
+        assert backend.stats["rounds"] == 0
+        assert backend.last_execution_engine == "compiled"
+        # ... and the executor result reports the engine that ran.
+        outcome = ParallelExecutor(mode="serial", backend=backend).run(
+            transformed, base.copy()
+        )
+        assert outcome.backend == "compiled"
+        wide = example_4_1(8)
+        base_w, ref_w, transformed_w = _reference_and_transformed(wide)
+        outcome = ParallelExecutor(mode="serial", backend=VectorizedBackend()).run(
+            transformed_w, base_w.copy()
+        )
+        assert outcome.backend == "vectorized"
+
+    def test_division_by_zero_matches_interpreter(self):
+        # 1.0 / i2 hits i2 == 0: the interpreter raises ZeroDivisionError,
+        # and so must the vectorized backend (NumPy would store inf).
+        nest = (
+            loop_nest("divzero")
+            .loop("i1", 0, 4)
+            .loop("i2", -2, 2)
+            .statement("A[i1, i2] = B[i1, i2] + 1.0 / (i2)")
+            .build()
+        )
+        store = store_for_nest(nest)
+        with pytest.raises(ZeroDivisionError):
+            execute_nest(nest, store.copy())
+        transformed = TransformedLoopNest.from_report(parallelize(nest))
+        backend = VectorizedBackend(min_parallel_width=2)
+        with pytest.raises(ZeroDivisionError):
+            backend.execute(transformed, store.copy())
+
+    def test_call_expressions_stay_bit_identical(self):
+        nest = (
+            loop_nest("transcendental")
+            .loop("i1", 0, 6)
+            .loop("i2", 0, 6)
+            .statement("A[i1, i2] = sin(B[i1, i2]) + exp(A[i1, i2] * 0.01) + max(1.0, (i1))")
+            .build()
+        )
+        base, ref, transformed = _reference_and_transformed(nest)
+        backend = VectorizedBackend(min_parallel_width=2)
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result)
+        assert backend.stats["vectorized_rounds"] > 0
+
+    def test_independence_check_catches_bogus_parallel_levels(self):
+        # Deliberately mislabel a recurrence as fully parallel: the dynamic
+        # check must detect the cross-chunk conflicts and fall back to
+        # chunk-major sequential execution, keeping the result identical to
+        # the (identity) transformed order.
+        nest = (
+            loop_nest("bogus")
+            .loop("i1", 0, 6)
+            .statement("A[i1] = A[i1 - 1] + 1.0")
+            .build()
+        )
+        transformed = TransformedLoopNest.identity(nest)
+        transformed.parallel_levels = (0,)  # wrong on purpose
+        base = store_for_nest(nest)
+        ref = base.copy()
+        execute_nest(nest, ref)
+        backend = VectorizedBackend(min_parallel_width=2)
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result)
+        assert backend.stats["illegal_schedule_fallbacks"] == 1
+        assert backend.stats["vectorized_rounds"] == 0
+
+    def test_independence_check_catches_cross_round_conflicts(self):
+        # The adversarial case for a *per-round* check: chunks A=[(0,0),(0,1)]
+        # and B=[(1,0),(1,1)] where (1,0) [chunk B, round 0] reads the cell
+        # A[0,1] that (0,1) [chunk A, round 1] writes.  No round shares a
+        # cell internally, yet round-major order runs (1,0) before (0,1)
+        # while the chunk-major reference runs it after.  The global
+        # cross-chunk check must catch this and fall back.
+        nest = (
+            loop_nest("cross-round")
+            .loop("i1", 0, 1)
+            .loop("i2", 0, 1)
+            .statement("A[i1, i2] = A[i1 - 1, i2 + 1] + 1.0")
+            .build()
+        )
+        transformed = TransformedLoopNest.identity(nest)
+        transformed.parallel_levels = (0,)  # wrong on purpose: i1 carries a dependence
+        base = store_for_nest(nest)
+        # chunk-major reference in the transformed (identity) order
+        ref = base.copy()
+        for chunk_iterations in ([(0, 0), (0, 1)], [(1, 0), (1, 1)]):
+            for iteration in chunk_iterations:
+                env = nest.env_for(iteration)
+                for stmt in nest.statements:
+                    ref[stmt.target.array][stmt.target.subscript_values(env)] = (
+                        stmt.rhs.evaluate(env, ref)
+                    )
+        backend = VectorizedBackend(min_parallel_width=2)
+        result = base.copy()
+        backend.execute(transformed, result)
+        assert ref.identical(result)
+        assert backend.stats["illegal_schedule_fallbacks"] == 1
+        assert backend.stats["vectorized_rounds"] == 0
+
+
+class TestCompiledBehavior:
+    def test_execute_original_matches_interpreter(self):
+        nest = example_4_1(5)
+        store = store_for_nest(nest)
+        ref = store.copy()
+        execute_nest(nest, ref)
+        result = store.copy()
+        CompiledBackend().execute_original(nest, result)
+        assert ref.identical(result)
+
+    def test_body_function_cached_per_nest(self):
+        nest = example_4_1(4)
+        assert CompiledBackend.body_function(nest) is CompiledBackend.body_function(nest)
+
+    def test_array_named_iterations_does_not_shadow(self):
+        # The emitted chunk body takes (arrays, iterations) parameters; an
+        # array with either name must not shadow them.
+        nest = (
+            loop_nest("shadow")
+            .loop("i1", 1, 6)
+            .statement("iterations[i1] = iterations[i1 - 1] + arrays[i1]")
+            .build()
+        )
+        base, ref, transformed = _reference_and_transformed(nest)
+        for backend_name in ("compiled", "vectorized"):
+            result = base.copy()
+            get_backend(backend_name).execute(transformed, result)
+            assert ref.identical(result), backend_name
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_backends()
+        assert {"interpreter", "compiled", "vectorized"} <= set(names)
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(ExecutionError):
+            get_backend("cuda")
+
+    def test_executor_rejects_unknown_backend(self):
+        with pytest.raises(ExecutionError):
+            ParallelExecutor(mode="serial", backend="cuda")
+
+    def test_resolve_backend_passthrough(self):
+        backend = VectorizedBackend()
+        assert resolve_backend(backend) is backend
+        assert isinstance(resolve_backend("interpreter"), InterpreterBackend)
+
+    def test_register_custom_backend(self):
+        class ReversedChunks(ExecutionBackend):
+            """Chunks in reverse order — legal because chunks are independent."""
+
+            name = "reversed-chunks"
+
+            def execute(self, transformed, store, chunks=None):
+                if chunks is None:
+                    chunks = build_schedule(transformed)
+                for chunk in reversed(list(chunks)):
+                    self.execute_chunk(transformed, chunk, store)
+                return store
+
+            def execute_chunk(self, transformed, chunk, store):
+                InterpreterBackend().execute_chunk(transformed, chunk, store)
+
+        register_backend("reversed-chunks", ReversedChunks)
+        try:
+            nest = example_4_1(5)
+            base, ref, transformed = _reference_and_transformed(nest)
+            result = base.copy()
+            get_backend("reversed-chunks").execute(transformed, result)
+            assert ref.identical(result)
+        finally:
+            from repro.runtime import backends as backends_module
+
+            backends_module._REGISTRY.pop("reversed-chunks", None)
