@@ -1,0 +1,89 @@
+"""Analysis cache benchmark — cold vs. warm analysis of the workload suite.
+
+The reproduction target here is behavioral: under repeated traffic the
+memoizing analysis cache (:mod:`repro.core.cache`) must turn re-analysis of
+a structurally known nest into a hash lookup.  Concretely:
+
+* a *warm* batch (every suite workload rebuilt as a fresh object, i.e. the
+  "same request parsed again" scenario) must be at least **10x faster**
+  than the *cold* batch that populated the cache;
+* every warm report must carry the same transformation, parallel levels and
+  partition count as its cold counterpart — a cache hit is
+  indistinguishable from a cold run.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_analysis_cache.py --benchmark-only
+
+or standalone (CI smoke)::
+
+    python benchmarks/bench_analysis_cache.py --size 8
+"""
+
+import argparse
+import sys
+
+from repro.experiments.harness import analysis_cache_experiment
+
+SPEEDUP_TARGET = 10.0
+
+
+def _measure(n: int, repetitions: int = 3):
+    """Best-of-``repetitions`` cold and warm batch times over the suite.
+
+    Delegates to the shared experiment driver, which also checks that every
+    warm report matches its cold counterpart and that every warm lookup hit.
+    """
+    return analysis_cache_experiment(suite_n=n, repetitions=repetitions)
+
+
+def _check(result, speedup_target=None):
+    assert result["warm_seconds"] < result["cold_seconds"]
+    if speedup_target is not None:
+        assert result["speedup"] >= speedup_target, (
+            f"warm analysis is only {result['speedup']:.1f}x faster than cold, "
+            f"target is {speedup_target:.0f}x"
+        )
+
+
+def _format(result) -> str:
+    return (
+        f"analysis of {result['workloads']} suite workloads: "
+        f"cold {result['cold_seconds'] * 1000.0:.2f} ms, "
+        f"warm {result['warm_seconds'] * 1000.0:.2f} ms "
+        f"({result['speedup']:.1f}x)\n{result['cache']}"
+    )
+
+
+def test_analysis_cache(benchmark):
+    result = benchmark.pedantic(_measure, args=(8,), rounds=1, iterations=1)
+    _check(result, speedup_target=SPEEDUP_TARGET)
+    benchmark.extra_info["warm_speedup"] = round(result["speedup"], 1)
+    print()
+    print(_format(result))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=8, help="workload size N (default: 8)"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, help="timing repetitions (default: 3)"
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=SPEEDUP_TARGET,
+        help="fail unless the warm batch beats the cold batch by this factor "
+        f"(default: {SPEEDUP_TARGET:.0f})",
+    )
+    args = parser.parse_args(argv)
+    result = _measure(args.size, repetitions=args.repetitions)
+    _check(result, speedup_target=args.require_speedup)
+    print(_format(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

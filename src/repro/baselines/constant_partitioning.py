@@ -5,77 +5,81 @@ distance vectors forming a full-rank matrix, the iteration space splits into
 ``det`` independent partitions.  The baseline is applicable only to constant
 distances (and, for the partitioning step, only when the distance matrix has
 full rank); the PDM method subsumes it.
+
+Expressed as a pass configuration: the shared dependence analysis, the
+constant-distance model, the shared identity/zero-column pass and the shared
+partitioning pass restricted to a full-rank distance matrix
+(``require_full_rank_pdm=True``).
 """
 
 from __future__ import annotations
 
 from repro.baselines.base import MethodResult
+from repro.baselines.passes import UniformDistancePass
 from repro.core.partition import partition_full_rank
-from repro.core.pdm import PseudoDistanceMatrix
-from repro.dependence.solver import analyze_loop_dependences
-from repro.exceptions import SingularMatrixError
-from repro.intlin.matrix import identity_matrix, is_zero_vector
+from repro.core.passes import (
+    DependenceAnalysisPass,
+    FullRankPass,
+    PartitionPass,
+    PassManager,
+    PipelineContext,
+)
+from repro.intlin.matrix import identity_matrix
 from repro.loopnest.nest import LoopNest
 
 __all__ = ["constant_partitioning_method"]
 
+_METHOD = "partitioning (D'Hollander)"
+_REPRESENTATION = "uniform distance vectors"
+
+_PIPELINE = PassManager(
+    (
+        DependenceAnalysisPass(),
+        UniformDistancePass(),
+        FullRankPass(),
+        PartitionPass(require_full_rank_pdm=True),
+    ),
+    name="partitioning-dhollander",
+)
+
 
 def constant_partitioning_method(nest: LoopNest) -> MethodResult:
     """D'Hollander-style partitioning for constant-distance loops."""
-    solutions = analyze_loop_dependences(nest)
-    distances = []
-    for sol in solutions:
-        if not sol.consistent:
-            continue
-        if not sol.is_uniform:
-            return MethodResult(
-                method="partitioning (D'Hollander)",
-                nest_name=nest.name,
-                applicable=False,
-                dependence_representation="uniform distance vectors",
-                notes=f"variable-distance dependence: {sol.pair.describe()}",
-            )
-        if sol.offset is not None and not is_zero_vector(sol.offset):
-            distances.append(list(sol.offset))
-
-    if not distances:
+    ctx = PipelineContext(nest=nest)
+    _PIPELINE.run(ctx)
+    if not ctx.applicable:
         return MethodResult(
-            method="partitioning (D'Hollander)",
+            method=_METHOD,
             nest_name=nest.name,
-            applicable=True,
-            dependence_representation="uniform distance vectors",
-            parallel_levels=tuple(range(nest.depth)),
-            partition_count=1,
-            transform=identity_matrix(nest.depth),
-            notes="no loop-carried dependences",
+            applicable=False,
+            dependence_representation=_REPRESENTATION,
+            notes=ctx.notes,
         )
-
-    pdm = PseudoDistanceMatrix.from_generators(distances, nest.depth, nest.index_names)
-    if not pdm.is_full_rank:
-        # The 1992 method combines unimodular labeling with partitioning; the
-        # reproduction reports only its partitioning capability here, so a
-        # rank-deficient constant-distance matrix yields the zero-column
-        # parallel loops and no partitions.
-        return MethodResult(
-            method="partitioning (D'Hollander)",
-            nest_name=nest.name,
-            applicable=True,
-            dependence_representation="uniform distance vectors",
-            parallel_levels=tuple(pdm.zero_columns()),
-            partition_count=1,
-            transform=identity_matrix(nest.depth),
-            notes="distance matrix not full rank: partitioning skipped",
-        )
-
-    partitioning = partition_full_rank(pdm)
+    notes = ctx.notes
+    partitioning = ctx.partitioning
+    if not notes:
+        if not ctx.pdm.is_full_rank:
+            # The 1992 method combines unimodular labeling with partitioning;
+            # the reproduction reports only its partitioning capability here,
+            # so a rank-deficient constant-distance matrix yields the
+            # zero-column parallel loops and no partitions.
+            notes = "distance matrix not full rank: partitioning skipped"
+        else:
+            notes = f"det = {ctx.extras.get('block_determinant', 1)} partitions"
+            if partitioning is None:
+                # The shared pass only materializes partitions for det > 1;
+                # the 1992 method always reports its (possibly trivial)
+                # partitioning for a full-rank distance matrix.
+                partitioning = partition_full_rank(ctx.pdm)
+    partition_count = partitioning.num_partitions if partitioning else 1
     return MethodResult(
-        method="partitioning (D'Hollander)",
+        method=_METHOD,
         nest_name=nest.name,
         applicable=True,
-        dependence_representation="uniform distance vectors",
-        parallel_levels=tuple(pdm.zero_columns()),
-        partition_count=partitioning.num_partitions,
+        dependence_representation=_REPRESENTATION,
+        parallel_levels=tuple(ctx.parallel_levels),
+        partition_count=partition_count,
         transform=identity_matrix(nest.depth),
         partitioning=partitioning,
-        notes=f"det = {partitioning.num_partitions} partitions",
+        notes=notes,
     )

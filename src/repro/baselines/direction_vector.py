@@ -6,13 +6,16 @@ is either independent of the level or already carried by an outer loop).
 Direction vectors lose the exact stride information, so partitioning-style
 parallelism (``det(PDM)`` partitions) is invisible to this method — exactly
 the accuracy gap discussed in the paper's related-work section.
+
+Expressed as a pass configuration: a single direction-vector modelling pass
+over the shared pipeline context.
 """
 
 from __future__ import annotations
 
 from repro.baselines.base import MethodResult
-from repro.dependence.direction import direction_vectors_of_nest
-from repro.intlin.matrix import identity_matrix
+from repro.baselines.passes import DirectionVectorPass
+from repro.core.passes import PassManager, PipelineContext
 from repro.loopnest.nest import LoopNest
 
 __all__ = ["direction_vector_method"]
@@ -20,19 +23,19 @@ __all__ = ["direction_vector_method"]
 
 def direction_vector_method(nest: LoopNest, max_iterations: int = 200_000) -> MethodResult:
     """Parallel-loop detection from (exact) direction vectors; no transformation."""
-    vectors = direction_vectors_of_nest(nest, max_iterations=max_iterations)
-    parallel_levels = []
-    for level in range(nest.depth):
-        if all(vec.allows_parallel_level(level) for vec in vectors):
-            parallel_levels.append(level)
+    ctx = PipelineContext(nest=nest)
+    PassManager(
+        (DirectionVectorPass(max_iterations=max_iterations),),
+        name="direction-vectors-wolf-lam",
+    ).run(ctx)
     return MethodResult(
         method="direction vectors (Wolf/Lam)",
         nest_name=nest.name,
         applicable=True,
         dependence_representation="direction vectors",
-        parallel_levels=tuple(parallel_levels),
+        parallel_levels=tuple(ctx.parallel_levels),
         partition_count=1,
-        transform=identity_matrix(nest.depth),
-        notes=f"{len(vectors)} direction vector(s)",
+        transform=ctx.transform,
+        notes=ctx.notes,
         execution_model="barrier",
     )

@@ -4,13 +4,16 @@ The weakest baseline: a loop level is marked ``doall`` only if *no*
 dependence distance has its first nonzero component at that level (i.e. the
 level carries no dependence) — computed from the exact realized distances.
 No loop is reordered, no iteration space is partitioned.
+
+Expressed as a pass configuration: a single realized-distance modelling pass
+over the shared pipeline context.
 """
 
 from __future__ import annotations
 
 from repro.baselines.base import MethodResult
-from repro.dependence.graph import realized_distances
-from repro.intlin.matrix import identity_matrix, leading_index
+from repro.baselines.passes import RealizedDistancePass
+from repro.core.passes import PassManager, PipelineContext
 from repro.loopnest.nest import LoopNest
 
 __all__ = ["no_transform_method"]
@@ -18,19 +21,19 @@ __all__ = ["no_transform_method"]
 
 def no_transform_method(nest: LoopNest, max_iterations: int = 200_000) -> MethodResult:
     """Mark the levels that carry no dependence; leave the loop untouched."""
-    distances = realized_distances(nest, max_iterations=max_iterations)
-    carried_levels = {leading_index(list(d)) for d in distances}
-    parallel_levels = tuple(
-        level for level in range(nest.depth) if level not in carried_levels
-    )
+    ctx = PipelineContext(nest=nest)
+    PassManager(
+        (RealizedDistancePass(max_iterations=max_iterations),),
+        name="no-transform",
+    ).run(ctx)
     return MethodResult(
         method="no transformation",
         nest_name=nest.name,
         applicable=True,
         dependence_representation="realized distances",
-        parallel_levels=parallel_levels,
+        parallel_levels=tuple(ctx.parallel_levels),
         partition_count=1,
-        transform=identity_matrix(nest.depth),
-        notes=f"{len(distances)} distinct realized distance(s)",
+        transform=ctx.transform,
+        notes=ctx.notes,
         execution_model="barrier",
     )

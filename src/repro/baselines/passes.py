@@ -1,0 +1,125 @@
+"""Baseline-specific analysis passes.
+
+The related-work baselines are *pass configurations* over the same
+:class:`~repro.core.passes.PipelineContext` as the paper's method: they
+reuse the shared :class:`~repro.core.passes.DependenceAnalysisPass`,
+:class:`~repro.core.passes.Algorithm1Pass`,
+:class:`~repro.core.passes.FullRankPass` and
+:class:`~repro.core.passes.PartitionPass` and only add the passes below for
+the parts where the methods genuinely differ — how they *model* the
+dependences (constant distance vectors, direction vectors, realized
+distances) rather than how they transform the loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.passes import Pass, PipelineContext
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.dependence.direction import direction_vectors_of_nest
+from repro.dependence.graph import realized_distances
+from repro.intlin.matrix import identity_matrix, is_zero_vector, leading_index
+
+__all__ = [
+    "UniformDistancePass",
+    "DirectionVectorPass",
+    "RealizedDistancePass",
+]
+
+
+class UniformDistancePass(Pass):
+    """Model the dependences as *constant* distance vectors (Banerjee,
+    D'Hollander).
+
+    Consumes the shared ``ctx.solutions``; a variable-distance dependence
+    makes the method inapplicable (``ctx.applicable = False``), otherwise
+    the constant distances become the context's (distance-matrix) PDM.  With
+    no loop-carried dependence at all the nest is fully parallel and the
+    pipeline finishes early, mirroring the empty-PDM case of
+    :class:`~repro.core.passes.BuildPDMPass`.
+    """
+
+    name = "uniform-distances"
+
+    def should_run(self, ctx: PipelineContext) -> bool:
+        return not ctx.finished and ctx.solutions is not None
+
+    def run(self, ctx: PipelineContext) -> None:
+        distances = []
+        for sol in ctx.solutions:
+            if not sol.consistent:
+                continue
+            if not sol.is_uniform:
+                ctx.applicable = False
+                ctx.notes = f"variable-distance dependence: {sol.pair.describe()}"
+                ctx.finished = True
+                return
+            if sol.offset is not None and not is_zero_vector(sol.offset):
+                distances.append(list(sol.offset))
+        ctx.extras["distances"] = distances
+        n = ctx.depth
+        ctx.pdm = PseudoDistanceMatrix.from_generators(
+            distances, n, ctx.nest.index_names
+        )
+        ctx.add_step(
+            "distance-matrix",
+            f"constant distance matrix of rank {ctx.pdm.rank} (loop depth {n})",
+            ctx.pdm.matrix,
+        )
+        if ctx.pdm.is_empty:
+            ctx.transform = identity_matrix(n)
+            ctx.transformed_pdm = []
+            ctx.parallel_levels = tuple(range(n))
+            ctx.notes = "no loop-carried dependences"
+            ctx.finished = True
+
+
+class DirectionVectorPass(Pass):
+    """Model the dependences as direction vectors (Wolf & Lam style).
+
+    A loop level is parallel when every dependence is independent of the
+    level or carried by an outer loop; the exact strides are abstracted
+    away, so partitioning parallelism is invisible to this configuration.
+    """
+
+    name = "direction-vectors"
+
+    def __init__(self, max_iterations: int = 200_000):
+        self.max_iterations = max_iterations
+
+    def run(self, ctx: PipelineContext) -> None:
+        vectors = direction_vectors_of_nest(
+            ctx.nest, max_iterations=self.max_iterations
+        )
+        ctx.extras["direction_vectors"] = vectors
+        ctx.parallel_levels = tuple(
+            level
+            for level in range(ctx.depth)
+            if all(vec.allows_parallel_level(level) for vec in vectors)
+        )
+        ctx.transform = identity_matrix(ctx.depth)
+        ctx.notes = f"{len(vectors)} direction vector(s)"
+        ctx.finished = True
+
+
+class RealizedDistancePass(Pass):
+    """Mark the levels that carry no realized dependence distance.
+
+    The weakest model: no transformation, no partitioning — a level is
+    ``doall`` only if no distance has its first nonzero component there.
+    """
+
+    name = "realized-distances"
+
+    def __init__(self, max_iterations: int = 200_000):
+        self.max_iterations = max_iterations
+
+    def run(self, ctx: PipelineContext) -> None:
+        distances = realized_distances(ctx.nest, max_iterations=self.max_iterations)
+        ctx.extras["realized_distances"] = distances
+        carried = {leading_index(list(d)) for d in distances}
+        ctx.parallel_levels = tuple(
+            level for level in range(ctx.depth) if level not in carried
+        )
+        ctx.transform = identity_matrix(ctx.depth)
+        ctx.notes = f"{len(distances)} distinct realized distance(s)"
+        ctx.finished = True

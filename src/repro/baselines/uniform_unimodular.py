@@ -7,59 +7,64 @@ is a special case of the PDM, as the paper's Corollary 5 points out); when a
 variable-distance dependence is present the method is simply not applicable,
 which is exactly the gap the paper fills.  No partitioning is performed — the
 framework only uses unimodular transformations (Table 1, row "Banerjee").
+
+Expressed as a pass configuration: the shared dependence analysis, the
+constant-distance model, then the shared Algorithm 1 pass (run even for a
+full-rank distance matrix, as Banerjee's framework echelonizes it) and the
+Theorem 1 legality check.
 """
 
 from __future__ import annotations
 
 from repro.baselines.base import MethodResult
-from repro.core.algorithm1 import transform_non_full_rank
-from repro.core.pdm import PseudoDistanceMatrix
-from repro.dependence.solver import analyze_loop_dependences
-from repro.intlin.matrix import identity_matrix, is_zero_vector
+from repro.baselines.passes import UniformDistancePass
+from repro.core.passes import (
+    Algorithm1Pass,
+    DependenceAnalysisPass,
+    LegalityPass,
+    PassManager,
+    PipelineContext,
+)
 from repro.loopnest.nest import LoopNest
 
 __all__ = ["uniform_unimodular_method"]
 
+_METHOD = "unimodular (Banerjee)"
+_REPRESENTATION = "uniform distance vectors"
+
+_PIPELINE = PassManager(
+    (
+        DependenceAnalysisPass(),
+        UniformDistancePass(),
+        Algorithm1Pass(run_when_full_rank=True),
+        LegalityPass(),
+    ),
+    name="unimodular-banerjee",
+)
+
 
 def uniform_unimodular_method(nest: LoopNest, placement: str = "outer") -> MethodResult:
     """Banerjee-style unimodular parallelization, applicable to constant distances only."""
-    solutions = analyze_loop_dependences(nest)
-    distances = []
-    for sol in solutions:
-        if not sol.consistent:
-            continue
-        if not sol.is_uniform:
-            return MethodResult(
-                method="unimodular (Banerjee)",
-                nest_name=nest.name,
-                applicable=False,
-                dependence_representation="uniform distance vectors",
-                notes=f"variable-distance dependence: {sol.pair.describe()}",
-            )
-        if sol.offset is not None and not is_zero_vector(sol.offset):
-            distances.append(list(sol.offset))
-
-    if not distances:
+    ctx = PipelineContext(nest=nest, placement=placement)
+    _PIPELINE.run(ctx)
+    if not ctx.applicable:
         return MethodResult(
-            method="unimodular (Banerjee)",
+            method=_METHOD,
             nest_name=nest.name,
-            applicable=True,
-            dependence_representation="uniform distance vectors",
-            parallel_levels=tuple(range(nest.depth)),
-            partition_count=1,
-            transform=identity_matrix(nest.depth),
-            notes="no loop-carried dependences",
+            applicable=False,
+            dependence_representation=_REPRESENTATION,
+            notes=ctx.notes,
         )
-
-    pdm = PseudoDistanceMatrix.from_generators(distances, nest.depth, nest.index_names)
-    result = transform_non_full_rank(pdm, placement=placement)
+    notes = ctx.notes
+    if not notes:
+        notes = f"distance matrix rank {ctx.pdm.rank}/{nest.depth}; no partitioning"
     return MethodResult(
-        method="unimodular (Banerjee)",
+        method=_METHOD,
         nest_name=nest.name,
         applicable=True,
-        dependence_representation="uniform distance vectors",
-        parallel_levels=result.zero_columns,
+        dependence_representation=_REPRESENTATION,
+        parallel_levels=tuple(ctx.parallel_levels),
         partition_count=1,
-        transform=result.transform,
-        notes=f"distance matrix rank {pdm.rank}/{nest.depth}; no partitioning",
+        transform=ctx.transform,
+        notes=notes,
     )

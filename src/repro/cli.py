@@ -4,6 +4,7 @@ A small front end so the analysis can be driven from loop descriptions in
 plain text files, without writing Python::
 
     repro-loop analyze examples/loops/example41.loop
+    repro-loop analyze examples/loops/*.loop      # batch, shared cache
     repro-loop codegen examples/loops/example41.loop
     repro-loop verify  examples/loops/example41.loop
     repro-loop compare examples/loops/example41.loop
@@ -27,10 +28,12 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines.comparison import compare_methods, comparison_table
+from repro.baselines.comparison import ALL_METHODS, compare_methods, comparison_table
+from repro.baselines.pdm_method import pdm_method
 from repro.codegen.python_emitter import emit_original_source, emit_transformed_source
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.cache import default_cache
 from repro.core.pipeline import parallelize, parallelize_and_execute
 from repro.exceptions import LoopNestError, ReproError
 from repro.isdg.build import build_isdg
@@ -105,8 +108,21 @@ def parse_loop_file(path: str) -> LoopNest:
 # sub-commands
 # ---------------------------------------------------------------------------
 
+def _report_for(nest: LoopNest, args):
+    """Analyse one nest, through the shared cache unless ``--no-cache``.
+
+    Returns ``(report, was_cache_hit)``.
+    """
+    if getattr(args, "no_cache", False):
+        return parallelize(nest, placement=args.placement), False
+    cache = default_cache()
+    hits_before = cache.stats.hits
+    report = cache.parallelize(nest, placement=args.placement)
+    return report, cache.stats.hits > hits_before
+
+
 def _cmd_analyze(nest: LoopNest, args) -> str:
-    report = parallelize(nest, placement=args.placement)
+    report, cache_hit = _report_for(nest, args)
     transformed = TransformedLoopNest.from_report(report)
     chunks = build_schedule(transformed)
     stats = schedule_statistics(chunks)
@@ -117,11 +133,18 @@ def _cmd_analyze(nest: LoopNest, args) -> str:
         f"ideal speedup {stats['ideal_speedup']:.2f}, "
         f"simulated speedup on {args.processors} processors {sim.speedup:.2f}"
     )
+    lines.append("")
+    origin = "cache hit (cold-run timings shown)" if cache_hit else "cold analysis"
+    lines.append(f"Per-pass analysis timing ({origin}):")
+    for timing in report.pass_timings:
+        lines.append(f"  {timing.describe()}")
+    if not getattr(args, "no_cache", False):
+        lines.append(default_cache().describe())
     return "\n".join(lines)
 
 
 def _cmd_codegen(nest: LoopNest, args) -> str:
-    report = parallelize(nest, placement=args.placement)
+    report, _ = _report_for(nest, args)
     transformed = TransformedLoopNest.from_report(report)
     lines = [
         "# --- original loop -------------------------------------------------",
@@ -133,7 +156,7 @@ def _cmd_codegen(nest: LoopNest, args) -> str:
 
 
 def _cmd_verify(nest: LoopNest, args) -> str:
-    report = parallelize(nest, placement=args.placement)
+    report, _ = _report_for(nest, args)
     result = verify_transformation(
         nest,
         report,
@@ -146,7 +169,12 @@ def _cmd_verify(nest: LoopNest, args) -> str:
 def _cmd_run(nest: LoopNest, args) -> str:
     """Execute the parallelized nest with the selected backend and report timing."""
     report, result = parallelize_and_execute(
-        nest, backend=args.backend, mode=args.mode, workers=args.processors
+        nest,
+        backend=args.backend,
+        mode=args.mode,
+        workers=args.processors,
+        placement=args.placement,
+        use_cache=not getattr(args, "no_cache", False),
     )
     reference = store_for_nest(nest)
     execute_nest(nest, reference)
@@ -167,7 +195,12 @@ def _cmd_run(nest: LoopNest, args) -> str:
 
 def _cmd_compare(nest: LoopNest, args) -> str:
     case = WorkloadCase(name=nest.name, nest=nest, category="user")
-    rows = compare_methods([case])
+    methods = None
+    if getattr(args, "no_cache", False):
+        # The pdm method is the only cached one; swap in a cold variant.
+        methods = dict(ALL_METHODS)
+        methods["pdm"] = lambda nest: pdm_method(nest, use_cache=False)
+    rows = compare_methods([case], methods=methods)
     lines = [comparison_table(rows), ""]
     for method, result in rows[0].results:
         lines.append(f"{method}: {result.describe()}")
@@ -175,7 +208,7 @@ def _cmd_compare(nest: LoopNest, args) -> str:
 
 
 def _cmd_figures(nest: LoopNest, args) -> str:
-    report = parallelize(nest, placement=args.placement)
+    report, _ = _report_for(nest, args)
     transformed = TransformedLoopNest.from_report(report)
     isdg = build_isdg(nest)
     stats = compute_statistics(isdg, transformed)
@@ -209,7 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Analyse and parallelize affine loop nests (Yu & D'Hollander, ICPP 2000).",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="what to do with the loop")
-    parser.add_argument("loop_file", help="path to a loop description file")
+    parser.add_argument(
+        "loop_files",
+        nargs="+",
+        metavar="loop_file",
+        help="one or more loop description files (processed in order; the "
+        "first parse failure aborts with a nonzero exit code)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the memoizing analysis cache (every file is analyzed cold)",
+    )
     parser.add_argument(
         "--placement",
         choices=["outer", "inner"],
@@ -239,19 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-loop`` console script."""
+    """Entry point of the ``repro-loop`` console script.
+
+    Processes the given loop files in order and stops with a nonzero exit
+    code at the first file that cannot be read or parsed.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    try:
-        nest = parse_loop_file(args.loop_file)
-        output = _COMMANDS[args.command](nest, args)
-    except FileNotFoundError:
-        print(f"error: no such file: {args.loop_file}", file=sys.stderr)
-        return 2
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    print(output)
+    multiple = len(args.loop_files) > 1
+    for path in args.loop_files:
+        try:
+            nest = parse_loop_file(path)
+            output = _COMMANDS[args.command](nest, args)
+        except FileNotFoundError:
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        if multiple:
+            print(f"=== {path} ===")
+        print(output)
     return 0
 
 

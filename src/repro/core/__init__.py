@@ -7,6 +7,8 @@
 * :mod:`repro.core.algorithm1` — Algorithm 1: zeroing columns of a
   non-full-rank PDM,
 * :mod:`repro.core.partition` — the partitioning transformation (Theorem 2),
+* :mod:`repro.core.passes` — the staged pass pipeline the method runs as,
+* :mod:`repro.core.cache` — the memoizing analysis cache,
 * :mod:`repro.core.pipeline` — the end-to-end parallelization method.
 """
 
@@ -26,7 +28,31 @@ from repro.core.transforms import (
 )
 from repro.core.algorithm1 import Algorithm1Result, transform_non_full_rank
 from repro.core.partition import PartitioningResult, partition_full_rank
-from repro.core.pipeline import ParallelizationReport, parallelize
+from repro.core.passes import (
+    Pass,
+    PassManager,
+    PassTiming,
+    PipelineContext,
+    Algorithm1Pass,
+    BuildPDMPass,
+    DependenceAnalysisPass,
+    FullRankPass,
+    LegalityPass,
+    PartitionPass,
+    block_determinant,
+)
+from repro.core.cache import (
+    AnalysisCache,
+    cached_parallelize,
+    default_cache,
+    parallelize_many,
+)
+from repro.core.pipeline import (
+    ParallelizationReport,
+    default_pass_manager,
+    parallelize,
+    report_from_context,
+)
 from repro.core.report import TransformationStep
 
 __all__ = [
@@ -44,7 +70,24 @@ __all__ = [
     "transform_non_full_rank",
     "PartitioningResult",
     "partition_full_rank",
+    "Pass",
+    "PassManager",
+    "PassTiming",
+    "PipelineContext",
+    "Algorithm1Pass",
+    "BuildPDMPass",
+    "DependenceAnalysisPass",
+    "FullRankPass",
+    "LegalityPass",
+    "PartitionPass",
+    "block_determinant",
+    "AnalysisCache",
+    "cached_parallelize",
+    "default_cache",
+    "parallelize_many",
     "ParallelizationReport",
+    "default_pass_manager",
     "parallelize",
+    "report_from_context",
     "TransformationStep",
 ]

@@ -1,0 +1,278 @@
+"""Memoizing analysis/schedule cache.
+
+Production traffic re-analyzes the same loop structures over and over: the
+same kernel instantiated for many arrays, the same nest parsed from many
+requests.  The analysis pipeline is deterministic, and its result depends
+only on the *structure* of the nest (never on index/array names), so one
+analysis per structure suffices.  :class:`AnalysisCache` is a thread-safe
+LRU keyed by the canonical structural identity of the nest plus the
+analysis knobs::
+
+    (canonical_key_tuple(nest), placement, include_self, allow_partitioning)
+
+``canonical_key_tuple`` is the SHA-256 preimage of
+:func:`repro.loopnest.canonical.canonical_hash` — the same structural
+identity, hashed at tuple speed for in-process lookups (the hex digest
+remains the stable cross-process name of an entry).  A warm lookup is
+O(serialize + hash) instead of O(dependence analysis + HNF + Algorithm 1 +
+partitioning).
+
+Reports handed out by the cache are *rebound* to the querying nest: the
+``nest`` field and the PDM index names always describe the caller's loop,
+and the matrices are defensive copies, so a cached report is
+indistinguishable from (and compares equal to) a cold run.
+
+:func:`parallelize_many` is the batch entry point used by the experiment
+harness and the multi-file CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.algorithm1 import Algorithm1Result
+from repro.core.partition import PartitioningResult
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.core.pipeline import ParallelizationReport, parallelize
+from repro.loopnest.canonical import canonical_key_tuple
+from repro.loopnest.nest import LoopNest
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "AnalysisCache",
+    "default_cache",
+    "cached_parallelize",
+    "parallelize_many",
+]
+
+CacheKey = Tuple[object, str, bool, bool]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`AnalysisCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.evictions} eviction(s), hit rate {self.hit_rate:.1%}"
+        )
+
+
+def _copy_rows(matrix) -> list:
+    """Plain row copy: the cached matrices are already validated integers."""
+    return [row[:] for row in matrix]
+
+
+def _clone_pdm(pdm: PseudoDistanceMatrix, index_names) -> PseudoDistanceMatrix:
+    """Clone a cached PDM with new index names, skipping re-validation.
+
+    The cached matrix went through ``__post_init__`` once; cloning it on
+    every hit through the regular constructor would re-validate the whole
+    matrix on the hot path, so the clone is assembled field by field.
+    """
+    clone = object.__new__(PseudoDistanceMatrix)
+    object.__setattr__(clone, "matrix", _copy_rows(pdm.matrix))
+    object.__setattr__(clone, "depth", pdm.depth)
+    object.__setattr__(clone, "index_names", tuple(index_names))
+    object.__setattr__(clone, "pair_solutions", pdm.pair_solutions)
+    return clone
+
+
+def rebind_report(report: ParallelizationReport, nest: LoopNest) -> ParallelizationReport:
+    """A copy of ``report`` describing ``nest`` (same structure assumed).
+
+    The PDM is rebuilt with the nest's index names, and every mutable matrix
+    reachable from the report (PDM, transform, transformed PDM, partitioning
+    HNF, the Algorithm 1 result, the step matrices) is copied so cache
+    entries can never be corrupted through a handed-out report.
+    """
+    pdm = _clone_pdm(report.pdm, nest.index_names)
+    partitioning = report.partitioning
+    if partitioning is not None:
+        partitioning = PartitioningResult(
+            hnf=_copy_rows(partitioning.hnf),
+            levels=partitioning.levels,
+            depth=partitioning.depth,
+            lattice=partitioning.lattice,
+        )
+    algorithm1 = report.algorithm1
+    if algorithm1 is not None:
+        algorithm1 = Algorithm1Result(
+            transform=_copy_rows(algorithm1.transform),
+            transformed=_copy_rows(algorithm1.transformed),
+            zero_columns=algorithm1.zero_columns,
+            sequential_columns=algorithm1.sequential_columns,
+            sequential_block=_copy_rows(algorithm1.sequential_block),
+            placement=algorithm1.placement,
+            column_operations=algorithm1.column_operations,
+        )
+    # Steps are shared as-is: TransformationStep is frozen and the pipeline
+    # records its matrices as immutable tuples (see PipelineContext.add_step).
+    # Direct construction (not dataclasses.replace): this is the warm hot
+    # path and replace() pays field introspection on every hit.
+    return ParallelizationReport(
+        nest=nest,
+        pdm=pdm,
+        placement=report.placement,
+        transform=_copy_rows(report.transform),
+        transformed_pdm=_copy_rows(report.transformed_pdm),
+        parallel_levels=report.parallel_levels,
+        sequential_levels=report.sequential_levels,
+        partitioning=partitioning,
+        steps=report.steps,
+        algorithm1=algorithm1,
+        pass_timings=report.pass_timings,
+    )
+
+
+class AnalysisCache:
+    """Thread-safe LRU cache of :class:`ParallelizationReport` by structure."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[CacheKey, ParallelizationReport]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters (full invalidation)."""
+        with self._lock:
+            self._entries.clear()
+            self._stats = CacheStats()
+
+    def describe(self) -> str:
+        return (
+            f"analysis cache: {len(self._entries)}/{self._maxsize} entries, "
+            + self._stats.describe()
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key_for(
+        nest: LoopNest,
+        placement: str = "outer",
+        include_self: bool = True,
+        allow_partitioning: bool = True,
+    ) -> CacheKey:
+        """The cache key: canonical structural identity plus the analysis knobs."""
+        return (
+            canonical_key_tuple(nest),
+            placement,
+            bool(include_self),
+            bool(allow_partitioning),
+        )
+
+    def parallelize(
+        self,
+        nest: LoopNest,
+        placement: str = "outer",
+        include_self: bool = True,
+        allow_partitioning: bool = True,
+    ) -> ParallelizationReport:
+        """Memoized :func:`repro.core.pipeline.parallelize`."""
+        key = self.key_for(nest, placement, include_self, allow_partitioning)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+        if cached is not None:
+            return rebind_report(cached, nest)
+        report = parallelize(
+            nest,
+            placement=placement,
+            include_self=include_self,
+            allow_partitioning=allow_partitioning,
+        )
+        with self._lock:
+            self._stats.misses += 1
+            if key not in self._entries:
+                # The cache owns a private copy; the caller gets the original.
+                self._entries[key] = rebind_report(report, nest)
+                self._entries.move_to_end(key)
+                while len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+                    self._stats.evictions += 1
+        return report
+
+
+_DEFAULT_CACHE = AnalysisCache()
+
+
+def default_cache() -> AnalysisCache:
+    """The process-wide analysis cache shared by the CLI and the harness."""
+    return _DEFAULT_CACHE
+
+
+def cached_parallelize(
+    nest: LoopNest,
+    placement: str = "outer",
+    include_self: bool = True,
+    allow_partitioning: bool = True,
+    cache: Optional[AnalysisCache] = None,
+) -> ParallelizationReport:
+    """:func:`parallelize` through an analysis cache (default: the shared one)."""
+    # `is not None`, not truthiness: an empty AnalysisCache has len() == 0.
+    target = cache if cache is not None else _DEFAULT_CACHE
+    return target.parallelize(
+        nest,
+        placement=placement,
+        include_self=include_self,
+        allow_partitioning=allow_partitioning,
+    )
+
+
+def parallelize_many(
+    nests: Iterable[LoopNest],
+    placement: str = "outer",
+    include_self: bool = True,
+    allow_partitioning: bool = True,
+    cache: Optional[AnalysisCache] = None,
+) -> List[ParallelizationReport]:
+    """Analyze a batch of nests, sharing one analysis per structure.
+
+    Structurally identical nests inside the batch (and across batches using
+    the same cache) are analyzed once; every returned report is bound to its
+    own input nest.  Reports come back in input order.
+    """
+    target = cache if cache is not None else _DEFAULT_CACHE
+    return [
+        target.parallelize(
+            nest,
+            placement=placement,
+            include_self=include_self,
+            allow_partitioning=allow_partitioning,
+        )
+        for nest in nests
+    ]

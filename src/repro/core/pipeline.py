@@ -11,8 +11,13 @@
    determinant larger than 1, apply the partitioning transformation to obtain
    ``det`` additional independent partitions (Section 3.3).
 
-The result is a :class:`ParallelizationReport`; code generation and execution
-of the transformed loop live in :mod:`repro.codegen` and :mod:`repro.runtime`.
+Each stage is a :class:`~repro.core.passes.Pass`; :func:`parallelize` is a
+thin wrapper that runs the default :class:`~repro.core.passes.PassManager`
+sequence and packages the context into a :class:`ParallelizationReport`.
+Structurally identical nests can share one analysis through the memoizing
+cache in :mod:`repro.core.cache`.  The result is a
+:class:`ParallelizationReport`; code generation and execution of the
+transformed loop live in :mod:`repro.codegen` and :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -20,23 +25,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.algorithm1 import Algorithm1Result, transform_non_full_rank
-from repro.core.legality import check_legal_unimodular, is_legal_unimodular
-from repro.core.partition import PartitioningResult, partition_full_rank
+from repro.core.algorithm1 import Algorithm1Result
+from repro.core.legality import is_legal_unimodular
+from repro.core.partition import PartitioningResult
+from repro.core.passes import (
+    Algorithm1Pass,
+    BuildPDMPass,
+    DependenceAnalysisPass,
+    FullRankPass,
+    LegalityPass,
+    PartitionPass,
+    PassManager,
+    PassTiming,
+    PipelineContext,
+    format_pass_timings,
+)
 from repro.core.pdm import PseudoDistanceMatrix
 from repro.core.report import TransformationStep
-from repro.exceptions import ShapeError
-from repro.intlin.matrix import (
-    Matrix,
-    identity_matrix,
-    leading_index,
-    mat_copy,
-    mat_equal,
-)
+from repro.intlin.matrix import Matrix, identity_matrix, mat_equal
 from repro.loopnest.nest import LoopNest
 from repro.utils.formatting import format_matrix, indent_block
 
-__all__ = ["ParallelizationReport", "parallelize", "parallelize_and_execute"]
+__all__ = [
+    "ParallelizationReport",
+    "default_pass_manager",
+    "report_from_context",
+    "parallelize",
+    "parallelize_and_execute",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +69,7 @@ class ParallelizationReport:
     partitioning: Optional[PartitioningResult]
     steps: Tuple[TransformationStep, ...] = field(default=(), compare=False)
     algorithm1: Optional[Algorithm1Result] = field(default=None, compare=False, repr=False)
+    pass_timings: Tuple[PassTiming, ...] = field(default=(), compare=False, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -91,6 +108,10 @@ class ParallelizationReport:
         """Re-check Theorem 1 for the reported transformation."""
         return is_legal_unimodular(self.pdm, self.transform)
 
+    def timing_summary(self) -> str:
+        """Per-pass wall-clock timings of the analysis that built this report."""
+        return format_pass_timings(self.pass_timings)
+
     def summary(self) -> str:
         """Multi-line human readable summary of the analysis."""
         lines: List[str] = [f"Parallelization report for {self.nest.name!r} (depth {self.depth})"]
@@ -121,6 +142,38 @@ class ParallelizationReport:
         return self.summary()
 
 
+def default_pass_manager() -> PassManager:
+    """The paper's pipeline as the default pass sequence."""
+    return PassManager(
+        (
+            DependenceAnalysisPass(),
+            BuildPDMPass(),
+            Algorithm1Pass(),
+            FullRankPass(),
+            LegalityPass(),
+            PartitionPass(),
+        ),
+        name="pdm-parallelize",
+    )
+
+
+def report_from_context(ctx: PipelineContext) -> ParallelizationReport:
+    """Package a fully-run pipeline context into the public report type."""
+    return ParallelizationReport(
+        nest=ctx.nest,
+        pdm=ctx.pdm,
+        placement=ctx.placement,
+        transform=ctx.transform,
+        transformed_pdm=ctx.transformed_pdm,
+        parallel_levels=tuple(ctx.parallel_levels),
+        sequential_levels=tuple(ctx.sequential_levels),
+        partitioning=ctx.partitioning,
+        steps=tuple(ctx.steps),
+        algorithm1=ctx.algorithm1,
+        pass_timings=tuple(ctx.timings),
+    )
+
+
 def parallelize(
     nest: LoopNest,
     placement: str = "outer",
@@ -143,95 +196,14 @@ def parallelize(
         Allow the Section 3.3 partitioning step when the (remaining) PDM
         block is full rank with determinant > 1.
     """
-    if placement not in ("outer", "inner"):
-        raise ShapeError(f"placement must be 'outer' or 'inner', got {placement!r}")
-
-    pdm = PseudoDistanceMatrix.from_loop_nest(nest, include_self=include_self)
-    n = nest.depth
-    steps: List[TransformationStep] = [
-        TransformationStep(
-            "pdm",
-            f"pseudo distance matrix of rank {pdm.rank} (loop depth {n})",
-            pdm.matrix,
-        )
-    ]
-
-    # Case 1: no dependences at all — every loop is a doall loop.
-    if pdm.is_empty:
-        transform = identity_matrix(n)
-        steps.append(
-            TransformationStep("independent", "no loop-carried dependences: all loops parallel")
-        )
-        return ParallelizationReport(
-            nest=nest,
-            pdm=pdm,
-            placement=placement,
-            transform=transform,
-            transformed_pdm=[],
-            parallel_levels=tuple(range(n)),
-            sequential_levels=(),
-            partitioning=None,
-            steps=tuple(steps),
-        )
-
-    algorithm1_result: Optional[Algorithm1Result] = None
-    if pdm.rank < n:
-        algorithm1_result = transform_non_full_rank(pdm, placement=placement)
-        transform = algorithm1_result.transform
-        transformed_pdm = algorithm1_result.transformed
-        parallel_levels = algorithm1_result.zero_columns
-        sequential_levels = algorithm1_result.sequential_columns
-        block = algorithm1_result.sequential_block
-        steps.append(
-            TransformationStep(
-                "algorithm1",
-                f"legal unimodular transformation creating {len(parallel_levels)} zero column(s)",
-                transform,
-            )
-        )
-    else:
-        transform = identity_matrix(n)
-        transformed_pdm = mat_copy(pdm.matrix)
-        parallel_levels = tuple(pdm.zero_columns())
-        sequential_levels = tuple(k for k in range(n) if k not in parallel_levels)
-        block = [[row[c] for c in sequential_levels] for row in transformed_pdm]
-        steps.append(
-            TransformationStep(
-                "full-rank", "the PDM is full rank: no unimodular transformation applied"
-            )
-        )
-
-    check_legal_unimodular(pdm, transform)
-
-    partitioning: Optional[PartitioningResult] = None
-    if allow_partitioning and sequential_levels:
-        block_det = 1
-        for row in block:
-            block_det *= abs(row[leading_index(row)]) if any(row) else 1
-        if block_det > 1:
-            partitioning = partition_full_rank(
-                transformed_pdm, levels=sequential_levels, depth=n
-            )
-            steps.append(
-                TransformationStep(
-                    "partitioning",
-                    f"iteration space split into {partitioning.num_partitions} independent partitions",
-                    partitioning.hnf,
-                )
-            )
-
-    return ParallelizationReport(
+    ctx = PipelineContext(
         nest=nest,
-        pdm=pdm,
         placement=placement,
-        transform=transform,
-        transformed_pdm=transformed_pdm,
-        parallel_levels=tuple(parallel_levels),
-        sequential_levels=tuple(sequential_levels),
-        partitioning=partitioning,
-        steps=tuple(steps),
-        algorithm1=algorithm1_result,
+        include_self=include_self,
+        allow_partitioning=allow_partitioning,
     )
+    default_pass_manager().run(ctx)
+    return report_from_context(ctx)
 
 
 def parallelize_and_execute(
@@ -242,11 +214,13 @@ def parallelize_and_execute(
     workers: Optional[int] = None,
     placement: str = "outer",
     initializer: str = "index_sum",
+    use_cache: bool = True,
 ):
     """Analyse a nest and execute its transformed form through a backend.
 
     The one-call entry point used by the CLI ``run`` command and the
-    experiment harness: runs :func:`parallelize`, builds the transformed
+    experiment harness: runs :func:`parallelize` (through the shared
+    analysis cache unless ``use_cache=False``), builds the transformed
     nest and executes it with the selected execution backend
     (:func:`repro.runtime.backends.available_backends` lists the choices)
     under the selected :class:`~repro.runtime.executor.ParallelExecutor`
@@ -260,7 +234,12 @@ def parallelize_and_execute(
     from repro.runtime.arrays import store_for_nest
     from repro.runtime.executor import ParallelExecutor
 
-    report = parallelize(nest, placement=placement)
+    if use_cache:
+        from repro.core.cache import cached_parallelize
+
+        report = cached_parallelize(nest, placement=placement)
+    else:
+        report = parallelize(nest, placement=placement)
     transformed = TransformedLoopNest.from_report(report)
     if store is None:
         store = store_for_nest(nest, initializer=initializer)

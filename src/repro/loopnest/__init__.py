@@ -32,6 +32,14 @@ from repro.loopnest.nest import LoopNest
 from repro.loopnest.builder import LoopNestBuilder, loop_nest
 from repro.loopnest.parser import parse_affine, parse_expression, parse_statement
 from repro.loopnest.codegen import render_loop_nest
+from repro.loopnest.canonical import (
+    CanonicalForm,
+    canonical_hash,
+    canonical_key,
+    canonicalize,
+    rename_nest_arrays,
+    rename_nest_indices,
+)
 
 __all__ = [
     "AffineExpr",
@@ -53,4 +61,10 @@ __all__ = [
     "parse_expression",
     "parse_statement",
     "render_loop_nest",
+    "CanonicalForm",
+    "canonical_hash",
+    "canonical_key",
+    "canonicalize",
+    "rename_nest_arrays",
+    "rename_nest_indices",
 ]

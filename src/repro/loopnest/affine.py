@@ -70,6 +70,11 @@ class AffineExpr:
         """A dict of the (nonzero) coefficients."""
         return dict(self._coeffs)
 
+    @property
+    def terms(self) -> Tuple[Tuple[str, int], ...]:
+        """The (nonzero) coefficients as a name-sorted tuple, allocation-free."""
+        return self._coeffs
+
     def coefficient(self, name: str) -> int:
         """Coefficient of ``name`` (0 if absent)."""
         return dict(self._coeffs).get(name, 0)

@@ -1,0 +1,321 @@
+"""Structural canonicalization of loop nests.
+
+Two loop nests that differ only in *naming* — loop index names, array names,
+the report name — or in semantics-preserving surface syntax (a redundant
+unary plus, an integer constant written as a float) describe the same
+iteration space and the same dependence structure, so the analysis pipeline
+derives the same pseudo distance matrix, transformation and partitioning for
+both.  This module maps a :class:`~repro.loopnest.nest.LoopNest` to a
+*canonical form* and a stable content hash so structurally equivalent nests
+share one cache key in :mod:`repro.core.cache`:
+
+* loop indices are renamed positionally to ``c1 .. cn`` (outermost first);
+* array names are renamed to ``A0, A1, ...`` in order of first appearance
+  (written target first, then the reads in textual order);
+* bounds and subscripts are flattened to coefficient vectors over the index
+  order (the :class:`~repro.loopnest.affine.AffineExpr` representation is
+  already sorted and zero-coefficient free);
+* expression trees are normalized: unary ``+`` is dropped, a unary ``-`` of
+  a constant is folded, numeric constants are compared as floats;
+* the nest's ``name`` is ignored.
+
+The hash is the SHA-256 of this canonical serialization; it depends only on
+structure, never on ``id()``, dict order or interpreter hash randomization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import LoopNestError
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.bounds import LoopBounds
+from repro.loopnest.expr import (
+    ArrayAccess,
+    BinaryOp,
+    Call,
+    Constant,
+    Expression,
+    IndexTerm,
+    UnaryOp,
+)
+from repro.loopnest.nest import LoopNest
+from repro.loopnest.statement import Statement
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_key",
+    "canonical_key_tuple",
+    "canonical_hash",
+    "rename_nest_indices",
+    "rename_nest_arrays",
+]
+
+_HASH_ATTR = "_repro_canonical_hash"
+_KEY_ATTR = "_repro_canonical_key_tuple"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical view of one loop nest.
+
+    Attributes
+    ----------
+    nest:
+        A structurally canonical :class:`LoopNest`: indices ``c1 .. cn``,
+        arrays ``A0, A1, ...``, normalized expressions, name ``"canonical"``.
+    key:
+        The canonical serialization (a stable, human-inspectable string).
+    hash:
+        SHA-256 hex digest of ``key`` — the cache key component.
+    index_mapping:
+        Original index name → canonical index name.
+    array_mapping:
+        Original array name → canonical array name.
+    """
+
+    nest: LoopNest
+    key: str
+    hash: str
+    index_mapping: Tuple[Tuple[str, str], ...]
+    array_mapping: Tuple[Tuple[str, str], ...]
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+
+def _affine_key(expr: AffineExpr, positions: Dict[str, int]):
+    """Sparse positional form ``((loop level, coeff), ...)`` of an affine expr.
+
+    Sorted by loop level so the key is independent of how the index *names*
+    happen to sort; raises ``KeyError`` → :class:`LoopNestError` upstream if
+    the expression uses a non-index variable (validated at nest build time).
+    """
+    terms = expr.terms
+    if len(terms) > 1:
+        positional = sorted((positions[name], coeff) for name, coeff in terms)
+    else:
+        positional = [(positions[name], coeff) for name, coeff in terms]
+    return ("affine", tuple(positional), expr.constant)
+
+
+def _array_order(nest: LoopNest) -> Dict[str, str]:
+    """Arrays in order of first appearance → canonical names ``A0, A1, ...``."""
+    mapping: Dict[str, str] = {}
+
+    def visit(name: str) -> None:
+        if name not in mapping:
+            mapping[name] = f"A{len(mapping)}"
+
+    for stmt in nest.statements:
+        visit(stmt.target.array)
+        for access in stmt.rhs.array_accesses():
+            visit(access.array)
+    return mapping
+
+
+def _expr_key(expr: Expression, positions: Dict[str, int], arrays: Dict[str, str]):
+    """Normalized structural key of a body expression.
+
+    Dispatches on the exact node type (the AST is closed and final): this
+    runs on every cache lookup, where an ``isinstance`` chain is measurable.
+    """
+    kind = type(expr)
+    if kind is ArrayAccess:
+        return (
+            "ref",
+            arrays[expr.array],
+            tuple(_affine_key(sub, positions) for sub in expr.subscripts),
+        )
+    if kind is BinaryOp:
+        return (
+            "bin",
+            expr.op,
+            _expr_key(expr.left, positions, arrays),
+            _expr_key(expr.right, positions, arrays),
+        )
+    if kind is Constant:
+        return ("const", float(expr.value))
+    if kind is IndexTerm:
+        return ("idx",) + _affine_key(expr.affine, positions)[1:]
+    if kind is UnaryOp:
+        if expr.op == "+":
+            return _expr_key(expr.operand, positions, arrays)
+        inner = _expr_key(expr.operand, positions, arrays)
+        if inner[0] == "const":
+            return ("const", -inner[1])
+        return ("neg", inner)
+    if kind is Call:
+        return (
+            "call",
+            expr.name,
+            tuple(_expr_key(arg, positions, arrays) for arg in expr.args),
+        )
+    raise LoopNestError(f"cannot canonicalize expression node {kind.__name__}")
+
+
+def _nest_key_tuple(nest: LoopNest):
+    positions = {name: k for k, name in enumerate(nest.index_names)}
+    arrays = _array_order(nest)
+    bounds_key = tuple(
+        (_affine_key(b.lower, positions), _affine_key(b.upper, positions))
+        for b in nest.bounds
+    )
+    statements_key = tuple(
+        (
+            "assign",
+            _expr_key(stmt.target, positions, arrays),
+            _expr_key(stmt.rhs, positions, arrays),
+        )
+        for stmt in nest.statements
+    )
+    return ("nest", nest.depth, bounds_key, statements_key)
+
+
+def canonical_key_tuple(nest: LoopNest):
+    """The canonical structure as a hashable nested tuple.
+
+    This is the SHA-256 *preimage* of :func:`canonical_hash` and the
+    in-process cache key of :class:`repro.core.cache.AnalysisCache`: two
+    nests get the same tuple iff they are structurally equivalent, and
+    hashing/comparing a small tuple is much cheaper per lookup than a
+    cryptographic digest.  Memoized on the nest instance (:class:`LoopNest`
+    is immutable after construction).
+    """
+    cached = getattr(nest, _KEY_ATTR, None)
+    if cached is not None:
+        return cached
+    key = _nest_key_tuple(nest)
+    try:
+        setattr(nest, _KEY_ATTR, key)
+    except AttributeError:  # pragma: no cover - LoopNest has a __dict__ today
+        pass
+    return key
+
+
+def canonical_key(nest: LoopNest) -> str:
+    """The canonical serialization of a nest (stable across naming changes)."""
+    return repr(canonical_key_tuple(nest))
+
+
+def canonical_hash(nest: LoopNest) -> str:
+    """SHA-256 content hash of the canonical form.
+
+    The stable cross-process identifier of a loop structure (e.g. for
+    sharding or persistent caches); in-process lookups use
+    :func:`canonical_key_tuple` directly.  Memoized on the nest instance.
+    """
+    cached = getattr(nest, _HASH_ATTR, None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(canonical_key(nest).encode("utf-8")).hexdigest()
+    try:
+        setattr(nest, _HASH_ATTR, digest)
+    except AttributeError:  # pragma: no cover
+        pass
+    return digest
+
+
+# --------------------------------------------------------------------------- #
+# renaming / rebuilding
+# --------------------------------------------------------------------------- #
+
+def _rename_affine(expr: AffineExpr, mapping: Dict[str, str]) -> AffineExpr:
+    return AffineExpr(
+        {mapping.get(name, name): coeff for name, coeff in expr.coefficients.items()},
+        expr.constant,
+    )
+
+
+def _rebuild_expression(
+    expr: Expression, mapping: Dict[str, str], arrays: Dict[str, str]
+) -> Expression:
+    """Rebuild an expression with renamed indices/arrays, normalizing on the way."""
+    if isinstance(expr, Constant):
+        return Constant(float(expr.value))
+    if isinstance(expr, IndexTerm):
+        return IndexTerm(_rename_affine(expr.affine, mapping))
+    if isinstance(expr, ArrayAccess):
+        return ArrayAccess(
+            arrays.get(expr.array, expr.array),
+            tuple(_rename_affine(sub, mapping) for sub in expr.subscripts),
+        )
+    if isinstance(expr, UnaryOp):
+        operand = _rebuild_expression(expr.operand, mapping, arrays)
+        if expr.op == "+":
+            return operand
+        if isinstance(operand, Constant):
+            return Constant(-operand.value)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _rebuild_expression(expr.left, mapping, arrays),
+            _rebuild_expression(expr.right, mapping, arrays),
+        )
+    if isinstance(expr, Call):
+        return Call(
+            expr.name,
+            tuple(_rebuild_expression(arg, mapping, arrays) for arg in expr.args),
+        )
+    raise LoopNestError(f"cannot rebuild expression node {type(expr).__name__}")
+
+
+def _rebuild_nest(
+    nest: LoopNest,
+    index_mapping: Dict[str, str],
+    array_mapping: Dict[str, str],
+    name: str,
+) -> LoopNest:
+    bounds = [
+        LoopBounds(
+            _rename_affine(b.lower, index_mapping),
+            _rename_affine(b.upper, index_mapping),
+        )
+        for b in nest.bounds
+    ]
+    statements = [
+        Statement(
+            _rebuild_expression(stmt.target, index_mapping, array_mapping),
+            _rebuild_expression(stmt.rhs, index_mapping, array_mapping),
+        )
+        for stmt in nest.statements
+    ]
+    new_names = [index_mapping.get(n, n) for n in nest.index_names]
+    return LoopNest(new_names, bounds, statements, name)
+
+
+def rename_nest_indices(nest: LoopNest, new_names: Sequence[str]) -> LoopNest:
+    """A copy of the nest with loop indices renamed positionally."""
+    if len(new_names) != nest.depth:
+        raise LoopNestError(
+            f"{len(new_names)} names for a depth-{nest.depth} nest"
+        )
+    mapping = dict(zip(nest.index_names, (str(n) for n in new_names)))
+    return _rebuild_nest(nest, mapping, {}, nest.name)
+
+
+def rename_nest_arrays(nest: LoopNest, mapping: Dict[str, str]) -> LoopNest:
+    """A copy of the nest with arrays renamed via ``mapping`` (partial ok)."""
+    return _rebuild_nest(nest, {}, dict(mapping), nest.name)
+
+
+def canonicalize(nest: LoopNest) -> CanonicalForm:
+    """Full canonical form: renamed/normalized nest + serialization + hash."""
+    index_mapping = {
+        name: f"c{k + 1}" for k, name in enumerate(nest.index_names)
+    }
+    array_mapping = _array_order(nest)
+    canonical_nest = _rebuild_nest(nest, index_mapping, array_mapping, "canonical")
+    key = canonical_key(nest)
+    return CanonicalForm(
+        nest=canonical_nest,
+        key=key,
+        hash=canonical_hash(nest),
+        index_mapping=tuple(sorted(index_mapping.items())),
+        array_mapping=tuple(sorted(array_mapping.items())),
+    )

@@ -70,6 +70,10 @@ class TestConstantPartitioning:
         result = constant_partitioning_method(wavefront_recurrence(4))
         assert result.applicable
         assert result.partition_count == 1
+        # The method always materializes its (possibly trivial) partitioning
+        # for a full-rank distance matrix.
+        assert result.partitioning is not None
+        assert result.partitioning.num_partitions == 1
 
     def test_rank_deficient_constant_distances(self):
         nest = uniform_distance_loop([(2, 0)], 6)

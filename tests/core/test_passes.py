@@ -1,0 +1,163 @@
+"""Tests for the pass-based analysis pipeline and the HNF block determinant."""
+
+import pytest
+
+from repro.core.passes import (
+    Algorithm1Pass,
+    BuildPDMPass,
+    DependenceAnalysisPass,
+    FullRankPass,
+    LegalityPass,
+    PartitionPass,
+    PassManager,
+    PipelineContext,
+    block_determinant,
+)
+from repro.core.pdm import PseudoDistanceMatrix
+from repro.core.pipeline import (
+    default_pass_manager,
+    parallelize,
+    report_from_context,
+)
+from repro.exceptions import ShapeError
+from repro.intlin.matrix import identity_matrix
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop, uniform_distance_loop
+
+
+class TestPassManager:
+    def test_default_pipeline_matches_parallelize(self, ex41_small):
+        ctx = PipelineContext(nest=ex41_small)
+        default_pass_manager().run(ctx)
+        report = report_from_context(ctx)
+        assert report == parallelize(ex41_small)
+        assert [s.name for s in report.steps] == ["pdm", "algorithm1", "partitioning"]
+
+    def test_per_pass_timings_recorded(self, ex41_small):
+        report = parallelize(ex41_small)
+        names = [t.name for t in report.pass_timings]
+        assert names == [
+            "dependence",
+            "build-pdm",
+            "algorithm1",
+            "full-rank",
+            "legality",
+            "partition",
+        ]
+        by_name = {t.name: t for t in report.pass_timings}
+        # ex 4.1 has a rank-1 PDM: Algorithm 1 fires, the full-rank pass is skipped.
+        assert not by_name["algorithm1"].skipped
+        assert by_name["full-rank"].skipped
+        assert all(t.seconds >= 0.0 for t in report.pass_timings)
+        assert report.timing_summary()
+
+    def test_full_rank_skips_algorithm1(self, ex42_small):
+        report = parallelize(ex42_small)
+        by_name = {t.name: t for t in report.pass_timings}
+        assert by_name["algorithm1"].skipped
+        assert not by_name["full-rank"].skipped
+
+    def test_empty_pdm_short_circuits(self):
+        ctx = PipelineContext(nest=no_dependence_loop(4))
+        default_pass_manager().run(ctx)
+        assert ctx.finished
+        assert [s.name for s in ctx.steps] == ["pdm", "independent"]
+        by_name = {t.name: t for t in ctx.timings}
+        assert by_name["algorithm1"].skipped
+        assert by_name["legality"].skipped
+        assert by_name["partition"].skipped
+
+    def test_invalid_placement_rejected_at_context_construction(self, ex41_small):
+        with pytest.raises(ShapeError):
+            PipelineContext(nest=ex41_small, placement="sideways")
+
+    def test_custom_subset_pipeline(self, ex42_small):
+        """A configuration without the partition pass reports no partitioning."""
+        manager = PassManager(
+            (
+                DependenceAnalysisPass(),
+                BuildPDMPass(),
+                Algorithm1Pass(),
+                FullRankPass(),
+                LegalityPass(),
+            ),
+            name="no-partitioning",
+        )
+        ctx = PipelineContext(nest=ex42_small)
+        manager.run(ctx)
+        assert ctx.partitioning is None
+        assert ctx.pdm.is_full_rank
+
+    def test_repr_lists_passes(self):
+        assert "build-pdm" in repr(default_pass_manager())
+
+
+class TestBlockDeterminant:
+    def test_echelon_block(self):
+        assert block_determinant([[2, 1], [0, 2]], 2) == 4
+
+    def test_non_echelon_full_rank_block(self):
+        # |det| = 2; the old leading-entry-product shortcut would claim 1*3 = 3.
+        assert block_determinant([[1, 2], [3, 4]], 2) == 2
+
+    def test_non_echelon_unimodular_block(self):
+        # |det| = 1; the old shortcut would claim 2*1 = 2 and partition.
+        assert block_determinant([[2, 3], [1, 1]], 2) == 1
+
+    def test_rank_deficient_block(self):
+        # Rank 1; the old shortcut would claim 1*2 = 2 and then crash in
+        # partition_full_rank.
+        assert block_determinant([[1, 2], [2, 4]], 2) == 0
+
+    def test_empty_block(self):
+        assert block_determinant([], 0) == 1
+        assert block_determinant([], 1) == 0
+
+    def test_size_inferred_from_columns(self):
+        assert block_determinant([[3]]) == 3
+        assert block_determinant([[1, 2], [3, 4]]) == 2
+
+
+def _run_partition_pass(block, require_full_rank_pdm=False):
+    """Drive PartitionPass on a hand-built context with the given 2x2 block."""
+    nest = uniform_distance_loop([(1, 0), (0, 1)], 4)
+    ctx = PipelineContext(nest=nest)
+    ctx.pdm = PseudoDistanceMatrix.from_generators(block, 2, nest.index_names)
+    ctx.transform = identity_matrix(2)
+    ctx.transformed_pdm = [list(row) for row in block]
+    ctx.parallel_levels = ()
+    ctx.sequential_levels = (0, 1)
+    ctx.sequential_block = [list(row) for row in block]
+    PassManager((PartitionPass(require_full_rank_pdm=require_full_rank_pdm),)).run(ctx)
+    return ctx
+
+
+class TestPartitionPassRegression:
+    """The partition decision must use the HNF determinant of the block,
+    not the product of leading entries (which assumes echelon form)."""
+
+    def test_non_echelon_full_rank_pdm_partitions_correctly(self):
+        ctx = _run_partition_pass([[1, 2], [3, 4]])
+        assert ctx.extras["block_determinant"] == 2
+        assert ctx.partitioning is not None
+        assert ctx.partitioning.num_partitions == 2
+
+    def test_non_echelon_determinant_one_block_is_not_partitioned(self):
+        ctx = _run_partition_pass([[2, 3], [1, 1]])
+        assert ctx.extras["block_determinant"] == 1
+        assert ctx.partitioning is None
+
+    def test_rank_deficient_block_is_skipped_without_error(self):
+        ctx = _run_partition_pass([[1, 2], [2, 4]])
+        assert ctx.extras["block_determinant"] == 0
+        assert ctx.partitioning is None
+
+    def test_require_full_rank_pdm_gate(self):
+        ctx = _run_partition_pass([[2, 0]], require_full_rank_pdm=True)
+        assert ctx.partitioning is None
+        assert "block_determinant" not in ctx.extras  # pass never ran
+
+    def test_paper_pipeline_reports_unchanged(self, ex41_small, ex42_small):
+        # End-to-end sanity: the HNF determinant yields the paper's numbers.
+        assert parallelize(ex41_small).partition_count == 2
+        assert parallelize(ex42_small).partition_count == 4

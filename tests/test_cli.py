@@ -142,3 +142,75 @@ class TestMain:
     def test_parser_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode", "x.loop"])
+
+    def test_analyze_prints_pass_timings(self, loop_file, capsys):
+        assert main(["analyze", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "Per-pass analysis timing" in out
+        assert "build-pdm" in out
+        assert "analysis cache:" in out
+
+    def test_no_cache_flag(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cold analysis" in out
+        assert "analysis cache:" not in out
+
+    def test_compare_no_cache_bypasses_shared_cache(self, loop_file, capsys):
+        from repro.core.cache import default_cache
+
+        before = default_cache().stats.lookups
+        assert main(["compare", loop_file, "--no-cache"]) == 0
+        assert default_cache().stats.lookups == before
+        assert "pdm" in capsys.readouterr().out
+
+
+class TestMultipleFiles:
+    @pytest.fixture()
+    def two_files(self, tmp_path):
+        first = tmp_path / "first.loop"
+        first.write_text(EXAMPLE_41)
+        second = tmp_path / "second.loop"
+        second.write_text(TRIANGULAR)
+        return str(first), str(second)
+
+    def test_analyze_multiple_files(self, two_files, capsys):
+        first, second = two_files
+        assert main(["analyze", first, second]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {first} ===" in out
+        assert f"=== {second} ===" in out
+        assert out.count("Pseudo distance matrix") == 2
+
+    def test_identical_files_share_one_analysis(self, tmp_path, capsys):
+        a = tmp_path / "a.loop"
+        a.write_text(EXAMPLE_41)
+        b = tmp_path / "b.loop"
+        b.write_text(EXAMPLE_41)
+        assert main(["analyze", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" in out
+
+    def test_first_parse_failure_aborts_nonzero(self, tmp_path, capsys):
+        good = tmp_path / "good.loop"
+        good.write_text(EXAMPLE_41)
+        bad = tmp_path / "bad.loop"
+        bad.write_text("A[i1] = 1.0\n")  # statement before any loop
+        unreached = tmp_path / "unreached.loop"
+        unreached.write_text(TRIANGULAR)
+        assert main(["analyze", str(good), str(bad), str(unreached)]) == 1
+        captured = capsys.readouterr()
+        assert str(bad) in captured.err
+        assert str(unreached) not in captured.out
+
+    def test_missing_file_in_batch(self, tmp_path, capsys):
+        good = tmp_path / "good.loop"
+        good.write_text(EXAMPLE_41)
+        assert main(["analyze", str(good), str(tmp_path / "missing.loop")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_codegen_accepts_multiple_files(self, two_files, capsys):
+        first, second = two_files
+        assert main(["codegen", first, second]) == 0
+        out = capsys.readouterr().out
+        assert out.count("def run_transformed(arrays):") == 2
