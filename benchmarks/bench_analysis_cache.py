@@ -21,6 +21,8 @@ or standalone (CI smoke)::
 """
 
 import argparse
+import json
+import os
 import sys
 
 from repro.experiments.harness import analysis_cache_experiment
@@ -78,8 +80,29 @@ def main(argv=None) -> int:
         help="fail unless the warm batch beats the cold batch by this factor "
         f"(default: {SPEEDUP_TARGET:.0f})",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
     args = parser.parse_args(argv)
     result = _measure(args.size, repetitions=args.repetitions)
+    if args.json:
+        payload = {
+            "name": "analysis_cache",
+            "metrics": {"warm_speedup": result["speedup"]},
+            "details": {
+                "workloads": result["workloads"],
+                "cold_seconds": result["cold_seconds"],
+                "warm_seconds": result["warm_seconds"],
+                "cache": result["cache"],
+            },
+        }
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
     _check(result, speedup_target=args.require_speedup)
     print(_format(result))
     return 0

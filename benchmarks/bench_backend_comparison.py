@@ -24,6 +24,9 @@ or standalone (CI smoke)::
 """
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
 
 from repro.experiments.backends import backend_comparison, backend_comparison_table
@@ -80,6 +83,20 @@ def test_backend_comparison(benchmark):
     print(backend_comparison_table(rows))
 
 
+def _json_payload(rows):
+    vectorized_41 = [
+        row
+        for row in rows
+        if row.backend == "vectorized" and row.workload == "example-4.1"
+    ]
+    best = max((row.speedup_vs_interpreter for row in vectorized_41), default=0.0)
+    return {
+        "name": "backend_comparison",
+        "metrics": {"vectorized_speedup_ex41": best},
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -95,8 +112,19 @@ def main(argv=None) -> int:
         help="fail unless the vectorized backend beats the interpreter by this "
         "factor on example 4.1 (used by the full-size benchmark, not the smoke run)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
     args = parser.parse_args(argv)
     rows = _collect(args.size, repetitions=args.repetitions)
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_payload(rows), handle, indent=2)
     _check_rows(rows, speedup_target=args.require_speedup)
     print(backend_comparison_table(rows))
     return 0

@@ -1,0 +1,118 @@
+"""Shared-memory runtime benchmark — persistent pool vs. copy-and-merge.
+
+The reproduction target here is the economics of the zero-copy runtime
+(:mod:`repro.runtime.shared` / :mod:`repro.runtime.pool`): once workers are
+persistent and share the array segments, the per-execution cost of the old
+``processes`` mode — fork-per-call, a pickled store copy per worker and a
+Python-level write merge — disappears.  Concretely:
+
+* on example 4.1 at N=64 with 4 workers, a warm shared-pool execution must
+  be at least **3x** faster end to end than a copy-and-merge ``processes``
+  execution of the *same* schedule through the *same* backend;
+* every measured run is **bit-identical** to the serial interpreter
+  reference (the differential contract of the runtime).
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_shared_runtime.py --benchmark-only
+
+or standalone (CI smoke / regression gate)::
+
+    python benchmarks/bench_shared_runtime.py --size 10
+    python benchmarks/bench_shared_runtime.py --size 64 --workers 4 \
+        --json results.json --require-ratio 3
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.shared_runtime import (
+    shared_runtime_comparison,
+    shared_runtime_table,
+)
+
+# The acceptance configuration: example 4.1 at N=64 (16641 iterations over
+# ~512 independent chunks) with 4 workers.
+SPEEDUP_N = 64
+SPEEDUP_WORKERS = 4
+RATIO_TARGET = 3.0
+
+
+def _measure(n: int, workers: int = SPEEDUP_WORKERS, repetitions: int = 3):
+    return shared_runtime_comparison(n=n, workers=workers, repetitions=repetitions)
+
+
+def _check(result, ratio_target=None):
+    assert result["serial_identical"], "serial run diverged from the interpreter"
+    assert result["processes_identical"], "processes run diverged from the interpreter"
+    assert result["shared_identical"], "shared-pool run diverged from the interpreter"
+    assert result["shared_fallback"] is None, result["shared_fallback"]
+    if ratio_target is not None:
+        ratio = result["shared_vs_processes"]
+        assert ratio >= ratio_target, (
+            f"shared pool is only {ratio:.1f}x faster than copy-and-merge "
+            f"processes mode, target is {ratio_target:.0f}x"
+        )
+
+
+def _json_payload(result):
+    return {
+        "name": "shared_runtime",
+        "metrics": {"shared_vs_processes": result["shared_vs_processes"]},
+        "details": result,
+    }
+
+
+def test_shared_runtime(benchmark):
+    result = benchmark.pedantic(
+        _measure, args=(SPEEDUP_N, SPEEDUP_WORKERS), rounds=1, iterations=1
+    )
+    _check(result, ratio_target=RATIO_TARGET)
+    benchmark.extra_info["shared_vs_processes"] = round(result["shared_vs_processes"], 1)
+    benchmark.extra_info["shared_ms"] = round(result["shared_seconds"] * 1000.0, 2)
+    benchmark.extra_info["processes_ms"] = round(result["processes_seconds"] * 1000.0, 2)
+    print()
+    print(shared_runtime_table(result))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=24, help="workload size N (default: 24)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=SPEEDUP_WORKERS,
+        help=f"worker count for both pools (default: {SPEEDUP_WORKERS})",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, help="timing repetitions (default: 3)"
+    )
+    parser.add_argument(
+        "--require-ratio",
+        type=float,
+        default=None,
+        help="fail unless the shared pool beats copy-and-merge processes mode "
+        "by this factor (used by the full-size CI gate, not the smoke run)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
+    args = parser.parse_args(argv)
+    result = _measure(args.size, workers=args.workers, repetitions=args.repetitions)
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_payload(result), handle, indent=2)
+    _check(result, ratio_target=args.require_ratio)
+    print(shared_runtime_table(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Gate benchmark results against the committed performance thresholds.
+
+Every benchmark's ``--json`` flag writes a payload of the shape::
+
+    {"name": "<benchmark id>", "metrics": {"<metric>": <float>, ...}, ...}
+
+and ``benchmarks/thresholds.json`` maps each benchmark id to the minimum
+acceptable value of each metric.  The CI benchmark job runs the benchmarks
+with ``--json``, uploads the payloads as artifacts and then runs::
+
+    python benchmarks/check_thresholds.py <results-dir>
+
+which fails (exit 1) when
+
+* any measured metric falls below its committed threshold,
+* a thresholded metric is missing from the results, or
+* a thresholded benchmark produced no results file at all
+
+— so a silently skipped benchmark can never pass the gate.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_THRESHOLDS = pathlib.Path(__file__).resolve().parent / "thresholds.json"
+
+
+def check(results_dir: pathlib.Path, thresholds_path: pathlib.Path) -> int:
+    with open(thresholds_path, "r", encoding="utf-8") as handle:
+        thresholds = json.load(handle)
+
+    results = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL  {path}: unreadable results file ({exc})")
+            return 1
+        name = payload.get("name")
+        if name:
+            results[name] = payload
+
+    failures = 0
+    for name, metrics in thresholds.items():
+        payload = results.get(name)
+        if payload is None:
+            print(f"FAIL  {name}: no results file in {results_dir}")
+            failures += 1
+            continue
+        measured = payload.get("metrics", {})
+        for metric, minimum in metrics.items():
+            value = measured.get(metric)
+            if value is None:
+                print(f"FAIL  {name}.{metric}: metric missing from results")
+                failures += 1
+            elif float(value) < float(minimum):
+                print(
+                    f"FAIL  {name}.{metric}: measured {float(value):.2f}, "
+                    f"threshold {float(minimum):.2f}"
+                )
+                failures += 1
+            else:
+                print(
+                    f"ok    {name}.{metric}: measured {float(value):.2f} "
+                    f">= threshold {float(minimum):.2f}"
+                )
+    if failures:
+        print(f"{failures} threshold check(s) failed")
+        return 1
+    print("all thresholds met")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results_dir", type=pathlib.Path, help="directory of --json benchmark payloads"
+    )
+    parser.add_argument(
+        "--thresholds",
+        type=pathlib.Path,
+        default=DEFAULT_THRESHOLDS,
+        help=f"thresholds file (default: {DEFAULT_THRESHOLDS})",
+    )
+    args = parser.parse_args(argv)
+    return check(args.results_dir, args.thresholds)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

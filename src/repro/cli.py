@@ -10,6 +10,7 @@ plain text files, without writing Python::
     repro-loop compare examples/loops/example41.loop
     repro-loop figures examples/loops/example41.loop
     repro-loop run     examples/loops/example41.loop --backend vectorized
+    repro-loop batch   examples/loops/*.loop --mode shared --repeat 4
 
 Loop description format (one item per line, ``#`` starts a comment)::
 
@@ -44,6 +45,7 @@ from repro.loopnest.builder import LoopNestBuilder
 from repro.loopnest.nest import LoopNest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
+from repro.runtime.executor import EXECUTION_MODES
 from repro.runtime.interpreter import execute_nest
 from repro.runtime.simulator import simulate_schedule
 from repro.runtime.verification import verify_transformation
@@ -185,12 +187,36 @@ def _cmd_run(nest: LoopNest, args) -> str:
         f"{result.num_chunks} chunks",
         f"  backend: {result.backend}, mode: {result.mode} "
         f"({result.workers} worker(s))",
-        f"  elapsed: {result.elapsed_seconds * 1000.0:.2f} ms",
+        f"  execute: {result.elapsed_seconds * 1000.0:.2f} ms "
+        f"(+ {result.setup_seconds * 1000.0:.2f} ms runtime setup)",
         f"  store checksum: {checksum:.6f}",
         f"  max |difference| vs interpreter reference: {max_diff:.3e} "
         f"({'ok' if max_diff == 0.0 else 'MISMATCH'})",
     ]
+    if result.fallback:
+        lines.append(f"  note: {result.fallback}")
     return "\n".join(lines)
+
+
+def _cmd_batch(nests: List[LoopNest], args) -> str:
+    """Serve every parsed nest through the batch service and report throughput."""
+    from repro.core.cache import AnalysisCache
+    from repro.service import BatchService, jobs_from_nests
+
+    jobs = jobs_from_nests(
+        nests, placement=args.placement, repeat=getattr(args, "repeat", 1)
+    )
+    # --no-cache serves the batch through a cold private cache (structural
+    # duplicates still dedupe within the batch, which is the command's point).
+    cache = AnalysisCache() if getattr(args, "no_cache", False) else default_cache()
+    with BatchService(
+        mode=args.mode,
+        backend=args.backend,
+        workers=args.processors,
+        cache=cache,
+    ) as service:
+        batch_report = service.submit(jobs)
+    return batch_report.describe()
 
 
 def _cmd_compare(nest: LoopNest, args) -> str:
@@ -235,13 +261,22 @@ _COMMANDS = {
     "run": _cmd_run,
 }
 
+# Commands that consume every loop file at once instead of one at a time.
+_BATCH_COMMANDS = {
+    "batch": _cmd_batch,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-loop",
         description="Analyse and parallelize affine loop nests (Yu & D'Hollander, ICPP 2000).",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS), help="what to do with the loop")
+    parser.add_argument(
+        "command",
+        choices=sorted(set(_COMMANDS) | set(_BATCH_COMMANDS)),
+        help="what to do with the loop",
+    )
     parser.add_argument(
         "loop_files",
         nargs="+",
@@ -275,9 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=["serial", "threads", "processes"],
+        choices=list(EXECUTION_MODES),
         default="serial",
-        help="executor mode for the 'run' command (default: serial)",
+        help="executor mode for the 'run' and 'batch' commands: 'shared' is "
+        "the persistent zero-copy worker pool, 'processes' the fork-per-call "
+        "copy-and-merge pool (default: serial)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="for 'batch': submit the job list this many times (structural "
+        "duplicates share one analysis through the cache; default: 1)",
     )
     return parser
 
@@ -290,6 +334,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command in _BATCH_COMMANDS:
+        nests: List[LoopNest] = []
+        for path in args.loop_files:
+            try:
+                nests.append(parse_loop_file(path))
+            except FileNotFoundError:
+                print(f"error: no such file: {path}", file=sys.stderr)
+                return 2
+            except ReproError as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 1
+        try:
+            print(_BATCH_COMMANDS[args.command](nests, args))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
     multiple = len(args.loop_files) > 1
     for path in args.loop_files:
         try:

@@ -215,16 +215,24 @@ def parallelize_and_execute(
     placement: str = "outer",
     initializer: str = "index_sum",
     use_cache: bool = True,
+    executor=None,
 ):
     """Analyse a nest and execute its transformed form through a backend.
 
-    The one-call entry point used by the CLI ``run`` command and the
-    experiment harness: runs :func:`parallelize` (through the shared
-    analysis cache unless ``use_cache=False``), builds the transformed
-    nest and executes it with the selected execution backend
+    The one-call entry point used by the CLI ``run`` command, the batch
+    service and the experiment harness: runs :func:`parallelize` (through
+    the shared analysis cache unless ``use_cache=False``), builds the
+    transformed nest and executes it with the selected execution backend
     (:func:`repro.runtime.backends.available_backends` lists the choices)
     under the selected :class:`~repro.runtime.executor.ParallelExecutor`
-    mode.
+    mode (``serial``, ``threads``, the copy-and-merge ``processes`` pool or
+    the zero-copy ``shared`` worker pool).
+
+    ``executor`` reuses an existing :class:`ParallelExecutor` — for the
+    stateful ``shared`` mode this keeps the persistent worker pool and the
+    shared segments warm across calls (``mode``/``workers``/``backend`` are
+    then taken from the executor).  Without it a fresh executor is built
+    and, in ``shared`` mode, closed again before returning.
 
     Returns ``(report, execution_result)``; the final array contents are in
     ``execution_result.store``.
@@ -243,6 +251,12 @@ def parallelize_and_execute(
     transformed = TransformedLoopNest.from_report(report)
     if store is None:
         store = store_for_nest(nest, initializer=initializer)
-    executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
-    result = executor.run(transformed, store)
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
+    try:
+        result = executor.run(transformed, store)
+    finally:
+        if owns_executor:
+            executor.close()
     return report, result

@@ -14,6 +14,11 @@ from repro.core.cache import AnalysisCache, parallelize_many
 from repro.experiments.algorithm_cost import algorithm1_cost_sweep
 from repro.experiments.backends import backend_comparison, backend_comparison_table
 from repro.experiments.figures import ALL_FIGURES, FigureResult
+from repro.experiments.shared_runtime import (
+    batch_service_demo,
+    shared_runtime_comparison,
+    shared_runtime_table,
+)
 from repro.experiments.speedup import speedup_sweep
 from repro.experiments.tables import table1_measured_rows, table1_related_work
 from repro.utils.formatting import format_table
@@ -91,6 +96,10 @@ def run_all_experiments(n: int = 10, suite_n: int = 8) -> Dict[str, object]:
     results["algorithm1-cost"] = algorithm1_cost_sweep(depths=(2, 3, 4, 5), samples=10)
     results["backend-comparison"] = backend_comparison(n=max(16, 2 * n))
     results["analysis-cache"] = analysis_cache_experiment(suite_n)
+    results["shared-runtime"] = shared_runtime_comparison(
+        n=max(16, 2 * n), workers=2, repetitions=1
+    )
+    results["batch-service"] = batch_service_demo(suite_n=suite_n, repeat=2)
     return results
 
 
@@ -150,6 +159,20 @@ def format_experiment_report(results: Dict[str, object]) -> str:
         for name, seconds in cache_result["per_pass_seconds"].items():
             lines.append(f"  {name:<12} {seconds * 1000.0:9.3f} ms")
         sections.append("\n".join(lines))
+
+    shared = results.get("shared-runtime")
+    if shared:
+        sections.append(
+            "=== Shared-memory runtime (persistent pool vs. copy-and-merge) ===\n"
+            + shared_runtime_table(shared)
+        )
+
+    batch = results.get("batch-service")
+    if batch:
+        sections.append(
+            "=== Batch service (analysis dedupe + persistent runtime) ===\n"
+            + batch["summary"]
+        )
 
     return "\n\n".join(sections)
 

@@ -10,8 +10,13 @@ machine; the reproduction executes loop nests directly:
 * :mod:`repro.runtime.backends` — pluggable execution backends (AST
   interpreter, ``compile()``d loop bodies, NumPy-vectorized rounds) behind a
   registry; every backend is differential-tested against the interpreter,
+* :mod:`repro.runtime.shared` — zero-copy array stores backed by
+  ``multiprocessing.shared_memory`` segments,
+* :mod:`repro.runtime.pool` — a persistent worker pool whose long-lived
+  processes attach to the shared segments once and execute chunks in place,
 * :mod:`repro.runtime.executor` — chunk-parallel execution (serial, thread
-  pool or process pool) through a selectable backend,
+  pool, copy-and-merge process pool or the shared-memory pool) through a
+  selectable backend,
 * :mod:`repro.runtime.simulator` — idealized parallel-machine model
   (work / critical path) that is independent of the CPython GIL,
 * :mod:`repro.runtime.verification` — checking that a transformation
@@ -36,7 +41,15 @@ from repro.runtime.backends import (
     available_backends,
     DEFAULT_BACKEND,
 )
-from repro.runtime.executor import ParallelExecutor, ExecutionResult
+from repro.runtime.executor import EXECUTION_MODES, ParallelExecutor, ExecutionResult
+from repro.runtime.shared import (
+    SharedArraySpec,
+    SharedStoreSpec,
+    SharedArrayStore,
+    share_ndarray,
+    attach_ndarray,
+)
+from repro.runtime.pool import WorkerCrashed, WorkerPool
 from repro.runtime.simulator import SimulatedMachine, simulate_schedule, SimulationResult
 from repro.runtime.verification import verify_transformation, VerificationReport
 
@@ -57,8 +70,16 @@ __all__ = [
     "resolve_backend",
     "available_backends",
     "DEFAULT_BACKEND",
+    "EXECUTION_MODES",
     "ParallelExecutor",
     "ExecutionResult",
+    "SharedArraySpec",
+    "SharedStoreSpec",
+    "SharedArrayStore",
+    "share_ndarray",
+    "attach_ndarray",
+    "WorkerCrashed",
+    "WorkerPool",
     "SimulatedMachine",
     "simulate_schedule",
     "SimulationResult",

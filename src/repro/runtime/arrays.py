@@ -43,6 +43,22 @@ class OffsetArray:
             raise ExecutionError(f"empty array window: lows={lows}, highs={highs}")
         return cls(lows, shape, dtype=dtype, fill=fill)
 
+    @classmethod
+    def wrap(cls, origin: Sequence[int], data: np.ndarray) -> "OffsetArray":
+        """Wrap an existing ndarray without copying it.
+
+        The array adopts ``data`` as its backing storage, so writes through
+        the :class:`OffsetArray` are visible to every other holder of the
+        buffer — this is how the shared-memory store
+        (:mod:`repro.runtime.shared`) exposes one segment to many processes.
+        """
+        wrapped = cls.__new__(cls)
+        wrapped.origin = tuple(int(o) for o in origin)
+        if len(wrapped.origin) != data.ndim:
+            raise ExecutionError("origin and data must have the same dimensionality")
+        wrapped.data = data
+        return wrapped
+
     @property
     def ndim(self) -> int:
         return self.data.ndim

@@ -1,7 +1,7 @@
 """Chunk-parallel execution of transformed loop nests.
 
 Chunks produced by :func:`repro.codegen.schedule.build_schedule` are mutually
-independent, so they may execute concurrently.  Three execution modes are
+independent, so they may execute concurrently.  Four execution modes are
 provided:
 
 * ``serial`` — chunks run one after the other (baseline and reference),
@@ -9,16 +9,32 @@ provided:
   cell the shared store needs no locking.  Note that CPython's GIL limits the
   achievable wall-clock speedup of pure-Python loop bodies; this mode mainly
   demonstrates correctness under concurrent execution,
-* ``processes`` — a process pool; each worker receives a copy of the store,
-  executes its chunks and sends back the performed writes, which the parent
-  merges.  This achieves real parallelism at the cost of serialisation
-  overhead.
+* ``processes`` — a fork-per-call process pool; each worker receives a copy
+  of the store, executes its chunks and sends back the performed writes,
+  which the parent merges.  Kept as the copy-and-merge contrast case: its
+  per-call cost is dominated by serialization,
+* ``shared`` — the zero-copy runtime: arrays live in
+  ``multiprocessing.shared_memory`` segments
+  (:mod:`repro.runtime.shared`) and a persistent
+  :class:`~repro.runtime.pool.WorkerPool` executes chunk groups in place.
+  Workers attach to the segments once per store generation and stay alive
+  across executions, so a steady request stream pays neither fork-per-call
+  nor store pickling nor a merge loop.  In-place concurrent writes are legal
+  because chunks never access a common cell with a write (Lemma 1 /
+  Theorem 2).
 
 Orthogonally to the mode, *how* the iterations of a chunk (or of the whole
 schedule, in serial mode) are executed is chosen by an execution backend
 (:mod:`repro.runtime.backends`): the AST ``interpreter`` reference, the
 ``compiled`` backend or the NumPy ``vectorized`` backend.  Every backend is
 pinned to the interpreter's semantics by the differential test-suite.
+
+Timing is reported split: ``ExecutionResult.elapsed_seconds`` is the pure
+execution time and ``setup_seconds`` collects everything that is runtime
+overhead, not loop work — schedule building, pool spin-up, store copies /
+pickling, shared-segment loading and the copy back.  Speedup numbers
+computed from ``elapsed_seconds`` therefore compare like with like;
+``total_seconds`` is the end-to-end wall clock of the call.
 
 The machine-independent parallelism numbers reported in EXPERIMENTS.md come
 from :mod:`repro.runtime.simulator`; the executors are used for correctness
@@ -39,13 +55,22 @@ from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
 from repro.runtime.arrays import ArrayStore
 from repro.runtime.backends import DEFAULT_BACKEND, ExecutionBackend, resolve_backend
+from repro.runtime.pool import WorkerCrashed, WorkerPool
+from repro.runtime.shared import SharedArrayStore
 
-__all__ = ["ExecutionResult", "ParallelExecutor"]
+__all__ = ["EXECUTION_MODES", "ExecutionResult", "ParallelExecutor"]
+
+EXECUTION_MODES: Tuple[str, ...] = ("serial", "threads", "processes", "shared")
 
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one (possibly parallel) execution."""
+    """Outcome of one (possibly parallel) execution.
+
+    ``elapsed_seconds`` is pure execution; ``setup_seconds`` is runtime
+    overhead (pool spin-up, store copies/pickling, segment loading); their
+    sum ``total_seconds`` is the wall clock of the whole call.
+    """
 
     store: ArrayStore
     mode: str
@@ -54,10 +79,20 @@ class ExecutionResult:
     elapsed_seconds: float
     chunk_sizes: Tuple[int, ...] = field(default=())
     backend: str = DEFAULT_BACKEND
+    setup_seconds: float = 0.0
+    fallback: Optional[str] = None
 
     @property
     def total_iterations(self) -> int:
         return sum(self.chunk_sizes)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.setup_seconds + self.elapsed_seconds
+
+
+def _noop() -> None:
+    """Warm-up task: forces the process pool to actually spawn its workers."""
 
 
 def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
@@ -86,7 +121,12 @@ def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
 
 
 class ParallelExecutor:
-    """Execute the chunks of a transformed nest serially or in parallel."""
+    """Execute the chunks of a transformed nest serially or in parallel.
+
+    ``shared`` mode holds persistent state (the worker pool and the current
+    generation of shared segments); call :meth:`close` — or use the executor
+    as a context manager — when done.  The other modes hold no state.
+    """
 
     def __init__(
         self,
@@ -94,12 +134,50 @@ class ParallelExecutor:
         workers: Optional[int] = None,
         backend: object = DEFAULT_BACKEND,
     ):
-        if mode not in ("serial", "threads", "processes"):
-            raise ExecutionError(f"unknown execution mode {mode!r}")
+        if mode not in EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; available: {', '.join(EXECUTION_MODES)}"
+            )
         self.mode = mode
         self.workers = workers or 4
         self.backend: ExecutionBackend = resolve_backend(backend)
+        self._pool: Optional[WorkerPool] = None
+        self._shared: Optional[SharedArrayStore] = None
 
+    # ------------------------------------------------------------------ #
+    # lifecycle (shared mode)
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the persistent pool and shared segments (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        if self._shared is not None:
+            self._shared.close()
+            self._shared.unlink()
+            self._shared = None
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close(timeout=0.5)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
     def run(
         self,
         transformed: TransformedLoopNest,
@@ -107,23 +185,31 @@ class ParallelExecutor:
         chunks: Optional[Sequence[Chunk]] = None,
     ) -> ExecutionResult:
         """Execute the transformed nest on ``store`` (modified in place)."""
+        setup_start = time.perf_counter()
         if chunks is None:
             chunks = build_schedule(transformed)
         chunk_sizes = tuple(chunk.size for chunk in chunks)
-        start = time.perf_counter()
+        setup = time.perf_counter() - setup_start
+        fallback: Optional[str] = None
         if self.mode == "serial":
+            start = time.perf_counter()
             self.backend.execute(transformed, store, chunks=chunks)
+            elapsed = time.perf_counter() - start
         elif self.mode == "threads":
-            self._run_threads(transformed, chunks, store)
+            elapsed, extra_setup = self._run_threads(transformed, chunks, store)
+            setup += extra_setup
+        elif self.mode == "processes":
+            elapsed, extra_setup = self._run_processes(transformed, chunks, store)
+            setup += extra_setup
         else:
-            self._run_processes(transformed, chunks, store)
-        elapsed = time.perf_counter() - start
+            elapsed, extra_setup, fallback = self._run_shared(transformed, chunks, store)
+            setup += extra_setup
         # Report the engine that actually ran: thread mode executes
         # chunk-granularly (where the vectorized backend delegates), and a
         # serial run may have fallen back dynamically (narrow schedule,
-        # unvectorizable body, failed independence check).  Process mode
-        # reports the requested backend; each worker group decides on its
-        # own copy.
+        # unvectorizable body, failed independence check).  Process/shared
+        # modes report the requested backend; each worker decides on its own
+        # view of the store.
         if self.mode == "threads":
             effective = self.backend.per_chunk_name
         elif self.mode == "serial":
@@ -138,39 +224,113 @@ class ParallelExecutor:
             elapsed_seconds=elapsed,
             chunk_sizes=chunk_sizes,
             backend=effective,
+            setup_seconds=setup,
+            fallback=fallback,
         )
 
     # ------------------------------------------------------------------ #
     def _run_threads(
         self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
-    ) -> None:
+    ) -> Tuple[float, float]:
         # Chunks are pairwise independent (they never access a common cell with
         # at least one write), so executing them concurrently on the shared
         # store is safe without locking.
+        setup_start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
             futures = [
                 pool.submit(self.backend.execute_chunk, transformed, chunk, store)
                 for chunk in chunks
             ]
             for future in futures:
                 future.result()
+            elapsed = time.perf_counter() - start
+        return elapsed, setup
 
     def _run_processes(
         self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
-    ) -> None:
+    ) -> Tuple[float, float]:
         if not chunks:
-            return
-        groups: List[List[Chunk]] = [[] for _ in range(min(self.workers, len(chunks)))]
-        # Round-robin over chunks sorted by decreasing size for rough balance.
-        for k, chunk in enumerate(sorted(chunks, key=lambda c: -c.size)):
-            groups[k % len(groups)].append(chunk)
+            return 0.0, 0.0
+        setup_start = time.perf_counter()
+        groups = self._balanced_groups(chunks)
         # The backend instance itself is shipped to the workers (all built-in
         # backends pickle cheaply), so per-instance options like a custom
         # min_parallel_width survive the process boundary.
         payloads = [
-            (self.backend, transformed, group, store.copy()) for group in groups if group
+            (self.backend, transformed, [chunks[i] for i in group], store.copy())
+            for group in groups
         ]
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            # Spin up every worker before the timed region: the first submit
+            # is what forks the pool's processes.
+            for warm in [pool.submit(_noop) for _ in payloads]:
+                warm.result()
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
             for writes in pool.map(_worker_execute, payloads):
                 for array, location, value in writes:
                     store[array][location] = value
+            elapsed = time.perf_counter() - start
+        return elapsed, setup
+
+    # ------------------------------------------------------------------ #
+    def _balanced_groups(self, chunks: Sequence[Chunk]) -> List[Tuple[int, ...]]:
+        """Round-robin chunk indices over workers, largest chunks first."""
+        group_count = min(self.workers, len(chunks))
+        groups: List[List[int]] = [[] for _ in range(group_count)]
+        order = sorted(range(len(chunks)), key=lambda i: -chunks[i].size)
+        for position, index in enumerate(order):
+            groups[position % group_count].append(index)
+        return [tuple(group) for group in groups if group]
+
+    def _ensure_shared_store(self, store: ArrayStore) -> SharedArrayStore:
+        """Reuse the current segment generation when the layout matches."""
+        if self._shared is not None and self._shared.matches(store):
+            self._shared.load_from(store)
+            return self._shared
+        self._release_segments()
+        self._shared = SharedArrayStore.from_store(store)
+        return self._shared
+
+    def _run_shared(
+        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+    ) -> Tuple[float, float, Optional[str]]:
+        if not chunks:
+            return 0.0, 0.0, None
+        setup_start = time.perf_counter()
+        if self._pool is None:
+            self._pool = WorkerPool(workers=self.workers)
+        pool = self._pool
+        # Spin the workers up inside the setup window (no-op when already
+        # running): pool start-up is the one-time cost a persistent runtime
+        # amortizes, not execution time.
+        pool.start()
+        groups = self._balanced_groups(chunks)
+        try:
+            shared = self._ensure_shared_store(store)
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
+            pool.run_job(transformed, self.backend, chunks, shared.spec, groups)
+            elapsed = time.perf_counter() - start
+            post_start = time.perf_counter()
+            shared.copy_to(store)
+            setup += time.perf_counter() - post_start
+            return elapsed, setup, None
+        except WorkerCrashed as crash:
+            # Infrastructure failure: the parent's store is untouched (all
+            # writes went to the shared segments), so discard the pool and
+            # the segments and execute serially instead.
+            self._discard_pool()
+            self._release_segments()
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
+            self.backend.execute(transformed, store, chunks=chunks)
+            elapsed = time.perf_counter() - start
+            return elapsed, setup, f"worker crash, serial fallback ({crash})"
+        except ExecutionError:
+            # A worker *reported* the error the loop itself raised (window
+            # violation, division by zero, ...): propagate it exactly like a
+            # serial run would.  The segments stay valid for the next call.
+            raise

@@ -1,0 +1,400 @@
+"""Persistent worker pool executing schedule chunks in shared memory.
+
+The pool is the runtime half of the zero-copy design in
+:mod:`repro.runtime.shared`: long-lived worker processes attach to the
+published store segments **once per store generation** and execute their
+chunk groups in place, so a steady stream of executions pays neither
+fork-per-call nor store pickling nor a write-merge loop.
+
+What crosses the process boundary, and when:
+
+* a **program** — the transformed nest, the backend instance and the packed
+  schedule — is sent to each worker *once* and cached there under a token.
+  The schedule itself (all new-space iterations, chunk-major, plus chunk
+  sizes) travels as two shared-memory arrays, not as pickled tuples: for
+  example 4.1 at N=64 that is 16641 iterations published once instead of
+  re-pickled per task;
+* a **run task** is a tiny message ``(job id, program token, store spec,
+  chunk indices)`` — workers rebuild (and cache) their groups' ``Chunk``
+  objects from the shared schedule;
+* a **result** is ``(job id, group index)`` plus an error string when the
+  group failed.
+
+Failure semantics: a worker that *reports* an exception (window violation,
+division by zero, ...) makes :meth:`WorkerPool.run_job` raise
+:class:`~repro.exceptions.ExecutionError` — the same error a serial run
+would raise.  A worker that *dies* (crash, kill) raises
+:class:`WorkerCrashed`; the executor treats that as an infrastructure
+failure, discards the pool and falls back to serial execution on the
+parent's (untouched) store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import traceback
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.schedule import Chunk
+from repro.exceptions import ExecutionError
+from repro.runtime.shared import (
+    SharedArrayStore,
+    SharedNDArraySpec,
+    SharedStoreSpec,
+    attach_ndarray,
+    share_ndarray,
+)
+
+__all__ = ["WorkerCrashed", "SharedSchedule", "WorkerPool"]
+
+# Workers keep at most this many cached store attachments; the oldest entry
+# is evicted (and its segments detached) beyond the cap.  Program caches are
+# bounded by the parent instead (see _PARENT_PROGRAM_CACHE): the parent
+# sends an explicit "forget" when it evicts, so the two sides can never
+# disagree about which programs a worker still holds.
+_WORKER_STORE_CACHE = 4
+_PARENT_PROGRAM_CACHE = 16
+
+
+class WorkerCrashed(ExecutionError):
+    """A pool worker died without reporting a result."""
+
+
+class SharedSchedule:
+    """Picklable handle to a schedule published in shared memory."""
+
+    def __init__(self, iterations: SharedNDArraySpec, sizes: SharedNDArraySpec):
+        self.iterations = iterations
+        self.sizes = sizes
+
+
+class _WorkerProgram:
+    """A worker's cached view of one registered program."""
+
+    def __init__(self, transformed, backend, schedule: SharedSchedule):
+        self.transformed = transformed
+        self.backend = backend
+        self._segments = []
+        segment, iterations = attach_ndarray(schedule.iterations)
+        self._segments.append(segment)
+        segment, sizes = attach_ndarray(schedule.sizes)
+        self._segments.append(segment)
+        self._iterations = iterations
+        self._bounds = np.zeros(sizes.shape[0] + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self._bounds[1:])
+        self._groups: Dict[Tuple[int, ...], List[Chunk]] = {}
+
+    def chunks_for(self, chunk_indices: Tuple[int, ...]) -> List[Chunk]:
+        """Materialize (and cache) the ``Chunk`` objects of one group."""
+        cached = self._groups.get(chunk_indices)
+        if cached is not None:
+            return cached
+        chunks: List[Chunk] = []
+        for index in chunk_indices:
+            rows = self._iterations[int(self._bounds[index]) : int(self._bounds[index + 1])]
+            chunks.append(
+                Chunk(
+                    key=("shared", int(index)),
+                    iterations=[tuple(int(v) for v in row) for row in rows],
+                )
+            )
+        self._groups[chunk_indices] = chunks
+        return chunks
+
+    def close(self) -> None:
+        self._iterations = None
+        self._groups.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass
+
+
+def _worker_main(worker_index: int, task_queue, result_queue) -> None:
+    """Worker loop: cache programs and store attachments, execute in place."""
+    programs: "OrderedDict[str, _WorkerProgram]" = OrderedDict()
+    stores: "OrderedDict[str, SharedArrayStore]" = OrderedDict()
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "program":
+            _, token, transformed, backend, schedule = message
+            try:
+                programs[token] = _WorkerProgram(transformed, backend, schedule)
+            except BaseException as exc:  # report at the next run task
+                result_queue.put(
+                    ("error", -1, -1, f"program registration failed: {exc!r}",
+                     traceback.format_exc())
+                )
+            continue
+        if kind == "forget":
+            program = programs.pop(message[1], None)
+            if program is not None:
+                program.close()
+            continue
+        # kind == "run"
+        _, job_id, group_index, token, store_spec, chunk_indices = message
+        try:
+            program = programs[token]
+            store = stores.get(store_spec.token)
+            if store is None:
+                store = SharedArrayStore.attach(store_spec)
+                stores[store_spec.token] = store
+                while len(stores) > _WORKER_STORE_CACHE:
+                    stores.popitem(last=False)[1].close()
+            chunks = program.chunks_for(chunk_indices)
+            program.backend.execute(program.transformed, store, chunks=chunks)
+            result_queue.put(("done", job_id, group_index, None, None))
+        except BaseException as exc:
+            result_queue.put(
+                ("error", job_id, group_index, f"{type(exc).__name__}: {exc}",
+                 traceback.format_exc())
+            )
+    for program in programs.values():
+        program.close()
+    for store in stores.values():
+        store.close()
+
+
+class _Program:
+    """Parent-side registration of one (transformed, backend, chunks) triple."""
+
+    def __init__(self, token: str, handle: SharedSchedule, segments, payload):
+        self.token = token
+        self.handle = handle
+        self.segments = segments
+        self.payload = payload  # (transformed, backend) kept alive for re-sends
+
+    def release(self) -> None:
+        for segment in self.segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, BufferError, FileNotFoundError):
+                pass
+
+
+def _pack_schedule(chunks: Sequence[Chunk], depth: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Chunk-major iteration matrix + per-chunk sizes (int64)."""
+    sizes = np.asarray([chunk.size for chunk in chunks], dtype=np.int64)
+    total = int(sizes.sum())
+    iterations = np.empty((total, depth), dtype=np.int64)
+    row = 0
+    for chunk in chunks:
+        block = np.asarray(chunk.iterations, dtype=np.int64).reshape(chunk.size, depth)
+        iterations[row : row + chunk.size] = block
+        row += chunk.size
+    return iterations, sizes
+
+
+class WorkerPool:
+    """A fixed set of long-lived worker processes bound to shared segments.
+
+    Workers are spawned lazily on first use.  Groups are dispatched on
+    per-worker queues (group ``g`` goes to worker ``g % workers``), which
+    keeps the parent's knowledge of each worker's program cache exact.
+    """
+
+    def __init__(self, workers: int = 4, context: Optional[str] = None):
+        self.workers = max(1, int(workers))
+        self._ctx = multiprocessing.get_context(context)
+        self._processes: List = []
+        self._task_queues: List = []
+        self._result_queue = None
+        self._programs: "OrderedDict[Tuple[int, int, int], _Program]" = OrderedDict()
+        self._seen: List[set] = []
+        self._tokens = itertools.count()
+        self._jobs = itertools.count()
+        self._closed = False
+        self._finalizer = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    def alive_workers(self) -> int:
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def start(self) -> None:
+        if self._processes or self._closed:
+            return
+        # Make sure the parent's resource tracker exists *before* the workers
+        # fork: children then inherit it, every segment registration lands in
+        # the one shared tracker (a set, so attach-side re-registration is a
+        # no-op) and worker exit can never spuriously "clean up" segments the
+        # parent still owns.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform without the tracker
+            pass
+        self._result_queue = self._ctx.Queue()
+        for index in range(self.workers):
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(index, task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-pool-{index}",
+            )
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+            self._seen.append(set())
+        self._finalizer = weakref.finalize(self, _terminate, list(self._processes))
+
+    # ------------------------------------------------------------------ #
+    def _ensure_program(self, transformed, backend, chunks: Sequence[Chunk]) -> _Program:
+        key = (id(transformed), id(backend), id(chunks))
+        program = self._programs.get(key)
+        if program is not None:
+            self._programs.move_to_end(key)
+            return program
+        iterations, sizes = _pack_schedule(chunks, transformed.depth)
+        iteration_segment, iteration_spec = share_ndarray(iterations)
+        size_segment, size_spec = share_ndarray(sizes)
+        program = _Program(
+            token=f"program-{next(self._tokens)}",
+            handle=SharedSchedule(iteration_spec, size_spec),
+            segments=(iteration_segment, size_segment),
+            # Strong references pin the ids in ``key`` for the pool's life.
+            payload=(transformed, backend, chunks),
+        )
+        self._programs[key] = program
+        while len(self._programs) > _PARENT_PROGRAM_CACHE:
+            _, evicted = self._programs.popitem(last=False)
+            # Tell every worker that cached the program to drop it; run_job
+            # is synchronous, so no task referencing it can be in flight.
+            for worker, seen in enumerate(self._seen):
+                if evicted.token in seen:
+                    seen.discard(evicted.token)
+                    self._task_queues[worker].put(("forget", evicted.token))
+            evicted.release()
+        return program
+
+    def run_job(
+        self,
+        transformed,
+        backend,
+        chunks: Sequence[Chunk],
+        store_spec: SharedStoreSpec,
+        groups: Sequence[Tuple[int, ...]],
+    ) -> None:
+        """Execute ``groups`` (tuples of chunk indices) on the shared store.
+
+        Blocks until every group finished.  Raises ``ExecutionError`` for a
+        worker-reported failure and :class:`WorkerCrashed` when a worker
+        dies; after a crash the pool must be discarded (``close``).
+        """
+        if self._closed:
+            raise ExecutionError("worker pool is closed")
+        if not groups:
+            return
+        self.start()
+        program = self._ensure_program(transformed, backend, chunks)
+        job_id = next(self._jobs)
+        transformed_payload, backend_payload, _ = program.payload
+        for group_index, chunk_indices in enumerate(groups):
+            worker = group_index % self.workers
+            if program.token not in self._seen[worker]:
+                self._task_queues[worker].put(
+                    ("program", program.token, transformed_payload, backend_payload,
+                     program.handle)
+                )
+                self._seen[worker].add(program.token)
+            self._task_queues[worker].put(
+                ("run", job_id, group_index, program.token, store_spec,
+                 tuple(int(i) for i in chunk_indices))
+            )
+        pending = set(range(len(groups)))
+        first_error = None
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                dead = [p.name for p in self._processes if not p.is_alive()]
+                if dead:
+                    raise WorkerCrashed(
+                        f"worker(s) {', '.join(dead)} died with "
+                        f"{len(pending)} group(s) outstanding"
+                    ) from None
+                continue
+            kind, message_job, group_index, error, trace = message
+            if message_job != job_id:
+                continue  # stale result from an earlier job
+            pending.discard(group_index)
+            # On error, keep draining until every group of this job reported:
+            # raising with stragglers still writing would let a later run
+            # reuse the segments while old results trickle in.
+            if kind == "error" and first_error is None:
+                first_error = (group_index, error, trace)
+        if first_error is not None:
+            group_index, error, trace = first_error
+            raise ExecutionError(
+                f"group {group_index} failed in the worker pool: {error}\n{trace}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop the workers and free every published schedule segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=timeout)
+        for program in self._programs.values():
+            program.release()
+        self._programs.clear()
+        for task_queue in self._task_queues:
+            try:
+                task_queue.close()
+            except (OSError, ValueError):
+                pass
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except (OSError, ValueError):
+                pass
+        if self._finalizer is not None:
+            self._finalizer.detach()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close(timeout=0.2)
+        except Exception:
+            pass
+
+
+def _terminate(processes) -> None:  # pragma: no cover - interpreter shutdown path
+    for process in processes:
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:
+            pass

@@ -1,0 +1,283 @@
+"""Batch serving layer on top of the analysis cache and the parallel runtime.
+
+Production traffic is many small requests: *analyze this nest, execute it,
+give me the numbers*.  :class:`BatchService` is the serving loop for that
+shape of load:
+
+* **analysis dedupe** — every job's nest is analyzed through a memoizing
+  :class:`~repro.core.cache.AnalysisCache`, so structurally identical jobs
+  (the same kernel instantiated for many arrays, the same request parsed
+  again) share one run of the pass pipeline;
+* **execution fan-out** — each job's chunk schedule is executed through one
+  persistent :class:`~repro.runtime.executor.ParallelExecutor`.  In
+  ``shared`` mode that is the zero-copy runtime: the worker pool spins up
+  once for the whole batch and attaches to one generation of shared
+  segments per store layout, so per-job runtime overhead is two memcpys and
+  a handful of queue messages;
+* **reporting** — per-job :class:`JobResult` rows (analysis outcome, split
+  setup/execute timings, store checksum) and batch-level throughput
+  statistics (jobs/s, iterations/s, cache hit rate).
+
+The CLI front end is ``repro batch *.loop``; the experiment harness uses the
+same entry points for the shared-runtime report section.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codegen.schedule import build_schedule
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.cache import AnalysisCache, default_cache
+from repro.loopnest.nest import LoopNest
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.executor import ParallelExecutor
+from repro.utils.formatting import format_table
+
+__all__ = ["BatchJob", "JobResult", "BatchReport", "BatchService", "jobs_from_nests"]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of serving work: analyze ``nest`` and execute its schedule."""
+
+    name: str
+    nest: LoopNest
+    placement: str = "outer"
+    initializer: str = "index_sum"
+
+
+def jobs_from_nests(
+    nests: Sequence[LoopNest], placement: str = "outer", repeat: int = 1
+) -> List[BatchJob]:
+    """Wrap nests into jobs, optionally repeating the list ``repeat`` times.
+
+    Repeats model sustained traffic: every copy is a fresh job, but
+    structural duplicates resolve through the analysis cache.
+    """
+    jobs: List[BatchJob] = []
+    for round_index in range(max(1, int(repeat))):
+        for nest in nests:
+            suffix = f"#{round_index + 1}" if repeat > 1 else ""
+            jobs.append(BatchJob(name=f"{nest.name}{suffix}", nest=nest, placement=placement))
+    return jobs
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Everything the service derived and measured for one job."""
+
+    name: str
+    iterations: int
+    num_chunks: int
+    parallel_loops: int
+    partitions: int
+    cache_hit: bool
+    analysis_seconds: float
+    setup_seconds: float
+    execute_seconds: float
+    backend: str
+    mode: str
+    checksum: float
+    fallback: Optional[str] = None
+
+    def as_row(self) -> List[object]:
+        return [
+            self.name,
+            self.iterations,
+            self.num_chunks,
+            self.parallel_loops,
+            self.partitions,
+            "hit" if self.cache_hit else "miss",
+            f"{self.analysis_seconds * 1000.0:.2f}",
+            f"{self.setup_seconds * 1000.0:.2f}",
+            f"{self.execute_seconds * 1000.0:.2f}",
+            self.backend,
+            f"{self.checksum:.6g}",
+        ]
+
+
+_HEADERS = [
+    "job", "iterations", "chunks", "doall", "partitions", "analysis",
+    "analyze (ms)", "setup (ms)", "execute (ms)", "backend", "checksum",
+]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Per-job results plus batch-level throughput statistics."""
+
+    results: Tuple[JobResult, ...]
+    mode: str
+    workers: int
+    wall_seconds: float
+    analysis_seconds: float
+    execute_seconds: float
+    cache_hits: int
+    cache_misses: int
+    cache_summary: str
+
+    @property
+    def jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(result.iterations for result in self.results)
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def iterations_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.total_iterations / self.wall_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def table(self) -> str:
+        return format_table(_HEADERS, [result.as_row() for result in self.results])
+
+    def describe(self) -> str:
+        lines = [self.table(), ""]
+        lines.append(
+            f"{self.jobs} job(s), {self.total_iterations} iterations in "
+            f"{self.wall_seconds * 1000.0:.2f} ms wall "
+            f"({self.jobs_per_second:.1f} jobs/s, "
+            f"{self.iterations_per_second:.0f} iterations/s)"
+        )
+        lines.append(
+            f"mode: {self.mode} ({self.workers} worker(s)); analysis "
+            f"{self.analysis_seconds * 1000.0:.2f} ms total, execution "
+            f"{self.execute_seconds * 1000.0:.2f} ms total"
+        )
+        lines.append(
+            f"analysis dedupe: {self.cache_hits} hit(s), {self.cache_misses} miss(es) "
+            f"this batch ({self.hit_rate:.0%} hit rate); {self.cache_summary}"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class BatchService:
+    """Submit batches of jobs against one persistent runtime.
+
+    The service owns a :class:`ParallelExecutor` (and, in ``shared`` mode,
+    its worker pool and segments), so back-to-back batches stay warm.  Use
+    as a context manager or call :meth:`close`.
+    """
+
+    # Distinct job structures whose (transformed, chunks) pair stays warm;
+    # matches the worker pool's parent-side program cache, so a repeated job
+    # re-dispatches the *same* objects and the pool's per-program shipping
+    # (packed schedule segments, per-worker registration) is paid once.
+    _PROGRAM_CACHE = 16
+
+    def __init__(
+        self,
+        mode: str = "shared",
+        backend: object = "vectorized",
+        workers: int = 4,
+        cache: Optional[AnalysisCache] = None,
+    ):
+        self.cache = cache if cache is not None else default_cache()
+        self._executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
+        # Keyed by the nest's rendered source + placement: identical text
+        # means identical names *and* structure, so reusing the transformed
+        # nest (and its chunk schedule) is semantically exact — unlike the
+        # analysis cache's canonical key, which deliberately ignores names.
+        self._programs: "OrderedDict[Tuple[str, str], Tuple[TransformedLoopNest, list]]" = (
+            OrderedDict()
+        )
+
+    @property
+    def mode(self) -> str:
+        return self._executor.mode
+
+    @property
+    def workers(self) -> int:
+        return self._executor.workers
+
+    # ------------------------------------------------------------------ #
+    def submit(self, jobs: Sequence[BatchJob]) -> BatchReport:
+        """Run a batch: dedupe analysis, fan execution out, report throughput."""
+        wall_start = time.perf_counter()
+        hits_before = self.cache.stats.hits
+        misses_before = self.cache.stats.misses
+        results: List[JobResult] = []
+        analysis_total = 0.0
+        execute_total = 0.0
+        for job in jobs:
+            analysis_start = time.perf_counter()
+            job_hits_before = self.cache.stats.hits
+            report = self.cache.parallelize(job.nest, placement=job.placement)
+            cache_hit = self.cache.stats.hits > job_hits_before
+            transformed, chunks = self._program_for(job, report)
+            analysis_seconds = time.perf_counter() - analysis_start
+            store = store_for_nest(job.nest, initializer=job.initializer)
+            execution = self._executor.run(transformed, store, chunks=chunks)
+            checksum = sum(float(array.data.sum()) for array in store.values())
+            analysis_total += analysis_seconds
+            execute_total += execution.total_seconds
+            results.append(
+                JobResult(
+                    name=job.name,
+                    iterations=execution.total_iterations,
+                    num_chunks=execution.num_chunks,
+                    parallel_loops=report.parallel_loop_count,
+                    partitions=report.partition_count,
+                    cache_hit=cache_hit,
+                    analysis_seconds=analysis_seconds,
+                    setup_seconds=execution.setup_seconds,
+                    execute_seconds=execution.elapsed_seconds,
+                    backend=execution.backend,
+                    mode=execution.mode,
+                    checksum=checksum,
+                    fallback=execution.fallback,
+                )
+            )
+        return BatchReport(
+            results=tuple(results),
+            mode=self._executor.mode,
+            workers=self._executor.workers,
+            wall_seconds=time.perf_counter() - wall_start,
+            analysis_seconds=analysis_total,
+            execute_seconds=execute_total,
+            cache_hits=self.cache.stats.hits - hits_before,
+            cache_misses=self.cache.stats.misses - misses_before,
+            cache_summary=self.cache.describe(),
+        )
+
+    def _program_for(self, job: BatchJob, report):
+        """The job's (transformed nest, chunk schedule), warm across repeats."""
+        key = (str(job.nest), job.placement)
+        entry = self._programs.get(key)
+        if entry is not None:
+            self._programs.move_to_end(key)
+            return entry
+        transformed = TransformedLoopNest.from_report(report)
+        chunks = build_schedule(transformed)
+        self._programs[key] = (transformed, chunks)
+        while len(self._programs) > self._PROGRAM_CACHE:
+            self._programs.popitem(last=False)
+        return transformed, chunks
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self) -> "BatchService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -214,3 +214,64 @@ class TestMultipleFiles:
         assert main(["codegen", first, second]) == 0
         out = capsys.readouterr().out
         assert out.count("def run_transformed(arrays):") == 2
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def two_files(self, tmp_path):
+        first = tmp_path / "first.loop"
+        first.write_text(EXAMPLE_41)
+        second = tmp_path / "second.loop"
+        second.write_text(TRIANGULAR)
+        return str(first), str(second)
+
+    def test_batch_serves_all_files(self, two_files, capsys):
+        first, second = two_files
+        assert main(["batch", first, second, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-example" in out
+        assert "second" in out
+        assert "jobs/s" in out
+        assert "analysis dedupe" in out
+
+    def test_batch_repeat_dedupes_analysis(self, two_files, capsys):
+        first, _ = two_files
+        assert main(["batch", first, "--repeat", "3", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-example#1" in out
+        assert "cli-example#3" in out
+        # one cold analysis, two cache hits
+        assert "1 miss(es)" in out
+        assert "2 hit(s)" in out
+
+    def test_batch_shared_mode(self, two_files, capsys):
+        first, second = two_files
+        assert main(
+            ["batch", first, second, "--mode", "shared", "--processors", "2",
+             "--backend", "compiled", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode: shared (2 worker(s))" in out
+
+    def test_batch_missing_file(self, two_files, capsys):
+        first, _ = two_files
+        assert main(["batch", first, "/nonexistent/path.loop"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_batch_parse_failure_aborts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.loop"
+        bad.write_text("A[i1] = 1.0\n")
+        assert main(["batch", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_mode_shared(self, tmp_path, capsys):
+        path = tmp_path / "ex41.loop"
+        path.write_text(EXAMPLE_41)
+        assert main(
+            ["run", str(path), "--mode", "shared", "--processors", "2",
+             "--backend", "vectorized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode: shared" in out
+        assert "runtime setup" in out
+        assert "ok" in out

@@ -1,0 +1,128 @@
+"""Tests for the batch serving layer (:mod:`repro.service`)."""
+
+import pytest
+
+from repro.core.cache import AnalysisCache
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.interpreter import execute_nest
+from repro.service import BatchJob, BatchService, jobs_from_nests
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.suite import workload_suite
+
+
+def _checksum_reference(nest) -> float:
+    store = store_for_nest(nest)
+    execute_nest(nest, store)
+    return sum(float(array.data.sum()) for array in store.values())
+
+
+class TestJobsFromNests:
+    def test_repeat_names_rounds(self):
+        nests = [example_4_1(4), example_4_2(4)]
+        jobs = jobs_from_nests(nests, repeat=3)
+        assert len(jobs) == 6
+        assert jobs[0].name.endswith("#1")
+        assert jobs[-1].name.endswith("#3")
+
+    def test_single_round_keeps_plain_names(self):
+        jobs = jobs_from_nests([example_4_1(4)])
+        assert jobs[0].name == example_4_1(4).name
+
+
+class TestBatchServiceSerial:
+    def test_results_match_serial_reference(self):
+        nests = [case.nest for case in workload_suite(5)[:4]]
+        with BatchService(
+            mode="serial", backend="compiled", workers=1, cache=AnalysisCache()
+        ) as service:
+            report = service.submit(jobs_from_nests(nests))
+        assert report.jobs == len(nests)
+        for nest, result in zip(nests, report.results):
+            assert result.checksum == pytest.approx(_checksum_reference(nest))
+            assert result.fallback is None
+            assert result.iterations == nest.iteration_count()
+
+    def test_structural_duplicates_dedupe_through_cache(self):
+        cache = AnalysisCache()
+        nests = [case.nest for case in workload_suite(5)[:3]]
+        with BatchService(
+            mode="serial", backend="compiled", workers=1, cache=cache
+        ) as service:
+            report = service.submit(jobs_from_nests(nests, repeat=3))
+        assert report.jobs == 9
+        assert report.cache_misses == 3  # one analysis per structure
+        assert report.cache_hits == 6  # every later round hits
+        assert report.hit_rate == pytest.approx(2 / 3)
+        hits = [result.cache_hit for result in report.results]
+        assert hits[:3] == [False, False, False]
+        assert all(hits[3:])
+        # Hit rows carry the same analysis outcome as their cold row.
+        for cold, warm in zip(report.results[:3], report.results[3:6]):
+            assert warm.partitions == cold.partitions
+            assert warm.parallel_loops == cold.parallel_loops
+            assert warm.checksum == cold.checksum
+
+    def test_throughput_statistics_present(self):
+        nests = [example_4_2(4)]
+        with BatchService(
+            mode="serial", backend="interpreter", workers=1, cache=AnalysisCache()
+        ) as service:
+            report = service.submit(jobs_from_nests(nests, repeat=2))
+        assert report.wall_seconds > 0
+        assert report.jobs_per_second > 0
+        assert report.iterations_per_second > 0
+        assert report.total_iterations == 2 * example_4_2(4).iteration_count()
+        text = report.describe()
+        assert "jobs/s" in text
+        assert "analysis dedupe" in text
+
+    def test_explicit_jobs_with_placement(self):
+        job = BatchJob(name="inner", nest=example_4_1(4), placement="inner")
+        with BatchService(
+            mode="serial", backend="compiled", workers=1, cache=AnalysisCache()
+        ) as service:
+            report = service.submit([job])
+        assert report.results[0].name == "inner"
+        assert report.results[0].checksum == pytest.approx(
+            _checksum_reference(example_4_1(4))
+        )
+
+
+class TestBatchServiceShared:
+    def test_shared_mode_serves_batch_bit_identically(self):
+        nests = [case.nest for case in workload_suite(4)[:3]]
+        with BatchService(
+            mode="shared", backend="vectorized", workers=2, cache=AnalysisCache()
+        ) as service:
+            report = service.submit(jobs_from_nests(nests, repeat=2))
+        assert report.mode == "shared"
+        for nest, result in zip(nests * 2, list(report.results)):
+            assert result.checksum == pytest.approx(_checksum_reference(nest))
+            assert result.fallback is None
+
+    def test_persistent_across_batches(self):
+        nest = example_4_1(4)
+        with BatchService(
+            mode="shared", backend="compiled", workers=2, cache=AnalysisCache()
+        ) as service:
+            first = service.submit(jobs_from_nests([nest]))
+            second = service.submit(jobs_from_nests([nest]))
+        assert first.results[0].checksum == second.results[0].checksum
+        assert second.cache_hits == 1  # the analysis survived between batches
+
+    def test_repeated_jobs_reuse_one_program(self):
+        # The service must hand the executor the *same* transformed/chunks
+        # objects for textually identical jobs, so the worker pool's
+        # per-program shipping (schedule segments, registration) is paid once.
+        nest = example_4_1(4)
+        with BatchService(
+            mode="serial", backend="compiled", workers=1, cache=AnalysisCache()
+        ) as service:
+            service.submit(jobs_from_nests([nest], repeat=3))
+            assert len(service._programs) == 1
+            (transformed, chunks), = service._programs.values()
+            service.submit(jobs_from_nests([nest]))
+            assert len(service._programs) == 1
+            (again, chunks_again), = service._programs.values()
+            assert again is transformed
+            assert chunks_again is chunks
