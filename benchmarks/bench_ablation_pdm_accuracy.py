@@ -18,7 +18,7 @@ over-approximate the dependence structure for these loops.
 from repro.baselines.comparison import compare_methods
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.utils.formatting import format_table
 from repro.workloads.suite import workload_suite
 
@@ -28,7 +28,7 @@ def _run(n):
     rows = compare_methods(cases)
     tightness = []
     for case in cases:
-        report = parallelize(case.nest)
+        report = analyze_nest(case.nest)
         if report.partitioning is None:
             continue
         chunks = build_schedule(TransformedLoopNest.from_report(report))

@@ -7,14 +7,14 @@ the same result as the original.  The benchmark times the complete pipeline
 (dependence analysis → PDM → Algorithm 1 → partitioning → legality check).
 """
 
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.runtime.verification import verify_transformation
 from repro.workloads.paper_examples import example_4_1
 
 
 def test_example41_pipeline(benchmark, paper_n):
     nest = example_4_1(paper_n)
-    report = benchmark(parallelize, nest)
+    report = benchmark(analyze_nest, nest)
 
     assert report.pdm.matrix == [[2, -2]]
     assert report.pdm.rank == 1
@@ -25,7 +25,7 @@ def test_example41_pipeline(benchmark, paper_n):
 
     small_nest = example_4_1(6)
     verification = verify_transformation(
-        small_nest, parallelize(small_nest), check_executors=("serial",)
+        small_nest, analyze_nest(small_nest), check_executors=("serial",)
     )
     assert verification.passed
 

@@ -6,14 +6,14 @@ partition-offset loops"), legality, and semantic equivalence of the
 transformed loop.
 """
 
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.runtime.verification import verify_transformation
 from repro.workloads.paper_examples import example_4_2
 
 
 def test_example42_pipeline(benchmark, paper_n):
     nest = example_4_2(paper_n)
-    report = benchmark(parallelize, nest)
+    report = benchmark(analyze_nest, nest)
 
     assert report.pdm.matrix == [[2, 1], [0, 2]]
     assert report.pdm.is_full_rank
@@ -24,7 +24,7 @@ def test_example42_pipeline(benchmark, paper_n):
 
     small_nest = example_4_2(6)
     verification = verify_transformation(
-        small_nest, parallelize(small_nest), check_executors=("serial",)
+        small_nest, analyze_nest(small_nest), check_executors=("serial",)
     )
     assert verification.passed
 

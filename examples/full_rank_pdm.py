@@ -11,7 +11,7 @@ Run with:  python examples/full_rank_pdm.py [N]
 
 import sys
 
-from repro import parallelize, verify_transformation
+from repro import analyze_nest, verify_transformation
 from repro.experiments.figures import figure4_original_isdg_42, figure5_partitioned_isdg_42
 from repro.workloads.paper_examples import example_4_2
 
@@ -22,7 +22,7 @@ def main(n: int = 10) -> None:
     print(nest)
     print()
 
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     print(report.summary())
     print()
 

@@ -12,7 +12,7 @@ Run with:  python examples/kernel_study.py
 
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.runtime.simulator import simulate_schedule
 from repro.runtime.verification import verify_transformation
 from repro.utils.formatting import format_table
@@ -26,7 +26,7 @@ def main() -> None:
 
     rows = []
     for name, nest in kernels.items():
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         stats = schedule_statistics(chunks)
@@ -56,7 +56,7 @@ def main() -> None:
     print()
     print("Details for each kernel:")
     for name, nest in kernels.items():
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         print(f"\n--- {name} ---")
         print(nest)
         print(report.summary())

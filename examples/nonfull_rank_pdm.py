@@ -13,7 +13,7 @@ Run with:  python examples/nonfull_rank_pdm.py [N]
 
 import sys
 
-from repro import TransformedLoopNest, parallelize, verify_transformation
+from repro import TransformedLoopNest, analyze_nest, verify_transformation
 from repro.experiments.figures import figure2_original_isdg_41, figure3_transformed_isdg_41
 from repro.workloads.paper_examples import example_4_1
 
@@ -24,7 +24,7 @@ def main(n: int = 10) -> None:
     print(nest)
     print()
 
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     print(report.summary())
     print()
 

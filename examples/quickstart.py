@@ -1,22 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: analyse, transform, generate code for and verify one loop nest.
+"""Quickstart: one Session serves analysis, code generation, execution.
 
-Builds a 2-deep loop with variable dependence distances, computes its pseudo
-distance matrix, applies the paper's parallelization method (Algorithm 1 +
-partitioning), prints the generated code and verifies that the transformed
-loop computes exactly the same result as the original.
+Builds a 2-deep loop with variable dependence distances, analyzes it
+through a :class:`repro.Session`, prints the generated code, executes the
+transformed schedule (verified against the interpreter reference) and
+shows the serving-ready JSON form of the result.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro import (
+    Session,
     TransformedLoopNest,
     build_schedule,
     emit_transformed_source,
     loop_nest,
-    parallelize,
     simulate_schedule,
-    verify_transformation,
 )
 from repro.codegen.schedule import schedule_statistics
 
@@ -36,28 +35,34 @@ def main() -> None:
     print(nest)
     print()
 
-    # 1. Analysis + transformation selection.
-    report = parallelize(nest)
-    print(report.summary())
-    print()
+    with Session(backend="vectorized", verify="always") as session:
+        # 1. Analysis + transformation selection.
+        analysis = session.analyze(nest)
+        print(analysis.summary())
+        print()
 
-    # 2. Code generation.
-    transformed = TransformedLoopNest.from_report(report)
-    print("Generated (transformed) code:")
-    print(emit_transformed_source(transformed))
+        # 2. Code generation.
+        transformed = TransformedLoopNest.from_report(analysis.report)
+        print("Generated (transformed) code:")
+        print(emit_transformed_source(transformed))
 
-    # 3. Parallelism of the schedule.
-    chunks = build_schedule(transformed)
-    stats = schedule_statistics(chunks)
-    sim = simulate_schedule(chunks, num_processors=8)
-    print(f"Schedule: {stats['num_chunks']} independent chunks, "
-          f"ideal speedup {stats['ideal_speedup']:.1f}, "
-          f"simulated speedup on 8 processors {sim.speedup:.2f}")
-    print()
+        # 3. Parallelism of the schedule.
+        chunks = build_schedule(transformed)
+        stats = schedule_statistics(chunks)
+        sim = simulate_schedule(chunks, num_processors=8)
+        print(f"Schedule: {stats['num_chunks']} independent chunks, "
+              f"ideal speedup {stats['ideal_speedup']:.1f}, "
+              f"simulated speedup on 8 processors {sim.speedup:.2f}")
+        print()
 
-    # 4. Dynamic verification: transformed execution == original execution.
-    verification = verify_transformation(nest, report)
-    print(verification.describe())
+        # 4. Execute with verification against the interpreter reference
+        #    (the analysis above is a cache hit inside the same session).
+        result = session.run(nest)
+        print(f"Executed {result.iterations} iterations in {result.num_chunks} chunks "
+              f"(backend {result.backend}), verified: {result.verified}")
+        print()
+        print("Serving-ready result payload:")
+        print(result.to_json(indent=2)[:400] + " ...")
 
 
 if __name__ == "__main__":

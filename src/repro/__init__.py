@@ -6,20 +6,33 @@ The package implements the paper's pseudo distance matrix (PDM) analysis,
 legal unimodular loop transformations, Algorithm 1 (zeroing PDM columns) and
 the iteration-space partitioning transformation, together with the substrate
 needed to evaluate them: an affine loop-nest IR, exact integer linear
-algebra, a dependence analyzer, code generation, a loop interpreter with
-parallel executors, ISDG figures and baseline methods.
+algebra, a dependence analyzer, code generation, a multi-backend runtime
+with a zero-copy shared-memory worker pool, ISDG figures and baseline
+methods.
+
+The supported entry point is the :mod:`repro.api` façade: one configured
+:class:`Session` owns the analysis cache and the executor lifecycle, accepts
+uniform inputs (built nests, ``.loop`` files, loop text) and returns one
+structured result model.
 
 Quickstart
 ----------
->>> from repro import loop_nest, parallelize
+>>> from repro import Session, loop_nest
 >>> nest = (loop_nest("demo")
 ...         .loop("i1", -10, 10)
 ...         .loop("i2", -10, 10)
 ...         .statement("A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0")
 ...         .build())
->>> report = parallelize(nest)
->>> report.pdm.rank, report.parallel_loop_count, report.partition_count
+>>> with Session() as s:
+...     analysis = s.analyze(nest)
+...     (analysis.report.pdm.rank, analysis.parallel_loops, analysis.partitions)
 (1, 1, 2)
+
+``Session.run`` executes the transformed loop through the configured
+backend/mode and ``Session.map`` serves batches; both return results with
+``to_dict()`` / ``to_json()`` for serving.  The legacy one-shot functions
+``parallelize`` / ``parallelize_and_execute`` are deprecated wrappers over
+this surface (see the README migration table).
 """
 
 from repro.loopnest import (
@@ -36,6 +49,7 @@ from repro.loopnest import (
 from repro.core import (
     ParallelizationReport,
     PseudoDistanceMatrix,
+    analyze_nest,
     parallelize,
     transform_non_full_rank,
     partition_full_rank,
@@ -57,13 +71,28 @@ from repro.runtime import (
     store_for_nest,
     verify_transformation,
 )
+from repro.api import (
+    AnalysisResult,
+    RunResult,
+    Session,
+    SessionConfig,
+    SessionStats,
+    resolve_source,
+)
 from repro.isdg import build_isdg, compute_statistics
 from repro.intlin import Lattice, hermite_normal_form, smith_normal_form
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # session façade (repro.api)
+    "AnalysisResult",
+    "RunResult",
+    "Session",
+    "SessionConfig",
+    "SessionStats",
+    "resolve_source",
     # loop nest IR
     "AffineExpr",
     "LoopBounds",
@@ -77,6 +106,7 @@ __all__ = [
     # core method
     "ParallelizationReport",
     "PseudoDistanceMatrix",
+    "analyze_nest",
     "parallelize",
     "transform_non_full_rank",
     "partition_full_rank",

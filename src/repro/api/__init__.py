@@ -1,0 +1,52 @@
+"""Public façade: configured sessions, uniform inputs, one result model.
+
+This package is the supported entry point for driving the reproduction
+programmatically:
+
+* :class:`Session` / :class:`SessionConfig`
+  (:mod:`repro.api.session`) — a configured, long-lived object owning the
+  analysis cache, one persistent executor and the compiled-program LRU,
+  with deterministic context-manager teardown;
+* :func:`resolve_source` (:mod:`repro.api.inputs`) — every method accepts
+  a built :class:`~repro.loopnest.nest.LoopNest`, a ``.loop`` file path,
+  loop-description text, a workload factory or anything with a ``.nest``
+  attribute;
+* :class:`AnalysisResult` / :class:`RunResult` / :class:`SessionStats`
+  (:mod:`repro.api.results`) — stable field names over the underlying
+  report/execution artifacts, with ``to_dict()`` / ``to_json()`` for
+  serving.
+
+Quickstart::
+
+    from repro.api import Session
+
+    with Session(mode="shared", backend="vectorized", workers=4) as s:
+        analysis = s.analyze("examples/loops/example41.loop")
+        result = s.run("examples/loops/example41.loop")
+        batch = s.map(["examples/loops/example41.loop"] * 8)
+        print(s.stats().describe())
+"""
+
+from repro.api.inputs import (
+    LoopSource,
+    parse_loop_file,
+    parse_loop_text,
+    resolve_source,
+    resolve_sources,
+)
+from repro.api.results import AnalysisResult, RunResult, SessionStats
+from repro.api.session import VERIFICATION_POLICIES, Session, SessionConfig
+
+__all__ = [
+    "AnalysisResult",
+    "LoopSource",
+    "RunResult",
+    "Session",
+    "SessionConfig",
+    "SessionStats",
+    "VERIFICATION_POLICIES",
+    "parse_loop_file",
+    "parse_loop_text",
+    "resolve_source",
+    "resolve_sources",
+]

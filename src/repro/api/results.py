@@ -1,0 +1,276 @@
+"""The unified result model of the :mod:`repro.api` surface.
+
+Every :class:`~repro.api.session.Session` method returns one of two
+dataclasses composing the existing analysis/runtime artifacts behind stable
+field names:
+
+* :class:`AnalysisResult` — the outcome of ``Session.analyze``: the
+  underlying :class:`~repro.core.pipeline.ParallelizationReport`, cache
+  provenance (``cache_hit``) and wall-clock analysis time, with flat
+  accessors for the numbers dashboards ask for (``parallel_loops``,
+  ``partitions``, ``depth``);
+* :class:`RunResult` — the outcome of ``Session.run``: an
+  :class:`AnalysisResult` plus the runtime's
+  :class:`~repro.runtime.executor.ExecutionResult`, the store checksum and
+  the optional verification outcome.
+
+Both serialize with ``to_dict()`` (JSON-safe built-ins only — matrices as
+nested lists, never NumPy arrays or AST nodes) and ``to_json()``, so a
+serving layer can put them on the wire directly.  :class:`SessionStats`
+reports the session's cross-cutting state (cache counters, executor
+lifecycle) in the same style.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.pipeline import ParallelizationReport
+from repro.loopnest.nest import LoopNest
+from repro.runtime.executor import ExecutionResult
+
+__all__ = ["AnalysisResult", "RunResult", "SessionStats"]
+
+
+def _matrix(rows) -> List[List[int]]:
+    """A matrix as plain nested lists of ints (JSON-safe)."""
+    return [[int(value) for value in row] for row in rows]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of one ``Session.analyze`` call."""
+
+    name: str
+    nest: LoopNest = field(repr=False)
+    report: ParallelizationReport = field(repr=False)
+    cache_hit: bool
+    analysis_seconds: float
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        return self.report.depth
+
+    @property
+    def placement(self) -> str:
+        return self.report.placement
+
+    @property
+    def parallel_loops(self) -> int:
+        return self.report.parallel_loop_count
+
+    @property
+    def partitions(self) -> int:
+        return self.report.partition_count
+
+    @property
+    def uses_unimodular_transform(self) -> bool:
+        return self.report.uses_unimodular_transform
+
+    @property
+    def pass_timings(self):
+        return self.report.pass_timings
+
+    def summary(self) -> str:
+        return self.report.summary()
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        report = self.report
+        return {
+            "kind": "analysis",
+            "name": self.name,
+            "depth": self.depth,
+            "placement": self.placement,
+            "cache_hit": self.cache_hit,
+            "analysis_seconds": self.analysis_seconds,
+            "parallel_loops": self.parallel_loops,
+            "partitions": self.partitions,
+            "parallel_levels": [int(level) for level in report.parallel_levels],
+            "sequential_levels": [int(level) for level in report.sequential_levels],
+            "uses_unimodular_transform": self.uses_unimodular_transform,
+            "uses_partitioning": report.uses_partitioning,
+            "pdm": _matrix(report.pdm.matrix),
+            "pdm_rank": int(report.pdm.rank),
+            "transform": _matrix(report.transform),
+            "transformed_pdm": _matrix(report.transformed_pdm),
+            "pass_timings": [
+                {"name": t.name, "seconds": t.seconds, "skipped": t.skipped}
+                for t in report.pass_timings
+            ],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one ``Session.run`` call: analysis plus execution."""
+
+    analysis: AnalysisResult
+    execution: ExecutionResult = field(repr=False)
+    checksum: float
+    #: max |difference| against the interpreter reference; ``None`` when the
+    #: session's verification policy skipped the check.
+    max_abs_difference: Optional[float] = None
+    #: wall clock of building the program (transformed nest + chunk
+    #: schedule); ~0 on a program-LRU hit.
+    program_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.analysis.name
+
+    @property
+    def report(self) -> ParallelizationReport:
+        return self.analysis.report
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.analysis.cache_hit
+
+    @property
+    def store(self):
+        return self.execution.store
+
+    @property
+    def backend(self) -> str:
+        return self.execution.backend
+
+    @property
+    def mode(self) -> str:
+        return self.execution.mode
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
+    @property
+    def iterations(self) -> int:
+        return self.execution.total_iterations
+
+    @property
+    def num_chunks(self) -> int:
+        return self.execution.num_chunks
+
+    @property
+    def analysis_seconds(self) -> float:
+        return self.analysis.analysis_seconds
+
+    @property
+    def setup_seconds(self) -> float:
+        return self.execution.setup_seconds
+
+    @property
+    def execute_seconds(self) -> float:
+        return self.execution.elapsed_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.execution.total_seconds
+
+    @property
+    def fallback(self) -> Optional[str]:
+        return self.execution.fallback
+
+    @property
+    def verified(self) -> Optional[bool]:
+        """True/False when verification ran, ``None`` when it was skipped."""
+        if self.max_abs_difference is None:
+            return None
+        return self.max_abs_difference == 0.0
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        payload = self.analysis.to_dict()
+        payload.update(
+            {
+                "kind": "run",
+                "backend": self.backend,
+                "mode": self.mode,
+                "workers": self.workers,
+                "iterations": self.iterations,
+                "num_chunks": self.num_chunks,
+                "chunk_sizes": [int(size) for size in self.execution.chunk_sizes],
+                "program_seconds": self.program_seconds,
+                "setup_seconds": self.setup_seconds,
+                "execute_seconds": self.execute_seconds,
+                "total_seconds": self.total_seconds,
+                "checksum": self.checksum,
+                "max_abs_difference": self.max_abs_difference,
+                "verified": self.verified,
+                "fallback": self.fallback,
+            }
+        )
+        return payload
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Cross-cutting counters of one :class:`~repro.api.session.Session`."""
+
+    analyses: int
+    runs: int
+    mode: str
+    backend: str
+    workers: int
+    cache_enabled: bool
+    cache_entries: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_hit_rate: float
+    executor_live: bool
+    executor_creations: int
+    pool_workers_alive: int
+    programs_cached: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "analyses": self.analyses,
+            "runs": self.runs,
+            "mode": self.mode,
+            "backend": self.backend,
+            "workers": self.workers,
+            "cache_enabled": self.cache_enabled,
+            "cache_entries": self.cache_entries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "executor_live": self.executor_live,
+            "executor_creations": self.executor_creations,
+            "pool_workers_alive": self.pool_workers_alive,
+            "programs_cached": self.programs_cached,
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def describe(self) -> str:
+        lines = [
+            f"session: {self.analyses} analysis(es), {self.runs} run(s), "
+            f"mode {self.mode} ({self.workers} worker(s)), backend {self.backend}",
+            (
+                f"  cache: {self.cache_entries} entries, {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es), hit rate {self.cache_hit_rate:.1%}"
+                if self.cache_enabled
+                else "  cache: disabled"
+            ),
+            f"  executor: {'live' if self.executor_live else 'not created'} "
+            f"({self.executor_creations} creation(s), "
+            f"{self.pool_workers_alive} pool worker(s) alive), "
+            f"{self.programs_cached} cached program(s)",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

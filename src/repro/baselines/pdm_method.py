@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.baselines.base import MethodResult
 from repro.core.cache import cached_parallelize
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
 
 __all__ = ["pdm_method"]
@@ -23,7 +23,7 @@ def pdm_method(
     if use_cache:
         report = cached_parallelize(nest, placement=placement)
     else:
-        report = parallelize(nest, placement=placement)
+        report = analyze_nest(nest, placement=placement)
     return MethodResult(
         method="pdm (this work)",
         nest_name=nest.name,

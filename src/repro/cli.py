@@ -12,15 +12,15 @@ plain text files, without writing Python::
     repro-loop run     examples/loops/example41.loop --backend vectorized
     repro-loop batch   examples/loops/*.loop --mode shared --repeat 4
 
-Loop description format (one item per line, ``#`` starts a comment)::
+Every sub-command shares one group of session options
+(``--backend/--mode/--processors/--placement/--no-cache``); ``main``
+builds a single :class:`repro.api.SessionConfig` from them and serves the
+whole invocation through one :class:`repro.api.Session` — the CLI never
+wires caches or executors by hand.
 
-    name: my-loop
-    loop i1 = -10 .. 10
-    loop i2 = 0 .. i1
-    A[i1, i2] = A[i1 - 1, i2 + 2] + 1.0
-
-Loops are declared outermost first; every remaining non-empty line is a body
-statement.  Bounds may reference outer loop indices.
+The loop description format is documented in :mod:`repro.api.inputs`
+(``name:`` line, ``loop <index> = <lower> .. <upper>`` declarations
+outermost first, then body statements; ``#`` starts a comment).
 """
 
 from __future__ import annotations
@@ -29,102 +29,123 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.api import Session, SessionConfig, parse_loop_file, parse_loop_text
 from repro.baselines.comparison import ALL_METHODS, compare_methods, comparison_table
 from repro.baselines.pdm_method import pdm_method
 from repro.codegen.python_emitter import emit_original_source, emit_transformed_source
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.cache import default_cache
-from repro.core.pipeline import parallelize, parallelize_and_execute
-from repro.exceptions import LoopNestError, ReproError
+from repro.core.cache import AnalysisCache, default_cache
+from repro.exceptions import ReproError
 from repro.isdg.build import build_isdg
 from repro.isdg.partitions import partition_labels_of_iterations
 from repro.isdg.render import render_ascii_grid, render_distance_histogram, render_partition_grid
 from repro.isdg.stats import compute_statistics
-from repro.loopnest.builder import LoopNestBuilder
 from repro.loopnest.nest import LoopNest
-from repro.runtime.arrays import store_for_nest
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
 from repro.runtime.executor import EXECUTION_MODES
-from repro.runtime.interpreter import execute_nest
 from repro.runtime.simulator import simulate_schedule
 from repro.runtime.verification import verify_transformation
 from repro.workloads.suite import WorkloadCase
 
-__all__ = ["parse_loop_text", "parse_loop_file", "main"]
+__all__ = [
+    "parse_loop_text",
+    "parse_loop_file",
+    "session_config_from_args",
+    "session_from_args",
+    "main",
+]
 
 
-def parse_loop_text(text: str, default_name: str = "loop") -> LoopNest:
-    """Parse the textual loop description format into a :class:`LoopNest`."""
-    builder = LoopNestBuilder(default_name)
-    name = default_name
-    statements = 0
-    loops = 0
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line.lower().startswith("name:"):
-            name = line.split(":", 1)[1].strip() or default_name
-            builder._name = name  # the builder has no setter; adjust directly
-            continue
-        if line.lower().startswith("loop "):
-            if statements:
-                raise LoopNestError(
-                    f"line {line_number}: loop declared after body statements "
-                    "(the nest must be perfectly nested)"
-                )
-            rest = line[5:]
-            try:
-                index_part, bounds_part = rest.split("=", 1)
-                lower_text, upper_text = bounds_part.split("..", 1)
-            except ValueError as exc:
-                raise LoopNestError(
-                    f"line {line_number}: expected 'loop <index> = <lower> .. <upper>', got {line!r}"
-                ) from exc
-            builder.loop(index_part.strip(), lower_text.strip(), upper_text.strip())
-            loops += 1
-            continue
-        if loops == 0:
-            raise LoopNestError(
-                f"line {line_number}: body statement before any 'loop' declaration"
-            )
-        builder.statement(line)
-        statements += 1
-    if loops == 0:
-        raise LoopNestError("the loop description declares no loops")
-    if statements == 0:
-        raise LoopNestError("the loop description has no body statements")
-    return builder.build()
+# ---------------------------------------------------------------------------
+# the shared session-option group
+# ---------------------------------------------------------------------------
+
+def _add_session_options(parser: argparse.ArgumentParser) -> None:
+    """The one option group every sub-command shares (builds a SessionConfig)."""
+    group = parser.add_argument_group(
+        "session options",
+        "shared flags: every sub-command builds one repro.api.Session from these",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the memoizing analysis cache (every file is analyzed cold)",
+    )
+    group.add_argument(
+        "--placement",
+        choices=["outer", "inner"],
+        default="outer",
+        help="where Algorithm 1 places the parallel loops (default: outer)",
+    )
+    group.add_argument(
+        "--processors",
+        type=int,
+        default=4,
+        help="processor count for the simulated-speedup report and the "
+        "worker count of the session's executor (default: 4)",
+    )
+    group.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="execution backend for the 'run' and 'batch' commands "
+        "(default: interpreter)",
+    )
+    group.add_argument(
+        "--mode",
+        choices=list(EXECUTION_MODES),
+        default="serial",
+        help="executor mode for the 'run' and 'batch' commands: 'shared' is "
+        "the persistent zero-copy worker pool, 'processes' the fork-per-call "
+        "copy-and-merge pool (default: serial)",
+    )
 
 
-def parse_loop_file(path: str) -> LoopNest:
-    """Read and parse a loop description file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-    return parse_loop_text(text, default_name=name)
+def session_config_from_args(args, **overrides) -> SessionConfig:
+    """Build the invocation's :class:`SessionConfig` from the shared flags."""
+    options = dict(
+        backend=args.backend,
+        mode=args.mode,
+        workers=args.processors,
+        placement=args.placement,
+        use_cache=not args.no_cache,
+    )
+    options.update(overrides)
+    return SessionConfig(**options)
+
+
+def session_from_args(args, **overrides) -> Session:
+    """The one :class:`Session` serving this CLI invocation.
+
+    Without ``--no-cache`` the session joins the process-wide analysis
+    cache.  For ``batch``, ``--no-cache`` serves the batch through a cold
+    *private* cache instead of disabling caching (structural duplicates
+    still dedupe within the batch, which is the command's point).
+    """
+    if args.command in _BATCH_COMMANDS:
+        overrides.setdefault("use_cache", True)
+        cache = AnalysisCache() if args.no_cache else default_cache()
+    else:
+        cache = None if args.no_cache else default_cache()
+    return Session(session_config_from_args(args, **overrides), cache=cache)
 
 
 # ---------------------------------------------------------------------------
 # sub-commands
 # ---------------------------------------------------------------------------
 
-def _report_for(nest: LoopNest, args):
-    """Analyse one nest, through the shared cache unless ``--no-cache``.
+def _report_for(nest: LoopNest, session: Session):
+    """Analyse one nest through the invocation's session.
 
     Returns ``(report, was_cache_hit)``.
     """
-    if getattr(args, "no_cache", False):
-        return parallelize(nest, placement=args.placement), False
-    cache = default_cache()
-    hits_before = cache.stats.hits
-    report = cache.parallelize(nest, placement=args.placement)
-    return report, cache.stats.hits > hits_before
+    analysis = session.analyze(nest)
+    return analysis.report, analysis.cache_hit
 
 
-def _cmd_analyze(nest: LoopNest, args) -> str:
-    report, cache_hit = _report_for(nest, args)
+def _cmd_analyze(nest: LoopNest, args, session: Session) -> str:
+    report, cache_hit = _report_for(nest, session)
     transformed = TransformedLoopNest.from_report(report)
     chunks = build_schedule(transformed)
     stats = schedule_statistics(chunks)
@@ -140,13 +161,13 @@ def _cmd_analyze(nest: LoopNest, args) -> str:
     lines.append(f"Per-pass analysis timing ({origin}):")
     for timing in report.pass_timings:
         lines.append(f"  {timing.describe()}")
-    if not getattr(args, "no_cache", False):
-        lines.append(default_cache().describe())
+    if session.cache is not None:
+        lines.append(session.cache.describe())
     return "\n".join(lines)
 
 
-def _cmd_codegen(nest: LoopNest, args) -> str:
-    report, _ = _report_for(nest, args)
+def _cmd_codegen(nest: LoopNest, args, session: Session) -> str:
+    report, _ = _report_for(nest, session)
     transformed = TransformedLoopNest.from_report(report)
     lines = [
         "# --- original loop -------------------------------------------------",
@@ -157,8 +178,8 @@ def _cmd_codegen(nest: LoopNest, args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_verify(nest: LoopNest, args) -> str:
-    report, _ = _report_for(nest, args)
+def _cmd_verify(nest: LoopNest, args, session: Session) -> str:
+    report, _ = _report_for(nest, session)
     result = verify_transformation(
         nest,
         report,
@@ -168,61 +189,41 @@ def _cmd_verify(nest: LoopNest, args) -> str:
     return result.describe()
 
 
-def _cmd_run(nest: LoopNest, args) -> str:
-    """Execute the parallelized nest with the selected backend and report timing."""
-    report, result = parallelize_and_execute(
-        nest,
-        backend=args.backend,
-        mode=args.mode,
-        workers=args.processors,
-        placement=args.placement,
-        use_cache=not getattr(args, "no_cache", False),
-    )
-    reference = store_for_nest(nest)
-    execute_nest(nest, reference)
-    max_diff = reference.max_abs_difference(result.store)
-    checksum = sum(float(array.data.sum()) for array in result.store.values())
+def _cmd_run(nest: LoopNest, args, session: Session) -> str:
+    """Execute the parallelized nest through the session and report timing."""
+    result = session.run(nest)
     lines = [
-        f"Executed {nest.name!r}: {result.total_iterations} iterations in "
+        f"Executed {nest.name!r}: {result.iterations} iterations in "
         f"{result.num_chunks} chunks",
         f"  backend: {result.backend}, mode: {result.mode} "
         f"({result.workers} worker(s))",
-        f"  execute: {result.elapsed_seconds * 1000.0:.2f} ms "
+        f"  execute: {result.execute_seconds * 1000.0:.2f} ms "
         f"(+ {result.setup_seconds * 1000.0:.2f} ms runtime setup)",
-        f"  store checksum: {checksum:.6f}",
-        f"  max |difference| vs interpreter reference: {max_diff:.3e} "
-        f"({'ok' if max_diff == 0.0 else 'MISMATCH'})",
+        f"  store checksum: {result.checksum:.6f}",
+        f"  max |difference| vs interpreter reference: {result.max_abs_difference:.3e} "
+        f"({'ok' if result.verified else 'MISMATCH'})",
     ]
     if result.fallback:
         lines.append(f"  note: {result.fallback}")
     return "\n".join(lines)
 
 
-def _cmd_batch(nests: List[LoopNest], args) -> str:
+def _cmd_batch(nests: List[LoopNest], args, session: Session) -> str:
     """Serve every parsed nest through the batch service and report throughput."""
-    from repro.core.cache import AnalysisCache
     from repro.service import BatchService, jobs_from_nests
 
     jobs = jobs_from_nests(
         nests, placement=args.placement, repeat=getattr(args, "repeat", 1)
     )
-    # --no-cache serves the batch through a cold private cache (structural
-    # duplicates still dedupe within the batch, which is the command's point).
-    cache = AnalysisCache() if getattr(args, "no_cache", False) else default_cache()
-    with BatchService(
-        mode=args.mode,
-        backend=args.backend,
-        workers=args.processors,
-        cache=cache,
-    ) as service:
+    with BatchService(session=session) as service:
         batch_report = service.submit(jobs)
     return batch_report.describe()
 
 
-def _cmd_compare(nest: LoopNest, args) -> str:
+def _cmd_compare(nest: LoopNest, args, session: Session) -> str:
     case = WorkloadCase(name=nest.name, nest=nest, category="user")
     methods = None
-    if getattr(args, "no_cache", False):
+    if args.no_cache:
         # The pdm method is the only cached one; swap in a cold variant.
         methods = dict(ALL_METHODS)
         methods["pdm"] = lambda nest: pdm_method(nest, use_cache=False)
@@ -233,8 +234,8 @@ def _cmd_compare(nest: LoopNest, args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_figures(nest: LoopNest, args) -> str:
-    report, _ = _report_for(nest, args)
+def _cmd_figures(nest: LoopNest, args, session: Session) -> str:
+    report, _ = _report_for(nest, session)
     transformed = TransformedLoopNest.from_report(report)
     isdg = build_isdg(nest)
     stats = compute_statistics(isdg, transformed)
@@ -266,63 +267,45 @@ _BATCH_COMMANDS = {
     "batch": _cmd_batch,
 }
 
+_COMMAND_HELP = {
+    "analyze": "print the analysis report, schedule statistics and pass timings",
+    "codegen": "emit the original and transformed Python sources",
+    "verify": "differentially check the transformation on every backend",
+    "compare": "compare the paper's method against the related-work baselines",
+    "figures": "render the ISDG figures and distance histogram",
+    "run": "execute the parallelized nest and report timing",
+    "batch": "serve all files as one batch through the serving layer",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-loop",
         description="Analyse and parallelize affine loop nests (Yu & D'Hollander, ICPP 2000).",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(set(_COMMANDS) | set(_BATCH_COMMANDS)),
-        help="what to do with the loop",
+    subparsers = parser.add_subparsers(
+        dest="command", required=True, metavar="command", help="what to do with the loop"
     )
-    parser.add_argument(
-        "loop_files",
-        nargs="+",
-        metavar="loop_file",
-        help="one or more loop description files (processed in order; the "
-        "first parse failure aborts with a nonzero exit code)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="bypass the memoizing analysis cache (every file is analyzed cold)",
-    )
-    parser.add_argument(
-        "--placement",
-        choices=["outer", "inner"],
-        default="outer",
-        help="where Algorithm 1 places the parallel loops (default: outer)",
-    )
-    parser.add_argument(
-        "--processors",
-        type=int,
-        default=4,
-        help="processor count for the simulated-speedup report and the "
-        "worker count of the 'run' command's executor (default: 4)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=available_backends(),
-        default=DEFAULT_BACKEND,
-        help="execution backend for the 'run' command (default: interpreter)",
-    )
-    parser.add_argument(
-        "--mode",
-        choices=list(EXECUTION_MODES),
-        default="serial",
-        help="executor mode for the 'run' and 'batch' commands: 'shared' is "
-        "the persistent zero-copy worker pool, 'processes' the fork-per-call "
-        "copy-and-merge pool (default: serial)",
-    )
-    parser.add_argument(
-        "--repeat",
-        type=int,
-        default=1,
-        help="for 'batch': submit the job list this many times (structural "
-        "duplicates share one analysis through the cache; default: 1)",
-    )
+    for command in sorted(set(_COMMANDS) | set(_BATCH_COMMANDS)):
+        sub = subparsers.add_parser(
+            command, help=_COMMAND_HELP[command], description=_COMMAND_HELP[command]
+        )
+        sub.add_argument(
+            "loop_files",
+            nargs="+",
+            metavar="loop_file",
+            help="one or more loop description files (processed in order; the "
+            "first parse failure aborts with a nonzero exit code)",
+        )
+        _add_session_options(sub)
+        if command in _BATCH_COMMANDS:
+            sub.add_argument(
+                "--repeat",
+                type=int,
+                default=1,
+                help="submit the job list this many times (structural "
+                "duplicates share one analysis through the cache; default: 1)",
+            )
     return parser
 
 
@@ -330,41 +313,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-loop`` console script.
 
     Processes the given loop files in order and stops with a nonzero exit
-    code at the first file that cannot be read or parsed.
+    code at the first file that cannot be read or parsed.  One session
+    (cache + executor) serves the whole invocation.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in _BATCH_COMMANDS:
-        nests: List[LoopNest] = []
+    # The run command verifies every execution against the interpreter
+    # reference; the other commands do not execute through the session.
+    overrides = {"verify": "always"} if args.command == "run" else {}
+    try:
+        session = session_from_args(args, **overrides)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with session:
+        if args.command in _BATCH_COMMANDS:
+            nests: List[LoopNest] = []
+            for path in args.loop_files:
+                try:
+                    nests.append(parse_loop_file(path))
+                except FileNotFoundError:
+                    print(f"error: no such file: {path}", file=sys.stderr)
+                    return 2
+                except ReproError as exc:
+                    print(f"error: {path}: {exc}", file=sys.stderr)
+                    return 1
+            try:
+                print(_BATCH_COMMANDS[args.command](nests, args, session))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            return 0
+        multiple = len(args.loop_files) > 1
         for path in args.loop_files:
             try:
-                nests.append(parse_loop_file(path))
+                nest = parse_loop_file(path)
+                output = _COMMANDS[args.command](nest, args, session)
             except FileNotFoundError:
                 print(f"error: no such file: {path}", file=sys.stderr)
                 return 2
             except ReproError as exc:
                 print(f"error: {path}: {exc}", file=sys.stderr)
                 return 1
-        try:
-            print(_BATCH_COMMANDS[args.command](nests, args))
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        return 0
-    multiple = len(args.loop_files) > 1
-    for path in args.loop_files:
-        try:
-            nest = parse_loop_file(path)
-            output = _COMMANDS[args.command](nest, args)
-        except FileNotFoundError:
-            print(f"error: no such file: {path}", file=sys.stderr)
-            return 2
-        except ReproError as exc:
-            print(f"error: {path}: {exc}", file=sys.stderr)
-            return 1
-        if multiple:
-            print(f"=== {path} ===")
-        print(output)
+            if multiple:
+                print(f"=== {path} ===")
+            print(output)
     return 0
 
 

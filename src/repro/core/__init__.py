@@ -49,6 +49,7 @@ from repro.core.cache import (
 )
 from repro.core.pipeline import (
     ParallelizationReport,
+    analyze_nest,
     default_pass_manager,
     parallelize,
     report_from_context,
@@ -86,6 +87,7 @@ __all__ = [
     "default_cache",
     "parallelize_many",
     "ParallelizationReport",
+    "analyze_nest",
     "default_pass_manager",
     "parallelize",
     "report_from_context",

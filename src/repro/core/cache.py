@@ -36,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.algorithm1 import Algorithm1Result
 from repro.core.partition import PartitioningResult
 from repro.core.pdm import PseudoDistanceMatrix
-from repro.core.pipeline import ParallelizationReport, parallelize
+from repro.core.pipeline import ParallelizationReport, analyze_nest
 from repro.loopnest.canonical import canonical_key_tuple
 from repro.loopnest.nest import LoopNest
 
@@ -200,7 +200,27 @@ class AnalysisCache:
         include_self: bool = True,
         allow_partitioning: bool = True,
     ) -> ParallelizationReport:
-        """Memoized :func:`repro.core.pipeline.parallelize`."""
+        """Memoized :func:`repro.core.pipeline.analyze_nest`."""
+        return self.analyze(
+            nest,
+            placement=placement,
+            include_self=include_self,
+            allow_partitioning=allow_partitioning,
+        )[0]
+
+    def analyze(
+        self,
+        nest: LoopNest,
+        placement: str = "outer",
+        include_self: bool = True,
+        allow_partitioning: bool = True,
+    ) -> Tuple[ParallelizationReport, bool]:
+        """Like :meth:`parallelize`, returning ``(report, was_cache_hit)``.
+
+        The hit flag is the lookup's own outcome, not a counter delta, so it
+        stays correct when other threads or sessions use the cache
+        concurrently.
+        """
         key = self.key_for(nest, placement, include_self, allow_partitioning)
         with self._lock:
             cached = self._entries.get(key)
@@ -208,8 +228,8 @@ class AnalysisCache:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
         if cached is not None:
-            return rebind_report(cached, nest)
-        report = parallelize(
+            return rebind_report(cached, nest), True
+        report = analyze_nest(
             nest,
             placement=placement,
             include_self=include_self,
@@ -224,7 +244,7 @@ class AnalysisCache:
                 while len(self._entries) > self._maxsize:
                     self._entries.popitem(last=False)
                     self._stats.evictions += 1
-        return report
+        return report, False
 
 
 _DEFAULT_CACHE = AnalysisCache()
@@ -242,7 +262,7 @@ def cached_parallelize(
     allow_partitioning: bool = True,
     cache: Optional[AnalysisCache] = None,
 ) -> ParallelizationReport:
-    """:func:`parallelize` through an analysis cache (default: the shared one)."""
+    """:func:`analyze_nest` through an analysis cache (default: the shared one)."""
     # `is not None`, not truthiness: an empty AnalysisCache has len() == 0.
     target = cache if cache is not None else _DEFAULT_CACHE
     return target.parallelize(

@@ -1,6 +1,6 @@
 """The end-to-end parallelization method of the paper.
 
-``parallelize(nest)`` performs, in order:
+``analyze_nest(nest)`` performs, in order:
 
 1. build the pseudo distance matrix of the nest (Section 2);
 2. if the PDM is empty (no dependences) every loop is parallel;
@@ -11,19 +11,26 @@
    determinant larger than 1, apply the partitioning transformation to obtain
    ``det`` additional independent partitions (Section 3.3).
 
-Each stage is a :class:`~repro.core.passes.Pass`; :func:`parallelize` is a
+Each stage is a :class:`~repro.core.passes.Pass`; :func:`analyze_nest` is a
 thin wrapper that runs the default :class:`~repro.core.passes.PassManager`
 sequence and packages the context into a :class:`ParallelizationReport`.
 Structurally identical nests can share one analysis through the memoizing
 cache in :mod:`repro.core.cache`.  The result is a
 :class:`ParallelizationReport`; code generation and execution of the
 transformed loop live in :mod:`repro.codegen` and :mod:`repro.runtime`.
+
+User code should prefer the :mod:`repro.api` façade: ``Session.analyze``
+wraps this pipeline with memoization, uniform inputs and the structured
+result model.  The module-level :func:`parallelize` and
+:func:`parallelize_and_execute` are deprecated wrappers kept for
+compatibility; both emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.algorithm1 import Algorithm1Result
 from repro.core.legality import is_legal_unimodular
@@ -50,6 +57,7 @@ __all__ = [
     "ParallelizationReport",
     "default_pass_manager",
     "report_from_context",
+    "analyze_nest",
     "parallelize",
     "parallelize_and_execute",
 ]
@@ -174,13 +182,17 @@ def report_from_context(ctx: PipelineContext) -> ParallelizationReport:
     )
 
 
-def parallelize(
+def analyze_nest(
     nest: LoopNest,
     placement: str = "outer",
     include_self: bool = True,
     allow_partitioning: bool = True,
 ) -> ParallelizationReport:
     """Run the paper's full parallelization method on a loop nest.
+
+    This is the uncached analysis primitive; user code should normally go
+    through :meth:`repro.api.Session.analyze`, which adds memoization,
+    uniform inputs and the serving-ready result model.
 
     Parameters
     ----------
@@ -206,6 +218,32 @@ def parallelize(
     return report_from_context(ctx)
 
 
+def parallelize(
+    nest: LoopNest,
+    placement: str = "outer",
+    include_self: bool = True,
+    allow_partitioning: bool = True,
+) -> ParallelizationReport:
+    """Deprecated alias of :func:`analyze_nest`.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.analyze` (cached, uniform inputs) or
+        :func:`analyze_nest` (the uncached primitive) instead.
+    """
+    warnings.warn(
+        "parallelize() is deprecated; use repro.api.Session.analyze() "
+        "(or repro.core.pipeline.analyze_nest() for the uncached primitive)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze_nest(
+        nest,
+        placement=placement,
+        include_self=include_self,
+        allow_partitioning=allow_partitioning,
+    )
+
+
 def parallelize_and_execute(
     nest: LoopNest,
     store=None,
@@ -217,46 +255,58 @@ def parallelize_and_execute(
     use_cache: bool = True,
     executor=None,
 ):
-    """Analyse a nest and execute its transformed form through a backend.
+    """Deprecated one-call analyze-and-execute entry point.
 
-    The one-call entry point used by the CLI ``run`` command, the batch
-    service and the experiment harness: runs :func:`parallelize` (through
-    the shared analysis cache unless ``use_cache=False``), builds the
-    transformed nest and executes it with the selected execution backend
-    (:func:`repro.runtime.backends.available_backends` lists the choices)
-    under the selected :class:`~repro.runtime.executor.ParallelExecutor`
-    mode (``serial``, ``threads``, the copy-and-merge ``processes`` pool or
-    the zero-copy ``shared`` worker pool).
+    .. deprecated::
+        Use :meth:`repro.api.Session.run` — a session owns the cache and
+        the executor lifecycle and returns one structured
+        :class:`~repro.api.results.RunResult` instead of a tuple.
 
-    ``executor`` reuses an existing :class:`ParallelExecutor` — for the
+    Delegates to a throwaway :class:`~repro.api.Session` configured from
+    the keyword arguments (``use_cache=True`` keeps the historical behavior
+    of sharing the process-wide analysis cache).  ``executor`` reuses an
+    existing :class:`~repro.runtime.executor.ParallelExecutor` — for the
     stateful ``shared`` mode this keeps the persistent worker pool and the
     shared segments warm across calls (``mode``/``workers``/``backend`` are
-    then taken from the executor).  Without it a fresh executor is built
-    and, in ``shared`` mode, closed again before returning.
+    then taken from the executor).
 
     Returns ``(report, execution_result)``; the final array contents are in
     ``execution_result.store``.
     """
-    # Imported here: codegen/runtime import this module for the report type.
-    from repro.codegen.transformed_nest import TransformedLoopNest
-    from repro.runtime.arrays import store_for_nest
-    from repro.runtime.executor import ParallelExecutor
+    warnings.warn(
+        "parallelize_and_execute() is deprecated; use repro.api.Session.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported here: the api/cache layers import this module for the report
+    # type, so the façade can only be pulled in at call time.
+    from repro.api.session import Session, SessionConfig
+    from repro.core.cache import default_cache
 
-    if use_cache:
+    if executor is not None:
+        # Legacy executor-reuse path: run on the caller's executor without
+        # disturbing its lifecycle.
+        from repro.codegen.transformed_nest import TransformedLoopNest
         from repro.core.cache import cached_parallelize
+        from repro.runtime.arrays import store_for_nest
 
-        report = cached_parallelize(nest, placement=placement)
-    else:
-        report = parallelize(nest, placement=placement)
-    transformed = TransformedLoopNest.from_report(report)
-    if store is None:
-        store = store_for_nest(nest, initializer=initializer)
-    owns_executor = executor is None
-    if owns_executor:
-        executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
-    try:
-        result = executor.run(transformed, store)
-    finally:
-        if owns_executor:
-            executor.close()
-    return report, result
+        if use_cache:
+            report = cached_parallelize(nest, placement=placement)
+        else:
+            report = analyze_nest(nest, placement=placement)
+        transformed = TransformedLoopNest.from_report(report)
+        if store is None:
+            store = store_for_nest(nest, initializer=initializer)
+        return report, executor.run(transformed, store)
+
+    config = SessionConfig(
+        backend=backend,
+        mode=mode,
+        workers=workers or 4,
+        placement=placement,
+        initializer=initializer,
+        use_cache=use_cache,
+    )
+    with Session(config, cache=default_cache() if use_cache else None) as session:
+        result = session.run(nest, store=store)
+    return result.report, result.execution

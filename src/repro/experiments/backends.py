@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.backends import get_backend
@@ -99,7 +99,7 @@ def backend_comparison(
         workloads = _default_workloads(n)
     rows: List[BackendTiming] = []
     for name, nest in workloads:
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         base = store_for_nest(nest)

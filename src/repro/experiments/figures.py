@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.isdg.build import build_isdg
 from repro.isdg.partitions import partition_labels_of_iterations
 from repro.isdg.render import render_ascii_grid, render_distance_histogram, render_partition_grid
@@ -46,7 +46,7 @@ class FigureResult:
 def figure1_unimodular_demo(n: int = 6) -> FigureResult:
     """Figure 1: a unimodular transformation applied to a wavefront loop."""
     nest = figure1_example(n)
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     isdg = build_isdg(nest)
     stats = compute_statistics(isdg)
     from repro.codegen.python_emitter import emit_transformed_source
@@ -85,7 +85,7 @@ def figure2_original_isdg_41(n: int = 10) -> FigureResult:
 def figure3_transformed_isdg_41(n: int = 10) -> FigureResult:
     """Figure 3: the Section 4.1 loop after unimodular + partitioning transformation."""
     nest = example_4_1(n)
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     transformed = TransformedLoopNest.from_report(report)
     isdg = build_isdg(nest)
     stats = compute_statistics(isdg, transformed)
@@ -126,7 +126,7 @@ def figure4_original_isdg_42(n: int = 10) -> FigureResult:
 def figure5_partitioned_isdg_42(n: int = 10) -> FigureResult:
     """Figure 5: the Section 4.2 iteration space split into det(PDM)=4 partitions."""
     nest = example_4_2(n)
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     transformed = TransformedLoopNest.from_report(report)
     isdg = build_isdg(nest)
     stats = compute_statistics(isdg, transformed)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, List, Optional
 
-from repro.core.cache import AnalysisCache, parallelize_many
+from repro.api import Session
 from repro.experiments.algorithm_cost import algorithm1_cost_sweep
 from repro.experiments.backends import backend_comparison, backend_comparison_table
 from repro.experiments.figures import ALL_FIGURES, FigureResult
@@ -34,12 +34,13 @@ __all__ = [
 
 
 def analysis_cache_experiment(suite_n: int = 8, repetitions: int = 1) -> Dict[str, object]:
-    """Cold vs. warm analysis of the workload suite through the cache.
+    """Cold vs. warm analysis of the workload suite through a session.
 
     The warm batch re-builds every suite nest as a fresh object (the "same
     request parsed again" scenario), so every lookup must resolve through
-    the canonical structural key.  Each repetition uses a fresh cache and
-    the best cold/warm time is kept; every warm report is checked against
+    the canonical structural key.  Each repetition uses a fresh
+    :class:`~repro.api.Session` (hence a fresh session-private cache) and
+    the best cold/warm time is kept; every warm result is checked against
     its cold counterpart (a hit must be indistinguishable from a cold run).
     Also aggregates the cold runs' per-pass timings, the compile-time
     profile of the analysis pipeline.
@@ -49,39 +50,42 @@ def analysis_cache_experiment(suite_n: int = 8, repetitions: int = 1) -> Dict[st
     """
     best_cold = float("inf")
     best_warm = float("inf")
-    cold_reports = []
-    cache = None
+    cold_results = []
+    cache_summary = ""
     for _ in range(max(1, repetitions)):
-        cache = AnalysisCache()
-        cold_nests = [case.nest for case in workload_suite(suite_n)]
-        start = perf_counter()
-        cold_reports = parallelize_many(cold_nests, cache=cache)
-        best_cold = min(best_cold, perf_counter() - start)
+        # Analysis-only traffic: the session never creates an executor.
+        with Session() as session:
+            cold_nests = [case.nest for case in workload_suite(suite_n)]
+            start = perf_counter()
+            cold_results = [session.analyze(nest) for nest in cold_nests]
+            best_cold = min(best_cold, perf_counter() - start)
 
-        warm_nests = [case.nest for case in workload_suite(suite_n)]
-        start = perf_counter()
-        warm_reports = parallelize_many(warm_nests, cache=cache)
-        best_warm = min(best_warm, perf_counter() - start)
+            warm_nests = [case.nest for case in workload_suite(suite_n)]
+            start = perf_counter()
+            warm_results = [session.analyze(nest) for nest in warm_nests]
+            best_warm = min(best_warm, perf_counter() - start)
 
-        assert cache.stats.hits == len(warm_nests), cache.describe()
-        for cold, warm in zip(cold_reports, warm_reports):
-            assert warm.transform == cold.transform
-            assert warm.parallel_levels == cold.parallel_levels
-            assert warm.partition_count == cold.partition_count
-            assert warm.pdm.matrix == cold.pdm.matrix
+            assert session.cache.stats.hits == len(warm_nests), session.cache.describe()
+            for cold, warm in zip(cold_results, warm_results):
+                assert not cold.cache_hit and warm.cache_hit
+                assert warm.report.transform == cold.report.transform
+                assert warm.report.parallel_levels == cold.report.parallel_levels
+                assert warm.partitions == cold.partitions
+                assert warm.report.pdm.matrix == cold.report.pdm.matrix
+            cache_summary = session.cache.describe()
 
     per_pass: Dict[str, float] = {}
-    for report in cold_reports:
-        for timing in report.pass_timings:
+    for result in cold_results:
+        for timing in result.pass_timings:
             if not timing.skipped:
                 per_pass[timing.name] = per_pass.get(timing.name, 0.0) + timing.seconds
     return {
-        "workloads": len(cold_reports),
+        "workloads": len(cold_results),
         "cold_seconds": best_cold,
         "warm_seconds": best_warm,
         "speedup": best_cold / best_warm if best_warm > 0 else float("inf"),
         "per_pass_seconds": per_pass,
-        "cache": cache.describe(),
+        "cache": cache_summary,
     }
 
 

@@ -33,7 +33,7 @@ from typing import Callable, Dict, Optional
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.cache import AnalysisCache
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.backends import resolve_backend
@@ -66,7 +66,7 @@ def shared_runtime_comparison(
     asymmetry is exactly the design difference under test.
     """
     nest = (workload or example_4_1)(n)
-    transformed = TransformedLoopNest.from_report(parallelize(nest))
+    transformed = TransformedLoopNest.from_report(analyze_nest(nest))
     chunks = build_schedule(transformed)
     base = store_for_nest(nest)
     reference = base.copy()
@@ -84,14 +84,16 @@ def shared_runtime_comparison(
 
     processes_best = float("inf")
     processes_result = None
-    executor = ParallelExecutor(mode="processes", workers=workers, backend=backend)
-    for _ in range(max(1, repetitions)):
-        store = base.copy()
-        start = time.perf_counter()
-        result = executor.run(transformed, store, chunks=chunks)
-        wall = time.perf_counter() - start
-        if wall < processes_best:
-            processes_best, processes_result = wall, result
+    # Context-managed even though the mode holds no persistent state today:
+    # every executor construction is paired with a close on all paths.
+    with ParallelExecutor(mode="processes", workers=workers, backend=backend) as executor:
+        for _ in range(max(1, repetitions)):
+            store = base.copy()
+            start = time.perf_counter()
+            result = executor.run(transformed, store, chunks=chunks)
+            wall = time.perf_counter() - start
+            if wall < processes_best:
+                processes_best, processes_result = wall, result
     processes_identical = reference.identical(store)
 
     shared_best = float("inf")

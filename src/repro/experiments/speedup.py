@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.executor import ParallelExecutor
@@ -67,7 +67,7 @@ def speedup_sweep(
     points: List[SpeedupPoint] = []
     for size in sizes:
         nest = nest_factory(size)
-        report = parallelize(nest, placement=placement)
+        report = analyze_nest(nest, placement=placement)
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         stats = schedule_statistics(chunks)
@@ -99,7 +99,7 @@ def wallclock_measurement(
     to document the overhead honestly.  The ``processes`` mode is optional
     because of its start-up cost.
     """
-    report = parallelize(nest)
+    report = analyze_nest(nest)
     transformed = TransformedLoopNest.from_report(report)
     chunks = build_schedule(transformed)
     base_store = store_for_nest(nest)

@@ -1,19 +1,18 @@
-"""Batch serving layer on top of the analysis cache and the parallel runtime.
+"""Batch serving layer: a thin fan-out over :class:`repro.api.Session`.
 
 Production traffic is many small requests: *analyze this nest, execute it,
 give me the numbers*.  :class:`BatchService` is the serving loop for that
-shape of load:
+shape of load.  All the cross-cutting machinery — analysis dedupe through
+the memoizing :class:`~repro.core.cache.AnalysisCache`, one persistent
+:class:`~repro.runtime.executor.ParallelExecutor` (in ``shared`` mode: one
+worker pool attached to one generation of shared segments), the warm LRU of
+compiled programs — lives in the :class:`~repro.api.session.Session` the
+service owns; the service itself only shapes jobs in and reports out:
 
-* **analysis dedupe** — every job's nest is analyzed through a memoizing
-  :class:`~repro.core.cache.AnalysisCache`, so structurally identical jobs
-  (the same kernel instantiated for many arrays, the same request parsed
-  again) share one run of the pass pipeline;
-* **execution fan-out** — each job's chunk schedule is executed through one
-  persistent :class:`~repro.runtime.executor.ParallelExecutor`.  In
-  ``shared`` mode that is the zero-copy runtime: the worker pool spins up
-  once for the whole batch and attaches to one generation of shared
-  segments per store layout, so per-job runtime overhead is two memcpys and
-  a handful of queue messages;
+* **jobs in** — :class:`BatchJob` rows (name, nest, placement,
+  initializer), or :func:`jobs_from_nests` over any uniform loop sources;
+* **fan-out** — every job is served through ``Session.run`` against the one
+  warm session;
 * **reporting** — per-job :class:`JobResult` rows (analysis outcome, split
   setup/execute timings, store checksum) and batch-level throughput
   statistics (jobs/s, iterations/s, cache hit rate).
@@ -25,16 +24,14 @@ same entry points for the shared-runtime report section.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.codegen.schedule import build_schedule
-from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.api.inputs import LoopSource, resolve_source
+from repro.api.session import Session, SessionConfig
 from repro.core.cache import AnalysisCache, default_cache
+from repro.exceptions import WorkloadError
 from repro.loopnest.nest import LoopNest
-from repro.runtime.arrays import store_for_nest
-from repro.runtime.executor import ParallelExecutor
 from repro.utils.formatting import format_table
 
 __all__ = ["BatchJob", "JobResult", "BatchReport", "BatchService", "jobs_from_nests"]
@@ -51,16 +48,18 @@ class BatchJob:
 
 
 def jobs_from_nests(
-    nests: Sequence[LoopNest], placement: str = "outer", repeat: int = 1
+    nests: Sequence[LoopSource], placement: str = "outer", repeat: int = 1
 ) -> List[BatchJob]:
-    """Wrap nests into jobs, optionally repeating the list ``repeat`` times.
+    """Wrap loop sources into jobs, optionally repeating the list ``repeat`` times.
 
+    Sources may be anything :func:`repro.api.inputs.resolve_source` accepts.
     Repeats model sustained traffic: every copy is a fresh job, but
     structural duplicates resolve through the analysis cache.
     """
+    resolved = [resolve_source(source) for source in nests]
     jobs: List[BatchJob] = []
     for round_index in range(max(1, int(repeat))):
-        for nest in nests:
+        for nest in resolved:
             suffix = f"#{round_index + 1}" if repeat > 1 else ""
             jobs.append(BatchJob(name=f"{nest.name}{suffix}", nest=nest, placement=placement))
     return jobs
@@ -170,111 +169,125 @@ class BatchReport:
 
 
 class BatchService:
-    """Submit batches of jobs against one persistent runtime.
+    """Submit batches of jobs against one persistent :class:`Session`.
 
-    The service owns a :class:`ParallelExecutor` (and, in ``shared`` mode,
-    its worker pool and segments), so back-to-back batches stay warm.  Use
-    as a context manager or call :meth:`close`.
+    Either hand in an existing session (the service takes ownership of its
+    lifecycle; combining ``session=`` with the other options is an error —
+    the session already carries its configuration) or let the constructor
+    build one from ``mode`` / ``backend`` / ``workers`` (defaults:
+    ``shared`` / ``vectorized`` / 4) — by default joined to the
+    process-wide analysis cache so back-to-back services stay warm.  Use as
+    a context manager or call :meth:`close`.
     """
-
-    # Distinct job structures whose (transformed, chunks) pair stays warm;
-    # matches the worker pool's parent-side program cache, so a repeated job
-    # re-dispatches the *same* objects and the pool's per-program shipping
-    # (packed schedule segments, per-worker registration) is paid once.
-    _PROGRAM_CACHE = 16
 
     def __init__(
         self,
-        mode: str = "shared",
-        backend: object = "vectorized",
-        workers: int = 4,
+        mode: Optional[str] = None,
+        backend: Optional[object] = None,
+        workers: Optional[int] = None,
         cache: Optional[AnalysisCache] = None,
+        session: Optional[Session] = None,
     ):
-        self.cache = cache if cache is not None else default_cache()
-        self._executor = ParallelExecutor(mode=mode, workers=workers, backend=backend)
-        # Keyed by the nest's rendered source + placement: identical text
-        # means identical names *and* structure, so reusing the transformed
-        # nest (and its chunk schedule) is semantically exact — unlike the
-        # analysis cache's canonical key, which deliberately ignores names.
-        self._programs: "OrderedDict[Tuple[str, str], Tuple[TransformedLoopNest, list]]" = (
-            OrderedDict()
-        )
+        if session is not None:
+            if any(option is not None for option in (mode, backend, workers, cache)):
+                raise WorkloadError(
+                    "pass either session= or mode/backend/workers/cache, not "
+                    "both: an injected session already carries its own "
+                    "configuration and cache"
+                )
+        else:
+            session = Session(
+                SessionConfig(
+                    backend=backend if backend is not None else "vectorized",
+                    mode=mode if mode is not None else "shared",
+                    workers=workers if workers is not None else 4,
+                ),
+                cache=cache if cache is not None else default_cache(),
+            )
+        if session.cache is None:
+            raise WorkloadError(
+                "BatchService needs a caching session: analysis dedupe is the "
+                "point of batching (pass a session with use_cache=True)"
+            )
+        self._session = session
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    @property
+    def cache(self) -> AnalysisCache:
+        return self._session.cache
 
     @property
     def mode(self) -> str:
-        return self._executor.mode
+        return self._session.config.mode
 
     @property
     def workers(self) -> int:
-        return self._executor.workers
+        return self._session.config.workers
+
+    @property
+    def _programs(self):
+        """The session's warm program LRU (exposed for white-box tests)."""
+        return self._session._programs
 
     # ------------------------------------------------------------------ #
     def submit(self, jobs: Sequence[BatchJob]) -> BatchReport:
         """Run a batch: dedupe analysis, fan execution out, report throughput."""
         wall_start = time.perf_counter()
-        hits_before = self.cache.stats.hits
-        misses_before = self.cache.stats.misses
+        cache = self._session.cache
+        hits_before = cache.stats.hits
+        misses_before = cache.stats.misses
         results: List[JobResult] = []
         analysis_total = 0.0
         execute_total = 0.0
         for job in jobs:
-            analysis_start = time.perf_counter()
-            job_hits_before = self.cache.stats.hits
-            report = self.cache.parallelize(job.nest, placement=job.placement)
-            cache_hit = self.cache.stats.hits > job_hits_before
-            transformed, chunks = self._program_for(job, report)
-            analysis_seconds = time.perf_counter() - analysis_start
-            store = store_for_nest(job.nest, initializer=job.initializer)
-            execution = self._executor.run(transformed, store, chunks=chunks)
-            checksum = sum(float(array.data.sum()) for array in store.values())
+            run = self._session.run(
+                job.nest,
+                name=job.name,
+                placement=job.placement,
+                initializer=job.initializer,
+            )
+            # Program construction (transformed nest + chunk schedule) counts
+            # as analysis for reporting: it is compile-time work a warm
+            # program-LRU hit skips, mirroring the analysis cache.
+            analysis_seconds = run.analysis_seconds + run.program_seconds
             analysis_total += analysis_seconds
-            execute_total += execution.total_seconds
+            execute_total += run.execution.total_seconds
             results.append(
                 JobResult(
-                    name=job.name,
-                    iterations=execution.total_iterations,
-                    num_chunks=execution.num_chunks,
-                    parallel_loops=report.parallel_loop_count,
-                    partitions=report.partition_count,
-                    cache_hit=cache_hit,
+                    name=run.name,
+                    iterations=run.iterations,
+                    num_chunks=run.num_chunks,
+                    parallel_loops=run.report.parallel_loop_count,
+                    partitions=run.report.partition_count,
+                    cache_hit=run.cache_hit,
                     analysis_seconds=analysis_seconds,
-                    setup_seconds=execution.setup_seconds,
-                    execute_seconds=execution.elapsed_seconds,
-                    backend=execution.backend,
-                    mode=execution.mode,
-                    checksum=checksum,
-                    fallback=execution.fallback,
+                    setup_seconds=run.setup_seconds,
+                    execute_seconds=run.execute_seconds,
+                    backend=run.backend,
+                    mode=run.mode,
+                    checksum=run.checksum,
+                    fallback=run.fallback,
                 )
             )
         return BatchReport(
             results=tuple(results),
-            mode=self._executor.mode,
-            workers=self._executor.workers,
+            mode=self.mode,
+            workers=self.workers,
             wall_seconds=time.perf_counter() - wall_start,
             analysis_seconds=analysis_total,
             execute_seconds=execute_total,
-            cache_hits=self.cache.stats.hits - hits_before,
-            cache_misses=self.cache.stats.misses - misses_before,
-            cache_summary=self.cache.describe(),
+            cache_hits=cache.stats.hits - hits_before,
+            cache_misses=cache.stats.misses - misses_before,
+            cache_summary=cache.describe(),
         )
-
-    def _program_for(self, job: BatchJob, report):
-        """The job's (transformed nest, chunk schedule), warm across repeats."""
-        key = (str(job.nest), job.placement)
-        entry = self._programs.get(key)
-        if entry is not None:
-            self._programs.move_to_end(key)
-            return entry
-        transformed = TransformedLoopNest.from_report(report)
-        chunks = build_schedule(transformed)
-        self._programs[key] = (transformed, chunks)
-        while len(self._programs) > self._PROGRAM_CACHE:
-            self._programs.popitem(last=False)
-        return transformed, chunks
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        self._executor.close()
+        """Tear down the owned session (worker pool, shared segments)."""
+        self._session.close()
 
     def __enter__(self) -> "BatchService":
         return self

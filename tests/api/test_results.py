@@ -1,0 +1,87 @@
+"""Tests for the unified result model (:mod:`repro.api.results`)."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.workloads.paper_examples import example_4_1, example_4_2
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session(backend="compiled", verify="always") as s:
+        yield s
+
+
+@pytest.fixture(scope="module")
+def run_result(session):
+    return session.run(example_4_1(5))
+
+
+class TestAnalysisResult:
+    def test_stable_fields(self, session):
+        analysis = session.analyze(example_4_2(5))
+        assert analysis.name == example_4_2(5).name
+        assert analysis.depth == 2
+        assert analysis.placement == "outer"
+        assert analysis.parallel_loops == 0
+        assert analysis.partitions == 4
+        assert analysis.analysis_seconds >= 0.0
+        assert analysis.summary() == analysis.report.summary()
+
+    def test_to_dict_is_json_safe(self, session):
+        payload = session.analyze(example_4_1(5)).to_dict()
+        rehydrated = json.loads(json.dumps(payload))
+        assert rehydrated == payload
+        assert payload["kind"] == "analysis"
+        assert payload["partitions"] == 2
+        assert payload["pdm_rank"] == 1
+        assert isinstance(payload["transform"][0][0], int)
+        assert {t["name"] for t in payload["pass_timings"]} >= {"build-pdm"}
+
+    def test_to_json_round_trips(self, session):
+        analysis = session.analyze(example_4_1(5))
+        assert json.loads(analysis.to_json()) == analysis.to_dict()
+
+
+class TestRunResult:
+    def test_composes_analysis_and_execution(self, run_result):
+        assert run_result.report is run_result.analysis.report
+        assert run_result.iterations == example_4_1(5).iteration_count()
+        assert run_result.num_chunks > 0
+        assert run_result.mode == "serial"
+        assert run_result.total_seconds == pytest.approx(
+            run_result.setup_seconds + run_result.execute_seconds
+        )
+        assert run_result.checksum == pytest.approx(
+            sum(float(a.data.sum()) for a in run_result.store.values())
+        )
+
+    def test_verification_fields(self, run_result):
+        assert run_result.max_abs_difference == 0.0
+        assert run_result.verified is True
+
+    def test_to_dict_extends_analysis_payload(self, run_result):
+        payload = run_result.to_dict()
+        assert payload["kind"] == "run"
+        assert payload["partitions"] == 2  # analysis fields still present
+        assert payload["iterations"] == run_result.iterations
+        assert payload["checksum"] == pytest.approx(run_result.checksum)
+        assert payload["verified"] is True
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_to_json(self, run_result):
+        assert json.loads(run_result.to_json())["kind"] == "run"
+
+
+class TestSessionStats:
+    def test_stats_serialize_and_describe(self, session):
+        stats = session.stats()
+        payload = stats.to_dict()
+        assert json.loads(stats.to_json()) == payload
+        assert payload["mode"] == "serial"
+        text = stats.describe()
+        assert "session:" in text
+        assert "cache:" in text
+        assert "executor:" in text

@@ -9,7 +9,7 @@ from repro.codegen.python_emitter import (
 )
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.interpreter import execute_nest
 from repro.workloads.kernels import strided_scatter, wavefront_recurrence
@@ -60,13 +60,13 @@ class TestSchedule:
         assert stats["ideal_speedup"] == 1.0
 
     def test_sequential_loop_single_chunk(self):
-        report = parallelize(wavefront_recurrence(5))
+        report = analyze_nest(wavefront_recurrence(5))
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         assert len(chunks) == 1
 
     def test_fully_parallel_loop_one_chunk_per_iteration(self):
-        report = parallelize(no_dependence_loop(3))
+        report = analyze_nest(no_dependence_loop(3))
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         assert len(chunks) == transformed.iteration_count()
@@ -95,7 +95,7 @@ class TestEmitter:
     )
     def test_transformed_source_matches_original(self, factory):
         nest = factory()
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
         source = emit_transformed_source(transformed)
         function = compile_loop_function(source, "run_transformed")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.exceptions import CodegenError
 from repro.intlin.matrix import vec_mat_mul
 from repro.loopnest.builder import loop_nest
@@ -77,7 +77,7 @@ class TestIterationSpace:
             .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
             .build()
         )
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
         assert transformed.iteration_count() == nest.iteration_count()
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.workloads.kernels import (
     banded_update,
     constant_partitioning_recurrence,
@@ -34,12 +34,12 @@ def ex42_small():
 
 @pytest.fixture(scope="session")
 def ex41_report(ex41_small):
-    return parallelize(ex41_small)
+    return analyze_nest(ex41_small)
 
 
 @pytest.fixture(scope="session")
 def ex42_report(ex42_small):
-    return parallelize(ex42_small)
+    return analyze_nest(ex42_small)
 
 
 @pytest.fixture(scope="session")

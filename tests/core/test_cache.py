@@ -8,7 +8,7 @@ from repro.core.cache import (
     default_cache,
     parallelize_many,
 )
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.loopnest.canonical import rename_nest_indices
 from repro.workloads.paper_examples import example_4_1, example_4_2
 from repro.workloads.kernels import wavefront_recurrence
@@ -19,7 +19,7 @@ class TestCacheCorrectness:
     def test_warm_reports_equal_cold_runs_across_suite(self):
         cache = AnalysisCache()
         cases = workload_suite(6)
-        cold = [parallelize(case.nest) for case in cases]
+        cold = [analyze_nest(case.nest) for case in cases]
         parallelize_many([case.nest for case in cases], cache=cache)
         assert cache.stats.misses == len(cases)
         assert cache.stats.hits == 0
@@ -44,7 +44,7 @@ class TestCacheCorrectness:
         assert second.parallel_levels == first.parallel_levels
         assert second.partition_count == first.partition_count
         # The rebound report is indistinguishable from a cold run.
-        assert second == parallelize(renamed)
+        assert second == analyze_nest(renamed)
 
     def test_placement_and_flags_key_separately(self):
         cache = AnalysisCache()
@@ -70,7 +70,7 @@ class TestCacheCorrectness:
         assert second.transform[0][0] != 999
         assert second.transformed_pdm[0][0] != 999
         assert second.pdm.matrix[0][0] != 999
-        assert second == parallelize(nest)
+        assert second == analyze_nest(nest)
 
     def test_mutating_algorithm1_and_steps_does_not_corrupt_the_cache(self):
         # example 4.1 has a rank-deficient PDM, so the report carries an
@@ -81,14 +81,14 @@ class TestCacheCorrectness:
         first.algorithm1.transform[0][0] += 100
         first.algorithm1.sequential_block[0][0] += 100
         second = cache.parallelize(nest)
-        cold = parallelize(nest)
+        cold = analyze_nest(nest)
         assert second.algorithm1.transform == cold.algorithm1.transform
         assert second.algorithm1.sequential_block == cold.algorithm1.sequential_block
 
     def test_step_matrices_are_immutable(self):
         # Recorded step matrices are frozen tuples, so shared steps cannot
         # be used to corrupt cache entries.
-        report = parallelize(example_4_1(6))
+        report = analyze_nest(example_4_1(6))
         for step in report.steps:
             if step.matrix:
                 with pytest.raises(TypeError):

@@ -15,13 +15,12 @@ from repro.core.passes import (
 )
 from repro.core.pdm import PseudoDistanceMatrix
 from repro.core.pipeline import (
+    analyze_nest,
     default_pass_manager,
-    parallelize,
     report_from_context,
 )
 from repro.exceptions import ShapeError
 from repro.intlin.matrix import identity_matrix
-from repro.workloads.paper_examples import example_4_1, example_4_2
 from repro.workloads.synthetic import no_dependence_loop, uniform_distance_loop
 
 
@@ -30,11 +29,11 @@ class TestPassManager:
         ctx = PipelineContext(nest=ex41_small)
         default_pass_manager().run(ctx)
         report = report_from_context(ctx)
-        assert report == parallelize(ex41_small)
+        assert report == analyze_nest(ex41_small)
         assert [s.name for s in report.steps] == ["pdm", "algorithm1", "partitioning"]
 
     def test_per_pass_timings_recorded(self, ex41_small):
-        report = parallelize(ex41_small)
+        report = analyze_nest(ex41_small)
         names = [t.name for t in report.pass_timings]
         assert names == [
             "dependence",
@@ -52,7 +51,7 @@ class TestPassManager:
         assert report.timing_summary()
 
     def test_full_rank_skips_algorithm1(self, ex42_small):
-        report = parallelize(ex42_small)
+        report = analyze_nest(ex42_small)
         by_name = {t.name: t for t in report.pass_timings}
         assert by_name["algorithm1"].skipped
         assert not by_name["full-rank"].skipped
@@ -159,5 +158,5 @@ class TestPartitionPassRegression:
 
     def test_paper_pipeline_reports_unchanged(self, ex41_small, ex42_small):
         # End-to-end sanity: the HNF determinant yields the paper's numbers.
-        assert parallelize(ex41_small).partition_count == 2
-        assert parallelize(ex42_small).partition_count == 4
+        assert analyze_nest(ex41_small).partition_count == 2
+        assert analyze_nest(ex42_small).partition_count == 4

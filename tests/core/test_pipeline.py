@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.exceptions import ShapeError
 from repro.intlin.matrix import identity_matrix
 from repro.workloads.kernels import (
@@ -38,7 +38,7 @@ class TestPaperExamples:
         assert report.transform_is_legal()
 
     def test_example_41_inner_placement(self, ex41_small):
-        report = parallelize(ex41_small, placement="inner")
+        report = analyze_nest(ex41_small, placement="inner")
         assert report.parallel_levels == (1,)
         assert report.transformed_pdm == [[2, 0]]
         assert report.partition_count == 2
@@ -54,40 +54,40 @@ class TestPaperExamples:
 
 class TestOtherWorkloads:
     def test_independent_loop_fully_parallel(self):
-        report = parallelize(no_dependence_loop(5))
+        report = analyze_nest(no_dependence_loop(5))
         assert report.pdm.is_empty
         assert report.parallel_levels == (0, 1)
         assert report.partition_count == 1
         assert report.transform == identity_matrix(2)
 
     def test_wavefront_finds_nothing(self):
-        report = parallelize(wavefront_recurrence(5))
+        report = analyze_nest(wavefront_recurrence(5))
         assert report.parallel_levels == ()
         assert report.partition_count == 1
         assert report.is_fully_sequential
 
     def test_constant_partition_kernel(self):
-        report = parallelize(constant_partitioning_recurrence(6, stride=2))
+        report = analyze_nest(constant_partitioning_recurrence(6, stride=2))
         assert report.partition_count == 4
         assert report.parallel_levels == ()
 
     def test_banded_and_strided(self):
-        assert parallelize(banded_update(6, band=3)).partition_count == 3
-        assert parallelize(strided_scatter(6, stride=3)).partition_count == 3
+        assert analyze_nest(banded_update(6, band=3)).partition_count == 3
+        assert analyze_nest(strided_scatter(6, stride=3)).partition_count == 3
 
     def test_three_deep_nest(self):
-        report = parallelize(three_deep_variable_loop(3))
+        report = analyze_nest(three_deep_variable_loop(3))
         assert report.parallel_loop_count >= 1
         assert report.transform_is_legal()
 
     def test_disable_partitioning(self, ex42_small):
-        report = parallelize(ex42_small, allow_partitioning=False)
+        report = analyze_nest(ex42_small, allow_partitioning=False)
         assert report.partitioning is None
         assert report.partition_count == 1
 
     def test_invalid_placement(self, ex41_small):
         with pytest.raises(ShapeError):
-            parallelize(ex41_small, placement="sideways")
+            analyze_nest(ex41_small, placement="sideways")
 
     def test_steps_recorded(self, ex41_report):
         names = [step.name for step in ex41_report.steps]

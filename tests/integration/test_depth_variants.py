@@ -10,7 +10,7 @@ import pytest
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.pdm import PseudoDistanceMatrix
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.dependence.graph import realized_distances
 from repro.loopnest.builder import loop_nest
 from repro.runtime.verification import verify_transformation
@@ -26,19 +26,19 @@ class TestOneDeepLoops:
         )
         pdm = PseudoDistanceMatrix.from_loop_nest(nest)
         assert pdm.matrix == [[3]]
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         assert report.partition_count == 3
         assert verify_transformation(nest, report, check_executors=("serial",)).passed
 
     def test_independent_one_deep(self):
         nest = loop_nest("copy").loop("i", 0, 10).statement("A[i] = B[i] + 1.0").build()
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         assert report.parallel_levels == (0,)
         assert verify_transformation(nest, report, check_executors=()).passed
 
     def test_dense_recurrence_is_sequential(self):
         nest = loop_nest("seq").loop("i", 0, 10).statement("A[i] = A[i - 1] + 1.0").build()
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         assert report.is_fully_sequential
 
 
@@ -61,7 +61,7 @@ class TestFourDeepLoops:
         pdm = PseudoDistanceMatrix.from_loop_nest(nest)
         assert pdm.rank == 1
         assert pdm.depth == 4
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         # rank-1 PDM in a 4-deep nest: three doall loops plus 2 partitions
         assert report.parallel_loop_count == 3
         assert report.partition_count == 2
@@ -71,12 +71,12 @@ class TestFourDeepLoops:
         pdm = PseudoDistanceMatrix.from_loop_nest(nest)
         for distance in realized_distances(nest):
             assert pdm.contains_distance(list(distance))
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         result = verify_transformation(nest, report, check_executors=())
         assert result.passed
 
     def test_schedule_parallelism(self, nest):
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
         stats = schedule_statistics(build_schedule(transformed))
         assert stats["ideal_speedup"] > 8
@@ -91,7 +91,7 @@ class TestTriangularSpaces:
             .statement("A[i1, i2] = A[i1 - 2, i2] + A[i1, i2 - 2] + 1.0")
             .build()
         )
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         assert report.partition_count == 4
         result = verify_transformation(nest, report, check_executors=("serial",))
         assert result.passed, result.describe()
@@ -106,7 +106,7 @@ class TestTriangularSpaces:
         )
         pdm = PseudoDistanceMatrix.from_loop_nest(nest)
         assert pdm.matrix == [[2, -2]]
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         result = verify_transformation(nest, report, check_executors=())
         assert result.passed, result.describe()
         for distance in realized_distances(nest):

@@ -16,7 +16,7 @@ from repro.codegen.python_emitter import (
 )
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.runtime.arrays import store_for_nest
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.interpreter import execute_nest
@@ -36,7 +36,7 @@ class TestEmittedOriginalAcrossSuite:
 
     def test_sources_are_deterministic(self, ex41_small):
         assert emit_original_source(ex41_small) == emit_original_source(ex41_small)
-        report = parallelize(ex41_small)
+        report = analyze_nest(ex41_small)
         transformed = TransformedLoopNest.from_report(report)
         assert emit_transformed_source(transformed) == emit_transformed_source(transformed)
 
@@ -46,7 +46,7 @@ class TestExecutorsAcrossSuite:
         for case in small_suite:
             if case.category != "variable":
                 continue
-            report = parallelize(case.nest)
+            report = analyze_nest(case.nest)
             transformed = TransformedLoopNest.from_report(report)
             chunks = build_schedule(transformed)
             base = store_for_nest(case.nest)
@@ -57,7 +57,7 @@ class TestExecutorsAcrossSuite:
             assert expected.allclose(actual), case.name
 
     def test_more_workers_than_chunks(self, ex42_small):
-        report = parallelize(ex42_small)
+        report = analyze_nest(ex42_small)
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)  # 4 chunks
         base = store_for_nest(ex42_small)
@@ -70,7 +70,7 @@ class TestExecutorsAcrossSuite:
 
 class TestIntegerData:
     def test_integer_array_store(self, ex41_small):
-        report = parallelize(ex41_small)
+        report = analyze_nest(ex41_small)
         transformed = TransformedLoopNest.from_report(report)
         base = store_for_nest(ex41_small, dtype=np.int64, initializer="index_sum")
         expected = base.copy()

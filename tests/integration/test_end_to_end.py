@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.core.pdm import PseudoDistanceMatrix
 from repro.dependence.graph import realized_distances
 from repro.runtime.arrays import store_for_nest
@@ -12,7 +12,7 @@ from repro.runtime.verification import verify_transformation
 class TestSuiteEndToEnd:
     def test_every_workload_parallelizes_and_preserves_semantics(self, small_suite):
         for case in small_suite:
-            report = parallelize(case.nest)
+            report = analyze_nest(case.nest)
             assert report.transform_is_legal(), case.name
             result = verify_transformation(
                 case.nest, report, check_emitted_code=True, check_executors=("serial",)
@@ -27,7 +27,7 @@ class TestSuiteEndToEnd:
 
     def test_inner_placement_also_correct(self, small_suite):
         for case in small_suite[:6]:
-            report = parallelize(case.nest, placement="inner")
+            report = analyze_nest(case.nest, placement="inner")
             result = verify_transformation(
                 case.nest, report, check_emitted_code=False, check_executors=()
             )

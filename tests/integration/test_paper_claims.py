@@ -15,7 +15,7 @@ import pytest
 
 from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.isdg.build import build_isdg
 from repro.isdg.partitions import cross_partition_edges, partition_labels_of_iterations
 from repro.runtime.simulator import simulate_schedule
@@ -47,8 +47,8 @@ class TestExample41Claims:
         assert result.passed, result.describe()
 
     def test_parallelism_grows_linearly_with_n(self):
-        small = parallelize(example_4_1(4))
-        large = parallelize(example_4_1(10))
+        small = analyze_nest(example_4_1(4))
+        large = analyze_nest(example_4_1(10))
         speedup_small = schedule_statistics(
             build_schedule(TransformedLoopNest.from_report(small))
         )["ideal_speedup"]
@@ -84,6 +84,6 @@ class TestExample42Claims:
 
     def test_det_parallelism_claim(self):
         # "det(S) parallel iterations": the number of chunks equals det(PDM)
-        report = parallelize(example_4_2(8))
+        report = analyze_nest(example_4_2(8))
         chunks = build_schedule(TransformedLoopNest.from_report(report))
         assert len(chunks) == report.pdm.determinant()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.exceptions import ShapeError
 from repro.isdg.build import build_isdg
 from repro.isdg.partitions import (

@@ -16,7 +16,7 @@ import pytest
 
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.exceptions import ExecutionError
 from repro.loopnest.builder import loop_nest
 from repro.runtime.arrays import store_for_nest
@@ -57,7 +57,7 @@ VARIANT_IDS = [
 def _reference_and_transformed(nest):
     reference = store_for_nest(nest)
     execute_nest(nest, reference.copy())  # warm sanity: must not raise
-    transformed = TransformedLoopNest.from_report(parallelize(nest))
+    transformed = TransformedLoopNest.from_report(analyze_nest(nest))
     base = store_for_nest(nest)
     ref = base.copy()
     execute_nest(nest, ref)
@@ -157,7 +157,7 @@ class TestRandomizedDifferential:
         base = store_for_nest(nest, initializer="random", seed=seed)
         ref = base.copy()
         execute_nest(nest, ref)
-        transformed = TransformedLoopNest.from_report(parallelize(nest))
+        transformed = TransformedLoopNest.from_report(analyze_nest(nest))
         for backend_name, options in BACKEND_VARIANTS:
             result = base.copy()
             get_backend(backend_name, **options).execute(transformed, result)
@@ -228,7 +228,7 @@ class TestVectorizedBehavior:
         store = store_for_nest(nest)
         with pytest.raises(ZeroDivisionError):
             execute_nest(nest, store.copy())
-        transformed = TransformedLoopNest.from_report(parallelize(nest))
+        transformed = TransformedLoopNest.from_report(analyze_nest(nest))
         backend = VectorizedBackend(min_parallel_width=2)
         with pytest.raises(ZeroDivisionError):
             backend.execute(transformed, store.copy())

@@ -4,7 +4,7 @@ import pytest
 
 from repro.codegen.schedule import Chunk, build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.exceptions import ExecutionError
 from repro.loopnest.builder import loop_nest
 from repro.runtime.arrays import store_for_nest
@@ -101,7 +101,7 @@ class TestParallelExecutor:
         assert outcome.elapsed_seconds >= 0.0
 
     def test_process_mode_matches_reference(self, ex42_small):
-        report = parallelize(example_4_2(4))
+        report = analyze_nest(example_4_2(4))
         nest = report.nest
         transformed = TransformedLoopNest.from_report(report)
         base = store_for_nest(nest)
@@ -165,7 +165,7 @@ class TestSimulator:
 
     def test_paper_example_speedup_scales_with_partitions(self):
         # example 4.2: 4 partitions -> speedup close to 4 with 4 processors
-        report = parallelize(example_4_2(8))
+        report = analyze_nest(example_4_2(8))
         transformed = TransformedLoopNest.from_report(report)
         chunks = build_schedule(transformed)
         result = simulate_schedule(chunks, num_processors=4)

@@ -23,7 +23,7 @@ import pytest
 
 from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.core.pipeline import parallelize, parallelize_and_execute
+from repro.core.pipeline import analyze_nest, parallelize_and_execute
 from repro.exceptions import ExecutionError
 from repro.loopnest.builder import loop_nest
 from repro.runtime.arrays import OffsetArray, store_for_nest
@@ -58,7 +58,7 @@ def _segments() -> set:
 
 
 def _reference_and_transformed(nest):
-    transformed = TransformedLoopNest.from_report(parallelize(nest))
+    transformed = TransformedLoopNest.from_report(analyze_nest(nest))
     base = store_for_nest(nest)
     reference = base.copy()
     execute_nest(nest, reference)
@@ -193,8 +193,11 @@ class TestSharedModeDifferential:
         assert reference.identical(result)
 
     def test_parallelize_and_execute_shared_mode(self):
+        # The deprecated wrapper must still tear down the shared runtime it
+        # creates; the module-scoped /dev/shm accounting catches leaks.
         nest = example_4_1(5)
-        report, result = parallelize_and_execute(nest, mode="shared", workers=2)
+        with pytest.warns(DeprecationWarning):
+            report, result = parallelize_and_execute(nest, mode="shared", workers=2)
         reference = store_for_nest(nest)
         execute_nest(nest, reference)
         assert result.mode == "shared"
@@ -276,7 +279,7 @@ class TestFailurePaths:
             .build()
         )
         store = store_for_nest(nest)
-        transformed = TransformedLoopNest.from_report(parallelize(nest))
+        transformed = TransformedLoopNest.from_report(analyze_nest(nest))
         with ParallelExecutor(mode="shared", workers=2, backend="interpreter") as executor:
             with pytest.raises(ExecutionError, match="ZeroDivisionError"):
                 executor.run(transformed, store.copy())
@@ -317,8 +320,8 @@ class TestFailurePaths:
 
         failing = build("divzero", "A[i1, i2] = B[i1, i2] + 1.0 / (i2)")
         healthy = build("benign", "A[i1, i2] = B[i1, i2] + 1.0")
-        failing_t = TransformedLoopNest.from_report(parallelize(failing))
-        healthy_t = TransformedLoopNest.from_report(parallelize(healthy))
+        failing_t = TransformedLoopNest.from_report(analyze_nest(failing))
+        healthy_t = TransformedLoopNest.from_report(analyze_nest(healthy))
         store = store_for_nest(failing)
         reference = store.copy()
         execute_nest(healthy, reference)
@@ -341,7 +344,7 @@ class TestFailurePaths:
         nest = example_4_2(3)
         base, reference, _ = _reference_and_transformed(nest)
         programs = [
-            (TransformedLoopNest.from_report(parallelize(nest)), None)
+            (TransformedLoopNest.from_report(analyze_nest(nest)), None)
             for _ in range(pool_module._PARENT_PROGRAM_CACHE + 2)
         ]
         with ParallelExecutor(mode="shared", workers=2, backend="compiled") as executor:

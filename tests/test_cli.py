@@ -143,6 +143,11 @@ class TestMain:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explode", "x.loop"])
 
+    def test_invalid_session_flags_fail_cleanly(self, loop_file, capsys):
+        # config validation errors surface as a clean error line, no traceback
+        assert main(["run", loop_file, "--processors", "0"]) == 1
+        assert "error: workers must be >= 1" in capsys.readouterr().err
+
     def test_analyze_prints_pass_timings(self, loop_file, capsys):
         assert main(["analyze", loop_file]) == 0
         out = capsys.readouterr().out

@@ -24,7 +24,7 @@ class TestTransformationStep:
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -39,12 +39,17 @@ class TestPublicApi:
             .statement("A[i1, i2] = A[-i1 - 2, 2*i1 + i2 + 2] + 1.0")
             .build()
         )
-        report = repro.parallelize(nest)
-        assert (report.pdm.rank, report.parallel_loop_count, report.partition_count) == (1, 1, 2)
+        with repro.Session() as session:
+            analysis = session.analyze(nest)
+        assert (
+            analysis.report.pdm.rank,
+            analysis.parallel_loops,
+            analysis.partitions,
+        ) == (1, 1, 2)
 
     def test_top_level_helpers(self):
         nest = example_4_1(4)
-        report = repro.parallelize(nest)
+        report = repro.analyze_nest(nest)
         transformed = repro.TransformedLoopNest.from_report(report)
         chunks = repro.build_schedule(transformed)
         assert repro.simulate_schedule(chunks, num_processors=2).speedup > 1.0

@@ -88,6 +88,37 @@ class TestBatchServiceSerial:
         )
 
 
+class TestBatchServiceSessionInjection:
+    def test_injected_session_serves_the_batch(self):
+        from repro.api import Session, SessionConfig
+
+        with Session(SessionConfig(mode="serial", backend="compiled", workers=1)) as session:
+            with BatchService(session=session) as service:
+                report = service.submit(jobs_from_nests([example_4_1(4)]))
+        assert report.mode == "serial"
+        assert report.results[0].checksum == pytest.approx(
+            _checksum_reference(example_4_1(4))
+        )
+
+    def test_session_conflicts_with_other_options(self):
+        from repro.api import Session
+        from repro.exceptions import WorkloadError
+
+        with Session() as session:
+            with pytest.raises(WorkloadError, match="not both"):
+                BatchService(mode="shared", session=session)
+            with pytest.raises(WorkloadError, match="not both"):
+                BatchService(cache=AnalysisCache(), session=session)
+
+    def test_uncached_session_rejected(self):
+        from repro.api import Session
+        from repro.exceptions import WorkloadError
+
+        with Session(use_cache=False) as session:
+            with pytest.raises(WorkloadError, match="caching session"):
+                BatchService(session=session)
+
+
 class TestBatchServiceShared:
     def test_shared_mode_serves_batch_bit_identically(self):
         nests = [case.nest for case in workload_suite(4)[:3]]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.pdm import PseudoDistanceMatrix
-from repro.core.pipeline import parallelize
+from repro.core.pipeline import analyze_nest
 from repro.dependence.graph import realized_distances
 from repro.exceptions import WorkloadError
 from repro.workloads.kernels import (
@@ -86,7 +86,7 @@ class TestSynthetic:
     def test_three_deep_loop(self):
         nest = three_deep_variable_loop(3)
         assert nest.depth == 3
-        report = parallelize(nest)
+        report = analyze_nest(nest)
         assert report.transform_is_legal()
 
 
@@ -124,7 +124,7 @@ class TestKernels:
         assert pdm.determinant() == stride
 
     def test_mixed_distance_kernel_parallelizable(self):
-        report = parallelize(mixed_distance_kernel(5))
+        report = analyze_nest(mixed_distance_kernel(5))
         assert report.partition_count > 1 or report.parallel_loop_count > 0
 
 
