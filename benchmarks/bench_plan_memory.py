@@ -1,0 +1,186 @@
+"""Plan-vs-materialized-schedule benchmark — the symbolic IR must stay tiny.
+
+The ExecutionPlan IR replaces the materialized chunk schedule everywhere
+between analysis and execution.  Two committed gates
+(``benchmarks/thresholds.json``, enforced in CI):
+
+* ``size_ratio`` — the deep-pickled size of the materialized schedule of
+  example 4.1 at N=256 divided by the pickled size of its plan must be at
+  least **50** (the plan is a few hundred bytes; the schedule holds 263169
+  iteration tuples and measures in megabytes, so the measured ratio is in
+  the thousands);
+* ``build_speedup`` — building the plan (closed-form counts and sizes
+  included) must be at least **5x** faster than materializing the schedule
+  at the same N (measured well above 100x: plan construction is O(depth),
+  materialization is O(total iterations)).
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_plan_memory.py --benchmark-only
+
+or standalone (CI smoke / regression gate)::
+
+    python benchmarks/bench_plan_memory.py --size 256 \
+        --json results.json --require-size-ratio 50 --require-build-speedup 5
+"""
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+
+from repro.codegen.schedule import build_schedule_by_enumeration
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import analyze_nest
+from repro.plan import ExecutionPlan
+from repro.workloads.paper_examples import example_4_1
+
+SPEEDUP_N = 256
+SIZE_RATIO_TARGET = 50.0
+BUILD_SPEEDUP_TARGET = 5.0
+
+
+def _measure(n: int, repetitions: int = 5):
+    """Pickle sizes and best-of build times of plan vs. materialized schedule."""
+    nest = example_4_1(n)
+    report = analyze_nest(nest)
+    transformed = TransformedLoopNest.from_report(report)
+
+    build_best = float("inf")
+    plan = None
+    for _ in range(max(1, repetitions)):
+        start = time.perf_counter()
+        plan = ExecutionPlan.from_transformed(transformed)
+        # Closed-form statistics are part of what a consumer reads off the
+        # plan, so they belong inside the timed region.
+        plan.statistics()
+        build_best = min(build_best, time.perf_counter() - start)
+
+    materialize_best = float("inf")
+    schedule = None
+    for _ in range(max(1, repetitions)):
+        start = time.perf_counter()
+        schedule = build_schedule_by_enumeration(transformed)
+        materialize_best = min(materialize_best, time.perf_counter() - start)
+
+    plan_bytes = len(pickle.dumps(plan))
+    schedule_bytes = len(pickle.dumps(schedule))
+    total_iterations = plan.total_iterations
+    assert total_iterations == sum(chunk.size for chunk in schedule)
+
+    return {
+        "workload": nest.name,
+        "n": n,
+        "iterations": total_iterations,
+        "num_chunks": plan.chunk_count,
+        "plan_bytes": plan_bytes,
+        "schedule_bytes": schedule_bytes,
+        "size_ratio": schedule_bytes / plan_bytes if plan_bytes else float("inf"),
+        "plan_build_seconds": build_best,
+        "schedule_build_seconds": materialize_best,
+        "build_speedup": (
+            materialize_best / build_best if build_best > 0 else float("inf")
+        ),
+    }
+
+
+def _check(result, size_ratio_target=None, build_speedup_target=None):
+    if size_ratio_target is not None:
+        assert result["size_ratio"] >= size_ratio_target, (
+            f"plan is only {result['size_ratio']:.1f}x smaller than the "
+            f"materialized schedule (target {size_ratio_target:.0f}x)"
+        )
+    if build_speedup_target is not None:
+        assert result["build_speedup"] >= build_speedup_target, (
+            f"plan build is only {result['build_speedup']:.1f}x faster than "
+            f"materialization (target {build_speedup_target:.0f}x)"
+        )
+
+
+def _json_payload(result):
+    return {
+        "name": "plan_memory",
+        "metrics": {
+            "size_ratio": result["size_ratio"],
+            "build_speedup": result["build_speedup"],
+        },
+        "details": result,
+    }
+
+
+def _table(result) -> str:
+    return "\n".join(
+        [
+            f"workload {result['workload']} at N={result['n']} — "
+            f"{result['iterations']} iterations in {result['num_chunks']} chunks",
+            f"  plan pickle:     {result['plan_bytes']} B, built in "
+            f"{result['plan_build_seconds'] * 1000.0:.3f} ms",
+            f"  schedule pickle: {result['schedule_bytes']} B, built in "
+            f"{result['schedule_build_seconds'] * 1000.0:.3f} ms",
+            f"  size ratio {result['size_ratio']:.0f}x, "
+            f"build speedup {result['build_speedup']:.0f}x",
+        ]
+    )
+
+
+def test_plan_memory(benchmark):
+    result = benchmark.pedantic(_measure, args=(SPEEDUP_N,), rounds=1, iterations=1)
+    _check(
+        result,
+        size_ratio_target=SIZE_RATIO_TARGET,
+        build_speedup_target=BUILD_SPEEDUP_TARGET,
+    )
+    benchmark.extra_info["size_ratio"] = round(result["size_ratio"], 1)
+    benchmark.extra_info["build_speedup"] = round(result["build_speedup"], 1)
+    print()
+    print(_table(result))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=SPEEDUP_N, help=f"workload size N (default: {SPEEDUP_N})"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timing repetitions (default: 5)"
+    )
+    parser.add_argument(
+        "--require-size-ratio",
+        type=float,
+        default=None,
+        help="fail unless schedule/plan pickle size ratio is at least this "
+        f"(the CI gate uses {SIZE_RATIO_TARGET:.0f})",
+    )
+    parser.add_argument(
+        "--require-build-speedup",
+        type=float,
+        default=None,
+        help="fail unless plan build is at least this much faster than "
+        f"materialization (the CI gate uses {BUILD_SPEEDUP_TARGET:.0f})",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
+    args = parser.parse_args(argv)
+    result = _measure(args.size, repetitions=args.repetitions)
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_payload(result), handle, indent=2)
+    _check(
+        result,
+        size_ratio_target=args.require_size_ratio,
+        build_speedup_target=args.require_build_speedup,
+    )
+    print(_table(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,9 @@ The API redesign routes every entry point through
 nothing on the serving hot path: a warm ``Session.run`` (analysis cache
 hit, program LRU hit, persistent executor) must stay within **5%** of the
 direct pipeline calls it wraps — analyze through the cache, reuse the
-prebuilt (transformed nest, chunk schedule), execute through the same
-backend — measured end to end on example 4.1 at N=64 with the vectorized
-serial backend.
+prebuilt (transformed nest, execution plan) program, execute through the
+same backend — measured end to end on example 4.1 at N=64 with the
+vectorized serial backend.
 
 The committed metric is ``direct_vs_session = direct_seconds /
 session_seconds`` with threshold 0.95 in ``benchmarks/thresholds.json``
@@ -30,7 +30,6 @@ import sys
 import time
 
 from repro.api import Session, SessionConfig
-from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.cache import AnalysisCache
 from repro.runtime.arrays import store_for_nest
@@ -47,7 +46,7 @@ RATIO_TARGET = 0.95  # direct/session >= 0.95  <=>  session overhead <= ~5%
 def _measure(n: int, repetitions: int = 7, inner: int = 3):
     """Best-of wall clock of warm direct-pipeline runs vs. warm Session.run.
 
-    Both sides execute the identical (transformed, chunks) schedule with the
+    Both sides execute the identical (transformed, plan) program with the
     identical backend against a prebuilt store (store *initialization* is
     identical on both paths and an order of magnitude slower than the
     execution itself, so timing it would only add noise).  Direct and
@@ -60,7 +59,7 @@ def _measure(n: int, repetitions: int = 7, inner: int = 3):
     cache = AnalysisCache()
     report = cache.parallelize(nest)
     transformed = TransformedLoopNest.from_report(report)
-    chunks = build_schedule(transformed)
+    plan = transformed.execution_plan()
     direct_store = store_for_nest(nest)
     direct_best = float("inf")
     session_best = float("inf")
@@ -70,13 +69,13 @@ def _measure(n: int, repetitions: int = 7, inner: int = 3):
         session_store = store_for_nest(nest)
         # warm-up both paths: one-time codegen/compile caches, the session's
         # cache miss and program build
-        executor.run(transformed, direct_store, chunks=chunks)
+        executor.run(transformed, direct_store, plan=plan)
         session.run(nest, store=session_store)
         for _ in range(max(1, repetitions)):
             start = time.perf_counter()
             for _ in range(inner):
                 cache.parallelize(nest)
-                executor.run(transformed, direct_store, chunks=chunks)
+                executor.run(transformed, direct_store, plan=plan)
                 sum(float(array.data.sum()) for array in direct_store.values())
             direct_best = min(direct_best, (time.perf_counter() - start) / inner)
 

@@ -61,6 +61,7 @@ from repro.codegen import (
     emit_original_source,
     emit_transformed_source,
 )
+from repro.plan import ChunkView, ExecutionPlan
 from repro.runtime import (
     ArrayStore,
     OffsetArray,
@@ -114,6 +115,9 @@ __all__ = [
     # code generation
     "TransformedLoopNest",
     "build_schedule",
+    # symbolic execution plans
+    "ChunkView",
+    "ExecutionPlan",
     "emit_original_source",
     "emit_transformed_source",
     # runtime

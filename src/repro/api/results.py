@@ -117,8 +117,8 @@ class RunResult:
     #: max |difference| against the interpreter reference; ``None`` when the
     #: session's verification policy skipped the check.
     max_abs_difference: Optional[float] = None
-    #: wall clock of building the program (transformed nest + chunk
-    #: schedule); ~0 on a program-LRU hit.
+    #: wall clock of building the program (transformed nest + symbolic
+    #: execution plan); ~0 on a program-LRU hit.
     program_seconds: float = 0.0
 
     # ------------------------------------------------------------------ #
@@ -159,6 +159,21 @@ class RunResult:
         return self.execution.num_chunks
 
     @property
+    def max_chunk_size(self) -> int:
+        """Largest chunk — the critical path of an idealized machine."""
+        return max(self.execution.chunk_sizes, default=0)
+
+    @property
+    def ideal_speedup(self) -> float:
+        """Total work over the largest chunk (machine-independent parallelism).
+
+        Derived from the plan's closed-form chunk sizes — the iterations
+        themselves were never materialized to produce this.
+        """
+        largest = self.max_chunk_size
+        return (self.iterations / largest) if largest else 1.0
+
+    @property
     def analysis_seconds(self) -> float:
         return self.analysis.analysis_seconds
 
@@ -197,6 +212,8 @@ class RunResult:
                 "iterations": self.iterations,
                 "num_chunks": self.num_chunks,
                 "chunk_sizes": [int(size) for size in self.execution.chunk_sizes],
+                "max_chunk_size": int(self.max_chunk_size),
+                "ideal_speedup": self.ideal_speedup,
                 "program_seconds": self.program_seconds,
                 "setup_seconds": self.setup_seconds,
                 "execute_seconds": self.execute_seconds,

@@ -11,8 +11,10 @@ ad hoc at each entry point:
 * exactly one lazily-created :class:`~repro.runtime.executor.ParallelExecutor`
   — in ``shared`` mode that means one persistent worker pool and one
   generation of shared-memory segments serving every call, and
-* a small LRU of compiled *programs* (transformed nest + chunk schedule) so
-  repeated requests re-dispatch the same objects to the worker pool.
+* a small LRU of compiled *programs* (transformed nest + symbolic
+  :class:`~repro.plan.ExecutionPlan`) so repeated requests re-dispatch the
+  same objects to the worker pool — a warm program is O(depth) memory, not
+  O(iterations).
 
 Lifecycle is deterministic: ``with Session(...) as s:`` (or an explicit
 :meth:`Session.close`) tears the pool down and unlinks every shared-memory
@@ -38,12 +40,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.codegen.schedule import Chunk, build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.cache import AnalysisCache
 from repro.core.pipeline import ParallelizationReport, analyze_nest
 from repro.exceptions import ExecutionError, WorkloadError
 from repro.loopnest.nest import LoopNest
+from repro.plan import ExecutionPlan
 from repro.runtime.arrays import ArrayStore, store_for_nest
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
 from repro.runtime.executor import EXECUTION_MODES, ParallelExecutor
@@ -56,7 +58,7 @@ __all__ = ["SessionConfig", "Session", "VERIFICATION_POLICIES"]
 
 VERIFICATION_POLICIES: Tuple[str, ...] = ("never", "always")
 
-#: Distinct programs (transformed nest + chunk schedule) kept warm; matches
+#: Distinct programs (transformed nest + execution plan) kept warm; matches
 #: the worker pool's parent-side program cache, so a repeated request
 #: re-dispatches the *same* objects and per-program shipping is paid once.
 _PROGRAM_CACHE_SIZE = 16
@@ -143,9 +145,9 @@ class Session:
             self._cache = None
         self._executor: Optional[ParallelExecutor] = None
         self._executor_creations = 0
-        self._programs: "OrderedDict[Tuple[str, str], Tuple[TransformedLoopNest, List[Chunk]]]" = (
-            OrderedDict()
-        )
+        self._programs: (
+            "OrderedDict[Tuple[str, str], Tuple[TransformedLoopNest, ExecutionPlan]]"
+        ) = OrderedDict()
         self._lock = threading.Lock()
         self._analyses = 0
         self._runs = 0
@@ -237,7 +239,7 @@ class Session:
         nest = resolve_source(source, name=name, n=n)
         analysis = self._analyze_nest(nest, placement=placement, name=name)
         program_start = time.perf_counter()
-        transformed, chunks = self._program_for(nest, analysis.report)
+        transformed, plan = self._program_for(nest, analysis.report)
         program_seconds = time.perf_counter() - program_start
         if store is None:
             store = store_for_nest(nest, initializer=initializer or self.config.initializer)
@@ -245,7 +247,7 @@ class Session:
         # Snapshot the initial contents before execution mutates them: the
         # reference run must start from the same values.
         reference = store.copy() if check else None
-        execution = self.executor.run(transformed, store, chunks=chunks)
+        execution = self.executor.run(transformed, store, plan=plan)
         max_abs_difference: Optional[float] = None
         if reference is not None:
             execute_nest(nest, reference)
@@ -362,13 +364,17 @@ class Session:
 
     def _program_for(
         self, nest: LoopNest, report: ParallelizationReport
-    ) -> Tuple[TransformedLoopNest, List[Chunk]]:
-        """The nest's (transformed nest, chunk schedule), warm across calls.
+    ) -> Tuple[TransformedLoopNest, ExecutionPlan]:
+        """The nest's (transformed nest, symbolic plan), warm across calls.
 
         Keyed by the nest's rendered source + placement: identical text
         means identical names *and* structure, so reusing the transformed
-        nest (and its chunk schedule) is semantically exact — unlike the
+        nest (and its execution plan) is semantically exact — unlike the
         analysis cache's canonical key, which deliberately ignores names.
+        The plan replaces the materialized chunk schedule the cache used to
+        hold: a warm program is O(depth) memory regardless of N, and
+        re-dispatching the *same* plan object lets the worker pool reuse
+        its per-program cache.
         """
         key = (str(nest), report.placement)
         with self._lock:
@@ -377,10 +383,10 @@ class Session:
                 self._programs.move_to_end(key)
                 return entry
         transformed = TransformedLoopNest.from_report(report)
-        chunks = build_schedule(transformed)
+        plan = transformed.execution_plan()
         with self._lock:
-            self._programs[key] = (transformed, chunks)
+            self._programs[key] = (transformed, plan)
             self._programs.move_to_end(key)
             while len(self._programs) > _PROGRAM_CACHE_SIZE:
                 self._programs.popitem(last=False)
-        return transformed, chunks
+        return transformed, plan

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.partition import PartitioningResult
 from repro.intlin.matrix import Matrix, identity_matrix
@@ -94,5 +93,6 @@ def ideal_speedup_of_result(nest: LoopNest, result: MethodResult) -> float:
         parallel_levels=result.parallel_levels,
         partitioning=result.partitioning,
     )
-    chunks = build_schedule(transformed)
-    return schedule_statistics(chunks)["ideal_speedup"]
+    # Closed-form chunk sizes from the symbolic plan — comparing baselines
+    # at large N no longer costs O(iterations) memory per method.
+    return transformed.execution_plan().statistics()["ideal_speedup"]

@@ -33,7 +33,6 @@ from repro.api import Session, SessionConfig, parse_loop_file, parse_loop_text
 from repro.baselines.comparison import ALL_METHODS, compare_methods, comparison_table
 from repro.baselines.pdm_method import pdm_method
 from repro.codegen.python_emitter import emit_original_source, emit_transformed_source
-from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.cache import AnalysisCache, default_cache
 from repro.exceptions import ReproError
@@ -147,9 +146,11 @@ def _report_for(nest: LoopNest, session: Session):
 def _cmd_analyze(nest: LoopNest, args, session: Session) -> str:
     report, cache_hit = _report_for(nest, session)
     transformed = TransformedLoopNest.from_report(report)
-    chunks = build_schedule(transformed)
-    stats = schedule_statistics(chunks)
-    sim = simulate_schedule(chunks, num_processors=args.processors)
+    # Schedule numbers come from the symbolic plan: chunk sizes are closed
+    # form, so even huge nests report without materializing an iteration.
+    plan = transformed.execution_plan()
+    stats = plan.statistics()
+    sim = simulate_schedule(plan.select_chunks(), num_processors=args.processors)
     lines = [str(nest), "", report.summary(), ""]
     lines.append(
         f"Schedule: {stats['num_chunks']} independent chunks, "

@@ -9,7 +9,12 @@
 """
 
 from repro.codegen.transformed_nest import TransformedLoopNest
-from repro.codegen.schedule import Chunk, build_schedule, schedule_statistics
+from repro.codegen.schedule import (
+    Chunk,
+    build_schedule,
+    build_schedule_by_enumeration,
+    schedule_statistics,
+)
 from repro.codegen.python_emitter import (
     emit_original_source,
     emit_transformed_source,
@@ -20,6 +25,7 @@ __all__ = [
     "TransformedLoopNest",
     "Chunk",
     "build_schedule",
+    "build_schedule_by_enumeration",
     "schedule_statistics",
     "emit_original_source",
     "emit_transformed_source",

@@ -1,4 +1,4 @@
-"""Independence-aware schedules.
+"""Independence-aware schedules (legacy materialized view).
 
 The transformed loop's parallelism is made explicit by grouping iterations
 into *chunks*: all iterations that share the same values of the parallel
@@ -6,6 +6,18 @@ into *chunks*: all iterations that share the same values of the parallel
 chunks never depend on each other (Lemma 1 + Theorem 2), so chunks may be
 executed concurrently; iterations inside a chunk are kept in the transformed
 lexicographic order, which Theorem 1 guarantees to respect every dependence.
+
+Since the introduction of the symbolic :mod:`repro.plan` IR this module is a
+*view* layer: the schedule structure lives in an
+:class:`~repro.plan.ExecutionPlan` (parametric bounds, lazy enumeration,
+closed-form statistics), and :func:`build_schedule` merely materializes that
+plan into concrete :class:`Chunk` lists for callers that want tuples in
+hand.  New code should consume the plan directly —
+``transformed.execution_plan()`` — and never materialize.
+
+:func:`build_schedule_by_enumeration` keeps the original O(total
+iterations) algorithm as the executable specification; the property tests
+pin the plan-driven enumeration to it bit for bit.
 """
 
 from __future__ import annotations
@@ -15,7 +27,12 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.codegen.transformed_nest import TransformedLoopNest
 
-__all__ = ["Chunk", "build_schedule", "schedule_statistics"]
+__all__ = [
+    "Chunk",
+    "build_schedule",
+    "build_schedule_by_enumeration",
+    "schedule_statistics",
+]
 
 
 @dataclass
@@ -38,11 +55,28 @@ class Chunk:
 
 
 def build_schedule(transformed: TransformedLoopNest) -> List[Chunk]:
-    """Group the new-space iterations of a transformed nest into chunks.
+    """Materialize the chunks of a transformed nest from its symbolic plan.
 
     The chunks are returned in order of first appearance (which is also the
     lexicographic order of their first iteration), and each chunk's iteration
-    list preserves the global lexicographic order.
+    list preserves the global lexicographic order.  This allocates O(total
+    iterations); prefer ``transformed.execution_plan()`` when the consumer
+    can work from the lazy plan.
+    """
+    plan = transformed.execution_plan()
+    return [
+        Chunk(key=view.key, iterations=list(view.iterations))
+        for view in plan.chunks()
+    ]
+
+
+def build_schedule_by_enumeration(transformed: TransformedLoopNest) -> List[Chunk]:
+    """Reference implementation: group iterations by a full lexicographic scan.
+
+    This is the original ``build_schedule`` algorithm, kept as the
+    executable specification of chunk keys, chunk order and intra-chunk
+    iteration order.  The plan equivalence tests compare
+    :func:`build_schedule` (plan-driven) against this, bit for bit.
     """
     chunks: Dict[Tuple, Chunk] = {}
     order: List[Tuple] = []
@@ -58,12 +92,14 @@ def build_schedule(transformed: TransformedLoopNest) -> List[Chunk]:
 
 
 def schedule_statistics(chunks: Sequence[Chunk]) -> Dict[str, float]:
-    """Work/critical-path statistics of a schedule.
+    """Work/critical-path statistics of a materialized schedule.
 
     ``ideal_speedup`` is the ratio of total work to the largest chunk — the
     speedup on an idealized machine with one processor per chunk (unit cost
     per iteration).  This is the machine-independent parallelism number the
-    benchmarks report alongside wall-clock measurements.
+    benchmarks report alongside wall-clock measurements.  For plan-driven
+    callers the same numbers come from
+    :meth:`repro.plan.ExecutionPlan.statistics` without materializing.
     """
     sizes = [chunk.size for chunk in chunks] or [0]
     total = sum(sizes)

@@ -149,8 +149,33 @@ class TransformedLoopNest:
             prefix.pop()
 
     def iteration_count(self) -> int:
-        """Number of new-space iterations (equals the original count)."""
-        return sum(1 for _ in self.iterations())
+        """Number of new-space iterations, in closed form.
+
+        The transformation is unimodular and Fourier–Motzkin scanning is
+        exact, so the new space is a bijective image of the original one:
+        the count is the original nest's count, which
+        :meth:`~repro.loopnest.nest.LoopNest.iteration_count` derives from
+        the bounds symbolically instead of by enumeration.
+        """
+        return self.nest.iteration_count()
+
+    # ------------------------------------------------------------------ #
+    # symbolic execution plan
+    # ------------------------------------------------------------------ #
+    def execution_plan(self) -> "ExecutionPlan":
+        """The symbolic :class:`~repro.plan.ExecutionPlan` of this nest (cached).
+
+        The plan is a pure value object over the Fourier–Motzkin bounds and
+        the independence structure; building it is O(depth) on top of the
+        analysis already stored here, so consumers share one instance.
+        """
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            from repro.plan import ExecutionPlan
+
+            plan = ExecutionPlan.from_transformed(self)
+            self._plan = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     # independence structure

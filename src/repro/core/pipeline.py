@@ -116,6 +116,19 @@ class ParallelizationReport:
         """Re-check Theorem 1 for the reported transformation."""
         return is_legal_unimodular(self.pdm, self.transform)
 
+    def build_plan(self):
+        """The symbolic :class:`~repro.plan.ExecutionPlan` of this report.
+
+        Convenience for consumers that want schedule statistics straight
+        from an analysis result: the plan's chunk counts and sizes are
+        closed-form, so reporting on a million-iteration nest costs O(depth)
+        memory — no iteration is ever materialized.
+        """
+        # Imported lazily: codegen imports this module for the report type.
+        from repro.codegen.transformed_nest import TransformedLoopNest
+
+        return TransformedLoopNest.from_report(self).execution_plan()
+
     def timing_summary(self) -> str:
         """Per-pass wall-clock timings of the analysis that built this report."""
         return format_pass_timings(self.pass_timings)

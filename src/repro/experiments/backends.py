@@ -21,7 +21,6 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
@@ -101,7 +100,7 @@ def backend_comparison(
     for name, nest in workloads:
         report = analyze_nest(nest)
         transformed = TransformedLoopNest.from_report(report)
-        chunks = build_schedule(transformed)
+        plan = transformed.execution_plan()
         base = store_for_nest(nest)
         reference = base.copy()
         execute_nest(nest, reference)
@@ -112,13 +111,13 @@ def backend_comparison(
                 # Untimed warm-up so one-time codegen + compile() (the body
                 # caches of the compiled/vectorized backends) stays out of
                 # the measured execution time.
-                backend.execute(transformed, base.copy(), chunks=chunks)
+                backend.execute_plan(transformed, plan, base.copy())
             best = float("inf")
             final = None
             for _ in range(max(1, repetitions)):
                 store = base.copy()
                 start = time.perf_counter()
-                backend.execute(transformed, store, chunks=chunks)
+                backend.execute_plan(transformed, plan, store)
                 best = min(best, time.perf_counter() - start)
                 final = store
             return best, final
@@ -135,8 +134,8 @@ def backend_comparison(
                 BackendTiming(
                     workload=name,
                     size=n,
-                    iterations=sum(chunk.size for chunk in chunks),
-                    num_chunks=len(chunks),
+                    iterations=plan.total_iterations,
+                    num_chunks=plan.chunk_count,
                     backend=backend_name,
                     seconds=best,
                     speedup_vs_interpreter=interpreter_time / best if best else 1.0,

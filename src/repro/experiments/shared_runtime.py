@@ -30,7 +30,6 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
-from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.cache import AnalysisCache
 from repro.core.pipeline import analyze_nest
@@ -67,7 +66,7 @@ def shared_runtime_comparison(
     """
     nest = (workload or example_4_1)(n)
     transformed = TransformedLoopNest.from_report(analyze_nest(nest))
-    chunks = build_schedule(transformed)
+    plan = transformed.execution_plan()
     base = store_for_nest(nest)
     reference = base.copy()
     execute_nest(nest, reference)
@@ -78,7 +77,7 @@ def shared_runtime_comparison(
     for _ in range(max(1, repetitions)):
         store = base.copy()
         start = time.perf_counter()
-        serial_backend.execute(transformed, store, chunks=chunks)
+        serial_backend.execute_plan(transformed, plan, store)
         serial_best = min(serial_best, time.perf_counter() - start)
     serial_identical = reference.identical(store)
 
@@ -90,7 +89,7 @@ def shared_runtime_comparison(
         for _ in range(max(1, repetitions)):
             store = base.copy()
             start = time.perf_counter()
-            result = executor.run(transformed, store, chunks=chunks)
+            result = executor.run(transformed, store, plan=plan)
             wall = time.perf_counter() - start
             if wall < processes_best:
                 processes_best, processes_result = wall, result
@@ -100,12 +99,12 @@ def shared_runtime_comparison(
     shared_result = None
     with ParallelExecutor(mode="shared", workers=workers, backend=backend) as shared:
         warm = base.copy()
-        shared.run(transformed, warm, chunks=chunks)
+        shared.run(transformed, warm, plan=plan)
         shared_identical = reference.identical(warm)
         for _ in range(max(1, repetitions)):
             store = base.copy()
             start = time.perf_counter()
-            result = shared.run(transformed, store, chunks=chunks)
+            result = shared.run(transformed, store, plan=plan)
             wall = time.perf_counter() - start
             if wall < shared_best:
                 shared_best, shared_result = wall, result
@@ -116,8 +115,8 @@ def shared_runtime_comparison(
         "n": n,
         "workers": workers,
         "backend": backend,
-        "iterations": sum(chunk.size for chunk in chunks),
-        "num_chunks": len(chunks),
+        "iterations": plan.total_iterations,
+        "num_chunks": plan.chunk_count,
         "serial_seconds": serial_best,
         "processes_seconds": processes_best,
         "processes_setup_seconds": processes_result.setup_seconds,

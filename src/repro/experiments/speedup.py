@@ -17,7 +17,6 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.codegen.schedule import build_schedule, schedule_statistics
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.pipeline import analyze_nest
 from repro.loopnest.nest import LoopNest
@@ -69,10 +68,13 @@ def speedup_sweep(
         nest = nest_factory(size)
         report = analyze_nest(nest, placement=placement)
         transformed = TransformedLoopNest.from_report(report)
-        chunks = build_schedule(transformed)
-        stats = schedule_statistics(chunks)
-        sim4 = simulate_schedule(chunks, num_processors=4)
-        sim16 = simulate_schedule(chunks, num_processors=16)
+        # Sweep points come from the symbolic plan: closed-form sizes keep
+        # the sweep O(#chunks) even at sizes where materializing would not fit.
+        plan = transformed.execution_plan()
+        stats = plan.statistics()
+        views = plan.select_chunks()
+        sim4 = simulate_schedule(views, num_processors=4)
+        sim16 = simulate_schedule(views, num_processors=16)
         points.append(
             SpeedupPoint(
                 workload=workload_name or nest.name,
@@ -101,7 +103,7 @@ def wallclock_measurement(
     """
     report = analyze_nest(nest)
     transformed = TransformedLoopNest.from_report(report)
-    chunks = build_schedule(transformed)
+    plan = transformed.execution_plan()
     base_store = store_for_nest(nest)
 
     timings: Dict[str, float] = {}
@@ -113,7 +115,7 @@ def wallclock_measurement(
     for mode in modes:
         store = base_store.copy()
         with ParallelExecutor(mode=mode, workers=workers) as executor:
-            result = executor.run(transformed, store, chunks=chunks)
+            result = executor.run(transformed, store, plan=plan)
         # total_seconds: runtime overhead (pool spin-up, copies) is part of
         # what this honest end-to-end number documents.
         timings[mode] = result.total_seconds

@@ -1,0 +1,281 @@
+"""Closed-form lattice-point counting for affine loop nests.
+
+``LoopNest.iteration_count`` used to fall back to full enumeration for any
+non-rectangular nest, which makes the count O(total iterations) — exactly
+the cost the symbolic :mod:`repro.plan` layer exists to avoid.  This module
+counts the integer points of a nest's iteration space *symbolically*:
+
+* every level's bounds are affine with integer coefficients and a unit
+  step, so the number of iterations is the nested sum
+  ``sum_{i1=L1}^{U1} ... sum_{in=Ln(i1..)}^{Un(i1..)} 1``;
+* a nested sum of a polynomial over an affine range is again a polynomial
+  (Faulhaber), so the count collapses level by level from the innermost
+  loop outwards into a single exact :class:`fractions.Fraction` polynomial
+  evaluation — O(depth^2) polynomial operations instead of O(N^depth)
+  iterations.
+
+The telescoping identity ``sum_{v=A}^{B} v^k = S_k(B) - S_k(A-1)`` holds
+for every integer pair with ``B >= A - 1`` (the empty range contributes
+exactly 0), but produces garbage for ranges that are "more than empty"
+(``B <= A - 2``).  :func:`closed_form_count` therefore first *proves*, with
+interval arithmetic over a box hull of the outer levels, that no level's
+extent can go below zero anywhere in the space; when the proof fails the
+caller falls back to :func:`count_by_walk`, which still never materializes
+iteration tuples (the innermost level contributes its extent directly).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.bounds import LoopBounds
+
+__all__ = ["closed_form_count", "count_by_walk", "nest_iteration_count"]
+
+
+# ---------------------------------------------------------------------------
+# exact multivariate polynomials (internal)
+# ---------------------------------------------------------------------------
+
+#: A monomial is a name-sorted tuple of (variable, power) pairs; a polynomial
+#: maps monomials to Fraction coefficients.
+_Monomial = Tuple[Tuple[str, int], ...]
+
+
+class _Poly:
+    """A tiny exact multivariate polynomial over named integer variables."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Dict[_Monomial, Fraction]] = None):
+        self.terms: Dict[_Monomial, Fraction] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff:
+                    self.terms[mono] = coeff
+
+    @classmethod
+    def constant(cls, value) -> "_Poly":
+        return cls({(): Fraction(value)})
+
+    @classmethod
+    def from_affine(cls, expr: AffineExpr) -> "_Poly":
+        terms: Dict[_Monomial, Fraction] = {
+            ((name, 1),): Fraction(coeff) for name, coeff in expr.terms
+        }
+        terms[()] = Fraction(expr.constant)
+        return cls(terms)
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "_Poly") -> "_Poly":
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return _Poly(terms)
+
+    def __mul__(self, other: "_Poly") -> "_Poly":
+        terms: Dict[_Monomial, Fraction] = {}
+        for mono_a, coeff_a in self.terms.items():
+            for mono_b, coeff_b in other.terms.items():
+                powers: Dict[str, int] = {}
+                for name, power in mono_a + mono_b:
+                    powers[name] = powers.get(name, 0) + power
+                mono = tuple(sorted(powers.items()))
+                terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
+        return _Poly(terms)
+
+    def scale(self, factor: Fraction) -> "_Poly":
+        return _Poly({mono: coeff * factor for mono, coeff in self.terms.items()})
+
+    def power(self, exponent: int) -> "_Poly":
+        result = _Poly.constant(1)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    # ------------------------------------------------------------------ #
+    def split_by(self, name: str) -> Dict[int, "_Poly"]:
+        """Coefficient polynomials per power of ``name`` (which they omit)."""
+        buckets: Dict[int, _Poly] = {}
+        for mono, coeff in self.terms.items():
+            power = 0
+            rest: List[Tuple[str, int]] = []
+            for var, var_power in mono:
+                if var == name:
+                    power = var_power
+                else:
+                    rest.append((var, var_power))
+            bucket = buckets.setdefault(power, _Poly())
+            rest_mono = tuple(rest)
+            bucket.terms[rest_mono] = bucket.terms.get(rest_mono, Fraction(0)) + coeff
+        return buckets
+
+    def constant_value(self) -> Fraction:
+        """The value of a variable-free polynomial."""
+        total = Fraction(0)
+        for mono, coeff in self.terms.items():
+            if mono:
+                raise ValueError(f"polynomial still involves {mono}")
+            total += coeff
+        return total
+
+
+def _power_sum_polys(max_power: int) -> List[List[Fraction]]:
+    """Coefficient lists of ``S_k(x) = sum_{v=0}^{x} v^k`` for k <= max_power.
+
+    ``S_k`` is returned as coefficients of ``x^0 .. x^{k+1}``, derived from
+    the classic recurrence ``(x+1)^{k+1} = sum_j C(k+1, j) * S_j(x)``.  The
+    telescoping identity ``S_k(v) - S_k(v-1) = v^k`` holds as a polynomial
+    identity, so the formulas are valid for negative arguments too.
+    """
+    polys: List[List[Fraction]] = []
+    for k in range(max_power + 1):
+        # (x + 1)^(k+1) expanded by the binomial theorem.
+        acc = [
+            Fraction(math.comb(k + 1, power)) for power in range(k + 2)
+        ]
+        for j in range(k):
+            factor = Fraction(math.comb(k + 1, j))
+            for power, coeff in enumerate(polys[j]):
+                acc[power] -= factor * coeff
+        polys.append([coeff / (k + 1) for coeff in acc])
+    return polys
+
+
+def _substitute_powers(coeffs: Sequence[Fraction], argument: _Poly) -> _Poly:
+    """Evaluate a single-variable polynomial (coefficient list) at ``argument``."""
+    result = _Poly.constant(0)
+    arg_power = _Poly.constant(1)
+    for coeff in coeffs:
+        if coeff:
+            result = result + arg_power.scale(coeff)
+        arg_power = arg_power * argument
+    return result
+
+
+def _sum_over_range(poly: _Poly, name: str, lower: AffineExpr, upper: AffineExpr) -> _Poly:
+    """``sum_{name=lower}^{upper} poly`` as a polynomial in the outer variables."""
+    buckets = poly.split_by(name)
+    if not buckets:
+        return _Poly.constant(0)
+    power_sums = _power_sum_polys(max(buckets))
+    upper_poly = _Poly.from_affine(upper)
+    lower_minus_one = _Poly.from_affine(lower - 1)
+    result = _Poly.constant(0)
+    for power, coeff_poly in buckets.items():
+        segment = _substitute_powers(power_sums[power], upper_poly) + _substitute_powers(
+            power_sums[power], lower_minus_one
+        ).scale(Fraction(-1))
+        result = result + coeff_poly * segment
+    return result
+
+
+# ---------------------------------------------------------------------------
+# extent non-negativity proof (interval arithmetic over a box hull)
+# ---------------------------------------------------------------------------
+
+def _affine_interval(
+    expr: AffineExpr, box: Dict[str, Tuple[int, int]]
+) -> Optional[Tuple[int, int]]:
+    """Conservative [min, max] of an affine expression over a variable box."""
+    low = high = expr.constant
+    for name, coeff in expr.terms:
+        interval = box.get(name)
+        if interval is None:
+            return None
+        lo, hi = interval
+        if coeff >= 0:
+            low += coeff * lo
+            high += coeff * hi
+        else:
+            low += coeff * hi
+            high += coeff * lo
+    return low, high
+
+
+def _extents_provably_non_negative(
+    index_names: Sequence[str], bounds: Sequence[LoopBounds]
+) -> bool:
+    """Prove ``upper - lower >= -1`` at every level over the box hull.
+
+    Extent -1 (the exactly-empty range) is fine — the telescoping sum is 0
+    there; anything below -1 would make the closed form under-count.
+    """
+    box: Dict[str, Tuple[int, int]] = {}
+    for name, bound in zip(index_names, bounds):
+        extent_minus_one = bound.upper - bound.lower
+        extent_interval = _affine_interval(extent_minus_one, box)
+        if extent_interval is None or extent_interval[0] < -1:
+            return False
+        lower_interval = _affine_interval(bound.lower, box)
+        upper_interval = _affine_interval(bound.upper, box)
+        if lower_interval is None or upper_interval is None:
+            return False
+        # Hull of the level's reachable values.
+        box[name] = (lower_interval[0], upper_interval[1])
+    return True
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+def closed_form_count(
+    index_names: Sequence[str], bounds: Sequence[LoopBounds]
+) -> Optional[int]:
+    """Exact iteration count by symbolic summation, or None when unprovable.
+
+    Collapses the nest innermost-first: the running count is a polynomial in
+    the remaining outer indices, and summing it over an affine range keeps
+    it polynomial.  Returns ``None`` when interval arithmetic cannot prove
+    that every level's extent stays non-negative (the only case where the
+    telescoping identity and plain enumeration could disagree).
+    """
+    if not _extents_provably_non_negative(index_names, bounds):
+        return None
+    count = _Poly.constant(1)
+    for name, bound in zip(reversed(index_names), reversed(bounds)):
+        count = _sum_over_range(count, name, bound.lower, bound.upper)
+    value = count.constant_value()
+    if value.denominator != 1:
+        # Cannot happen for integer affine bounds; guard against silently
+        # returning a wrong count if an invariant is ever violated upstream.
+        return None
+    return max(0, int(value))
+
+
+def count_by_walk(index_names: Sequence[str], bounds: Sequence[LoopBounds]) -> int:
+    """Enumeration fallback that never materializes iteration tuples.
+
+    Walks the outer levels and adds the innermost level's extent in closed
+    form — O(N^(depth-1)) instead of O(N^depth), with O(depth) memory.
+    """
+    depth = len(bounds)
+    env: Dict[str, int] = {}
+
+    def walk(level: int) -> int:
+        bound = bounds[level]
+        lower = bound.lower_value(env)
+        upper = bound.upper_value(env)
+        if level == depth - 1:
+            return max(0, upper - lower + 1)
+        name = index_names[level]
+        total = 0
+        for value in range(lower, upper + 1):
+            env[name] = value
+            total += walk(level + 1)
+        env.pop(name, None)
+        return total
+
+    return walk(0)
+
+
+def nest_iteration_count(index_names: Sequence[str], bounds: Sequence[LoopBounds]) -> int:
+    """Iteration count of a nest: closed form when provable, walk otherwise."""
+    count = closed_form_count(index_names, bounds)
+    if count is not None:
+        return count
+    return count_by_walk(index_names, bounds)

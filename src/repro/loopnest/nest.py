@@ -145,13 +145,22 @@ class LoopNest:
         env.pop(name, None)
 
     def iteration_count(self) -> int:
-        """Total number of iterations (exact, by enumeration for non-rectangular nests)."""
+        """Total number of iterations, in closed form where possible.
+
+        Rectangular nests are a product of extents; non-rectangular affine
+        nests collapse by exact symbolic summation
+        (:func:`repro.loopnest.counting.closed_form_count`), falling back to
+        a tuple-free counting walk only when interval arithmetic cannot
+        prove the summation identity applies.
+        """
         if self.is_rectangular:
             total = 1
             for bound in self._bounds:
                 total *= bound.extent({})
             return total
-        return sum(1 for _ in self.iterations())
+        from repro.loopnest.counting import nest_iteration_count
+
+        return nest_iteration_count(self._index_names, self._bounds)
 
     def contains_iteration(self, iteration: Sequence[int]) -> bool:
         """True if the index vector lies within the loop bounds."""

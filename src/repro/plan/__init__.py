@@ -1,0 +1,15 @@
+"""Symbolic execution plans: the IR between analysis and runtime.
+
+``repro.plan`` replaces the materialized chunk lists of the legacy
+``repro.codegen.schedule`` module with a parametric description of the
+transformed iteration space.  A plan is derived once from a
+:class:`~repro.codegen.transformed_nest.TransformedLoopNest`, pickles to a
+few hundred bytes, and lets every consumer — backends, executors, worker
+processes, reports — enumerate exactly the chunks (and only the chunks) it
+needs, lazily.  See :mod:`repro.plan.ir` for the ordering and closed-form
+contracts.
+"""
+
+from repro.plan.ir import ChunkView, ExecutionPlan, PlanLevel
+
+__all__ = ["ChunkView", "ExecutionPlan", "PlanLevel"]

@@ -12,9 +12,12 @@ This module turns execution into a pluggable subsystem with three backends:
   executed as NumPy gather/compute/scatter operations.
 
 The vectorized backend exploits exactly the structure the paper derives: the
-chunks of a legal schedule (:func:`repro.codegen.schedule.build_schedule`)
+chunks of a legal schedule (the symbolic :class:`repro.plan.ExecutionPlan`)
 never depend on each other, while iterations *inside* a chunk must stay in
-order.  Execution therefore proceeds in *rounds*: round ``r`` takes the
+order.  Since the plan IR, the backend derives its index arrays directly
+from the plan's per-level (start, stop, step) ranges with ``np.arange``
+products — no Python iteration tuples are ever stacked.
+Execution proceeds in *rounds*: round ``r`` takes the
 ``r``-th iteration of every chunk — a set of pairwise-independent iterations
 — and executes the whole set with fancy-indexed NumPy operations, statement
 by statement.  Intra-chunk order is preserved (round ``r`` precedes round
@@ -44,9 +47,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.codegen.schedule import Chunk, build_schedule
+from repro.codegen.schedule import Chunk
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
+from repro.plan import ChunkView, ExecutionPlan
 from repro.loopnest.expr import (
     _BINARY_OPS,
     _CALLS,
@@ -110,10 +114,31 @@ class ExecutionBackend:
     ) -> ArrayStore:
         """Execute the whole transformed nest in a legal order (in place)."""
         if chunks is None:
-            chunks = build_schedule(transformed)
+            return self.execute_plan(transformed, transformed.execution_plan(), store)
         for chunk in chunks:
             self.execute_chunk(transformed, chunk, store)
         return store
+
+    def execute_plan(
+        self,
+        transformed: TransformedLoopNest,
+        plan: ExecutionPlan,
+        store: ArrayStore,
+        chunk_indices: Optional[Sequence[int]] = None,
+    ) -> ArrayStore:
+        """Execute (part of) a symbolic plan in place.
+
+        ``chunk_indices`` selects chunks by schedule position (all when
+        None) — this is how pool workers execute their groups from nothing
+        but the plan.  The default implementation adapts lazy chunk views
+        onto :meth:`execute`, so backends that only know about chunk
+        sequences (including user-registered ones) keep working unchanged;
+        array-level backends override this to generate their index arrays
+        straight from the plan bounds.
+        """
+        return self.execute(
+            transformed, store, chunks=plan.select_chunks(chunk_indices)
+        )
 
     def execute_chunk(
         self, transformed: TransformedLoopNest, chunk: Chunk, store: ArrayStore
@@ -170,10 +195,24 @@ class InterpreterBackend(ExecutionBackend):
         # Same traversal as the chunk-wise default, but without collecting
         # the per-write log that execute_chunk builds for the process pool.
         if chunks is None:
-            chunks = build_schedule(transformed)
+            return self.execute_plan(transformed, transformed.execution_plan(), store)
         nest = transformed.nest
         for chunk in chunks:
             for iteration in chunk.iterations:
+                _execute_body(nest, transformed.original_env(iteration), store)
+        return store
+
+    def execute_plan(self, transformed, plan, store, chunk_indices=None) -> ArrayStore:
+        # Stream iterations straight off the plan — no chunk objects, no
+        # write log, O(depth) transient state.
+        nest = transformed.nest
+        views = (
+            plan.chunks()
+            if chunk_indices is None
+            else plan.select_chunks(chunk_indices)
+        )
+        for view in views:
+            for iteration in view.iterations:
                 _execute_body(nest, transformed.original_env(iteration), store)
         return store
 
@@ -241,6 +280,41 @@ class CompiledBackend(ExecutionBackend):
 # ---------------------------------------------------------------------------
 # vectorized backend
 # ---------------------------------------------------------------------------
+
+def _plan_index_block(view: ChunkView, depth: int) -> np.ndarray:
+    """One chunk's (size, depth) new-space index matrix, from the plan.
+
+    Separable chunks are pure products of per-level arithmetic ranges, so
+    the matrix is ``np.arange`` per level + ``meshgrid`` — the axes-major
+    reshape reproduces the transformed lexicographic order exactly.  Only
+    non-separable chunks fill the matrix from the lazy generator.
+    """
+    ranges = view.value_ranges()
+    if ranges is not None:
+        if not ranges:
+            return np.empty((0, depth), dtype=np.int64)
+        axes = [
+            np.arange(start, stop + 1, step, dtype=np.int64)
+            for start, stop, step in ranges
+        ]
+        lengths = [axis.shape[0] for axis in axes]
+        total = 1
+        for length in lengths:
+            total *= length
+        block = np.empty((total, depth), dtype=np.int64)
+        inner = total
+        for level, axis in enumerate(axes):
+            # Cartesian product in lexicographic order: level k repeats each
+            # value over the inner extent and tiles over the outer one.
+            inner //= lengths[level]
+            column = np.repeat(axis, inner) if inner > 1 else axis
+            block[:, level] = np.tile(column, total // (lengths[level] * inner))
+        return block
+    rows = list(view.iterations)
+    if not rows:
+        return np.empty((0, depth), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
 
 def _nest_is_vectorizable(nest: LoopNest) -> bool:
     """Static check: every expression node kind has a vectorized evaluation."""
@@ -354,12 +428,11 @@ class VectorizedBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     def execute(self, transformed, store, chunks=None) -> ArrayStore:
         if chunks is None:
-            chunks = build_schedule(transformed)
+            return self.execute_plan(transformed, transformed.execution_plan(), store)
         if not chunks:
             return store
-        nest = transformed.nest
         self.last_execution_engine = self.name
-        if not _nest_is_vectorizable(nest) or len(chunks) < self.min_parallel_width:
+        if not _nest_is_vectorizable(transformed.nest) or len(chunks) < self.min_parallel_width:
             # Not enough cross-chunk parallelism (or an unsupported body):
             # fall back to sequential execution through the compiled backend,
             # which is bit-identical and strictly faster than interpreting.
@@ -367,9 +440,6 @@ class VectorizedBackend(ExecutionBackend):
             self.last_execution_engine = "compiled"
             CompiledBackend().execute(transformed, store, chunks=chunks)
             return store
-
-        # ---- plan: round layout and subscript offsets, computed once ----
-        inverse = np.asarray(transformed.inverse_transform, dtype=np.int64)
         depth = transformed.depth
         all_new = np.concatenate(
             [
@@ -377,12 +447,61 @@ class VectorizedBackend(ExecutionBackend):
                 for chunk in chunks
             ]
         )
-        round_ids = np.concatenate(
-            [np.arange(chunk.size, dtype=np.int64) for chunk in chunks]
-        )
-        chunk_ids = np.concatenate(
-            [np.full(chunk.size, j, dtype=np.int64) for j, chunk in enumerate(chunks)]
-        )
+        sizes = np.asarray([chunk.size for chunk in chunks], dtype=np.int64)
+        if not self._execute_packed(transformed, store, all_new, sizes):
+            # Not the independent partition the analysis promised: execute
+            # chunk-major (the interpreter's order) through the compiled
+            # backend instead.
+            self.stats["illegal_schedule_fallbacks"] += 1
+            self.last_execution_engine = "compiled"
+            CompiledBackend().execute(transformed, store, chunks=chunks)
+        return store
+
+    def execute_plan(self, transformed, plan, store, chunk_indices=None) -> ArrayStore:
+        """Round-based execution with index arrays generated from the plan.
+
+        Separable chunks become ``np.arange`` + ``meshgrid`` products of the
+        plan's per-level (start, stop, step) ranges — no Python-level
+        iteration tuples exist at any point; only genuinely non-separable
+        chunks fall back to filling their block from the lazy generator.
+        """
+        views = plan.select_chunks(chunk_indices)
+        if not views:
+            return store
+        self.last_execution_engine = self.name
+        if not _nest_is_vectorizable(transformed.nest) or len(views) < self.min_parallel_width:
+            self.stats["delegated_runs"] += 1
+            self.last_execution_engine = "compiled"
+            CompiledBackend().execute_plan(
+                transformed, plan, store, chunk_indices=chunk_indices
+            )
+            return store
+        blocks = [_plan_index_block(view, plan.depth) for view in views]
+        all_new = np.concatenate(blocks)
+        sizes = np.asarray([block.shape[0] for block in blocks], dtype=np.int64)
+        if not self._execute_packed(transformed, store, all_new, sizes):
+            self.stats["illegal_schedule_fallbacks"] += 1
+            self.last_execution_engine = "compiled"
+            CompiledBackend().execute_plan(
+                transformed, plan, store, chunk_indices=chunk_indices
+            )
+        return store
+
+    def _execute_packed(self, transformed, store, all_new, sizes) -> bool:
+        """Run the rounds for a chunk-major (total, depth) index matrix.
+
+        Returns False (without having written anything) when the dynamic
+        independence check rejects the schedule; the caller falls back.
+        """
+        nest = transformed.nest
+        total_rows = int(all_new.shape[0])
+        if total_rows == 0:
+            return True
+        inverse = np.asarray(transformed.inverse_transform, dtype=np.int64)
+        starts = np.zeros(len(sizes), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        round_ids = np.arange(total_rows, dtype=np.int64) - np.repeat(starts, sizes)
+        chunk_ids = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
         order = np.argsort(round_ids, kind="stable")
         originals = (all_new @ inverse)[order]
         round_ids = round_ids[order]
@@ -420,12 +539,9 @@ class VectorizedBackend(ExecutionBackend):
         ):
             # Two chunks share a cell with a write: the schedule is not the
             # independent partition the analysis promised, so *no* round
-            # interleaving is known to be legal.  Execute chunk-major (the
-            # interpreter's order) through the compiled backend instead.
-            self.stats["illegal_schedule_fallbacks"] += 1
-            self.last_execution_engine = "compiled"
-            CompiledBackend().execute(transformed, store, chunks=chunks)
-            return store
+            # interleaving is known to be legal.  The caller executes
+            # chunk-major (the interpreter's order) instead.
+            return False
 
         # ---- execute round by round ----
         body = CompiledBackend.body_function(nest)
@@ -448,13 +564,13 @@ class VectorizedBackend(ExecutionBackend):
                 target = store[stmt.target.array]
                 offsets = tuple(off[window] for off in offset_cache[stmt.target])
                 target.data[offsets] = values
-        return store
+        return True
 
     def execute_chunk(self, transformed, chunk, store) -> None:
         # A single chunk is internally sequential — there is nothing to
         # vectorize across, so chunk-granular execution (the thread
         # executor) runs the compiled body.  Cross-chunk vectorization
-        # happens in :meth:`execute`, which receives the whole schedule.
+        # happens in :meth:`execute_plan`, which sees the whole schedule.
         CompiledBackend().execute_chunk(transformed, chunk, store)
 
     # ------------------------------------------------------------------ #

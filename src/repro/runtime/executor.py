@@ -1,7 +1,12 @@
 """Chunk-parallel execution of transformed loop nests.
 
-Chunks produced by :func:`repro.codegen.schedule.build_schedule` are mutually
-independent, so they may execute concurrently.  Four execution modes are
+The chunks described by a nest's symbolic
+:class:`~repro.plan.ExecutionPlan` are mutually independent, so they may
+execute concurrently.  Runs are plan-driven by default: the executor ships
+the compact plan — never iteration tuples — and every worker enumerates
+exactly the chunks it executes, in place.  A materialized chunk list (the
+legacy :func:`repro.codegen.schedule.build_schedule` output, or a custom
+chunking) is still accepted via ``chunks=``.  Four execution modes are
 provided:
 
 * ``serial`` — chunks run one after the other (baseline and reference),
@@ -50,9 +55,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.codegen.schedule import Chunk, build_schedule
+from repro.codegen.schedule import Chunk
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
+from repro.plan import ExecutionPlan
 from repro.runtime.arrays import ArrayStore
 from repro.runtime.backends import DEFAULT_BACKEND, ExecutionBackend, resolve_backend
 from repro.runtime.pool import WorkerCrashed, WorkerPool
@@ -96,20 +102,28 @@ def _noop() -> None:
 
 
 def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
-    """Process-pool worker: execute chunks on a private store copy.
+    """Process-pool worker: execute its chunk group on a private store copy.
 
-    The chunks of one group are executed through the group's backend (the
-    vectorized backend can therefore still batch across the group's chunks).
-    The changed cells are found by a NumPy diff against a pristine copy and
-    their final values sent back for merging: chunks of a legal schedule
-    never write a cell another worker writes, so final values merge
-    order-independently.  A write that leaves a cell's value unchanged is
-    indistinguishable from no write in the diff — and equally harmless to
-    skip, since the parent's copy already holds that value.
+    ``work`` is ``("plan", plan, chunk_indices)`` — the worker re-derives
+    its chunks' iterations from the symbolic plan, so no iteration data
+    crossed the process boundary — or ``("chunks", chunk_list)`` for legacy
+    callers that hand the executor materialized chunks.  Either way the
+    group is executed through the group's backend (the vectorized backend
+    can therefore still batch across the group's chunks).  The changed
+    cells are found by a NumPy diff against a pristine copy and their final
+    values sent back for merging: chunks of a legal schedule never write a
+    cell another worker writes, so final values merge order-independently.
+    A write that leaves a cell's value unchanged is indistinguishable from
+    no write in the diff — and equally harmless to skip, since the parent's
+    copy already holds that value.
     """
-    backend, transformed, chunks, store = payload
+    backend, transformed, work, store = payload
     pristine = store.copy()
-    backend.execute(transformed, store, chunks=chunks)
+    if work[0] == "plan":
+        _, plan, chunk_indices = work
+        backend.execute_plan(transformed, plan, store, chunk_indices=chunk_indices)
+    else:
+        backend.execute(transformed, store, chunks=work[1])
     writes: List[Tuple[str, Tuple[int, ...], float]] = []
     for name, array in store.items():
         changed = np.nonzero(array.data != pristine[name].data)
@@ -183,26 +197,45 @@ class ParallelExecutor:
         transformed: TransformedLoopNest,
         store: ArrayStore,
         chunks: Optional[Sequence[Chunk]] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> ExecutionResult:
-        """Execute the transformed nest on ``store`` (modified in place)."""
+        """Execute the transformed nest on ``store`` (modified in place).
+
+        By default the run is *plan-driven*: the symbolic
+        :class:`~repro.plan.ExecutionPlan` of the nest describes the chunks
+        and every mode enumerates only the iterations it executes, when it
+        executes them.  ``chunks`` keeps accepting a materialized schedule
+        for legacy callers (and for tests that construct custom chunkings);
+        passing both prefers the plan.
+        """
         setup_start = time.perf_counter()
-        if chunks is None:
-            chunks = build_schedule(transformed)
-        chunk_sizes = tuple(chunk.size for chunk in chunks)
+        if plan is None and chunks is None:
+            plan = transformed.execution_plan()
+        if plan is not None:
+            chunk_sizes = tuple(plan.chunk_sizes())
+        else:
+            chunk_sizes = tuple(chunk.size for chunk in chunks)
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
         if self.mode == "serial":
             start = time.perf_counter()
-            self.backend.execute(transformed, store, chunks=chunks)
+            if plan is not None:
+                self.backend.execute_plan(transformed, plan, store)
+            else:
+                self.backend.execute(transformed, store, chunks=chunks)
             elapsed = time.perf_counter() - start
         elif self.mode == "threads":
-            elapsed, extra_setup = self._run_threads(transformed, chunks, store)
+            elapsed, extra_setup = self._run_threads(transformed, chunks, store, plan)
             setup += extra_setup
         elif self.mode == "processes":
-            elapsed, extra_setup = self._run_processes(transformed, chunks, store)
+            elapsed, extra_setup = self._run_processes(
+                transformed, chunks, store, plan, chunk_sizes
+            )
             setup += extra_setup
         else:
-            elapsed, extra_setup, fallback = self._run_shared(transformed, chunks, store)
+            elapsed, extra_setup, fallback = self._run_shared(
+                transformed, chunks, store, plan, chunk_sizes
+            )
             setup += extra_setup
         # Report the engine that actually ran: thread mode executes
         # chunk-granularly (where the vectorized backend delegates), and a
@@ -220,7 +253,7 @@ class ParallelExecutor:
             store=store,
             mode=self.mode,
             workers=self.workers if self.mode != "serial" else 1,
-            num_chunks=len(chunks),
+            num_chunks=len(chunk_sizes),
             elapsed_seconds=elapsed,
             chunk_sizes=chunk_sizes,
             backend=effective,
@@ -230,18 +263,23 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------ #
     def _run_threads(
-        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+        self,
+        transformed: TransformedLoopNest,
+        chunks: Optional[Sequence[Chunk]],
+        store: ArrayStore,
+        plan: Optional[ExecutionPlan],
     ) -> Tuple[float, float]:
         # Chunks are pairwise independent (they never access a common cell with
         # at least one write), so executing them concurrently on the shared
-        # store is safe without locking.
+        # store is safe without locking.  Plan-driven runs submit lazy chunk
+        # views; each task enumerates its own iterations when it runs.
         setup_start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
             futures = [
                 pool.submit(self.backend.execute_chunk, transformed, chunk, store)
-                for chunk in chunks
+                for chunk in (plan.chunks() if plan is not None else chunks)
             ]
             for future in futures:
                 future.result()
@@ -249,19 +287,37 @@ class ParallelExecutor:
         return elapsed, setup
 
     def _run_processes(
-        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+        self,
+        transformed: TransformedLoopNest,
+        chunks: Optional[Sequence[Chunk]],
+        store: ArrayStore,
+        plan: Optional[ExecutionPlan],
+        chunk_sizes: Tuple[int, ...],
     ) -> Tuple[float, float]:
-        if not chunks:
+        if not chunk_sizes:
             return 0.0, 0.0
         setup_start = time.perf_counter()
-        groups = self._balanced_groups(chunks)
+        groups = self._balanced_groups(chunk_sizes)
         # The backend instance itself is shipped to the workers (all built-in
         # backends pickle cheaply), so per-instance options like a custom
-        # min_parallel_width survive the process boundary.
-        payloads = [
-            (self.backend, transformed, [chunks[i] for i in group], store.copy())
-            for group in groups
-        ]
+        # min_parallel_width survive the process boundary.  Plan-driven
+        # payloads carry only the plan and the group's chunk indices — each
+        # worker enumerates its own iterations.
+        if plan is not None:
+            payloads = [
+                (self.backend, transformed, ("plan", plan, group), store.copy())
+                for group in groups
+            ]
+        else:
+            payloads = [
+                (
+                    self.backend,
+                    transformed,
+                    ("chunks", [chunks[i] for i in group]),
+                    store.copy(),
+                )
+                for group in groups
+            ]
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
             # Spin up every worker before the timed region: the first submit
             # is what forks the pool's processes.
@@ -276,11 +332,15 @@ class ParallelExecutor:
         return elapsed, setup
 
     # ------------------------------------------------------------------ #
-    def _balanced_groups(self, chunks: Sequence[Chunk]) -> List[Tuple[int, ...]]:
-        """Round-robin chunk indices over workers, largest chunks first."""
-        group_count = min(self.workers, len(chunks))
+    def _balanced_groups(self, chunk_sizes: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Round-robin chunk indices over workers, largest chunks first.
+
+        Works from sizes alone (closed-form on a plan), so balancing never
+        needs the iterations themselves.
+        """
+        group_count = min(self.workers, len(chunk_sizes))
         groups: List[List[int]] = [[] for _ in range(group_count)]
-        order = sorted(range(len(chunks)), key=lambda i: -chunks[i].size)
+        order = sorted(range(len(chunk_sizes)), key=lambda i: -chunk_sizes[i])
         for position, index in enumerate(order):
             groups[position % group_count].append(index)
         return [tuple(group) for group in groups if group]
@@ -295,9 +355,14 @@ class ParallelExecutor:
         return self._shared
 
     def _run_shared(
-        self, transformed: TransformedLoopNest, chunks: Sequence[Chunk], store: ArrayStore
+        self,
+        transformed: TransformedLoopNest,
+        chunks: Optional[Sequence[Chunk]],
+        store: ArrayStore,
+        plan: Optional[ExecutionPlan],
+        chunk_sizes: Tuple[int, ...],
     ) -> Tuple[float, float, Optional[str]]:
-        if not chunks:
+        if not chunk_sizes:
             return 0.0, 0.0, None
         setup_start = time.perf_counter()
         if self._pool is None:
@@ -307,12 +372,16 @@ class ParallelExecutor:
         # running): pool start-up is the one-time cost a persistent runtime
         # amortizes, not execution time.
         pool.start()
-        groups = self._balanced_groups(chunks)
+        groups = self._balanced_groups(chunk_sizes)
+        # Pass the caller's object through unchanged: the pool's program
+        # cache is keyed by identity, so a repeated run with the same plan
+        # (or the same legacy chunk list) ships the program only once.
+        schedule = plan if plan is not None else chunks
         try:
             shared = self._ensure_shared_store(store)
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
-            pool.run_job(transformed, self.backend, chunks, shared.spec, groups)
+            pool.run_job(transformed, self.backend, schedule, shared.spec, groups)
             elapsed = time.perf_counter() - start
             post_start = time.perf_counter()
             shared.copy_to(store)
@@ -326,7 +395,10 @@ class ParallelExecutor:
             self._release_segments()
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
-            self.backend.execute(transformed, store, chunks=chunks)
+            if plan is not None:
+                self.backend.execute_plan(transformed, plan, store)
+            else:
+                self.backend.execute(transformed, store, chunks=chunks)
             elapsed = time.perf_counter() - start
             return elapsed, setup, f"worker crash, serial fallback ({crash})"
         except ExecutionError:

@@ -56,10 +56,12 @@ def execute_transformed(
     if order == "lexicographic":
         iterations: Iterable[Tuple[int, ...]] = transformed.iterations()
     elif order == "chunks":
-        from repro.codegen.schedule import build_schedule
-
+        # Chunk-major order straight off the symbolic plan: chunks and
+        # their iterations are derived lazily, nothing is materialized.
         iterations = (
-            iteration for chunk in build_schedule(transformed) for iteration in chunk.iterations
+            iteration
+            for chunk in transformed.execution_plan().chunks()
+            for iteration in chunk.iterations
         )
     else:
         raise ExecutionError(f"unknown execution order {order!r}")

@@ -1,4 +1,4 @@
-"""Persistent worker pool executing schedule chunks in shared memory.
+"""Persistent worker pool executing plan chunks in shared memory.
 
 The pool is the runtime half of the zero-copy design in
 :mod:`repro.runtime.shared`: long-lived worker processes attach to the
@@ -8,15 +8,17 @@ fork-per-call nor store pickling nor a write-merge loop.
 
 What crosses the process boundary, and when:
 
-* a **program** — the transformed nest, the backend instance and the packed
-  schedule — is sent to each worker *once* and cached there under a token.
-  The schedule itself (all new-space iterations, chunk-major, plus chunk
-  sizes) travels as two shared-memory arrays, not as pickled tuples: for
-  example 4.1 at N=64 that is 16641 iterations published once instead of
-  re-pickled per task;
+* a **program** — the transformed nest, the backend instance and the
+  *symbolic* :class:`~repro.plan.ExecutionPlan` — is sent to each worker
+  *once* and cached there under a token.  The plan pickles to a few hundred
+  bytes regardless of problem size; workers re-derive their chunks'
+  iterations from its bounds in place, so **no iteration data ever crosses
+  the process boundary** (the pre-plan design published the packed
+  iteration matrix through shared-memory segments — for example 4.1 at
+  N=64 that was 16641 materialized iterations; now it is nothing at all);
 * a **run task** is a tiny message ``(job id, program token, store spec,
-  chunk indices)`` — workers rebuild (and cache) their groups' ``Chunk``
-  objects from the shared schedule;
+  chunk indices)`` — workers enumerate the chunks at those schedule
+  positions lazily;
 * a **result** is ``(job id, group index)`` plus an error string when the
   group failed.
 
@@ -37,21 +39,18 @@ import queue as queue_module
 import traceback
 import weakref
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.schedule import Chunk
 from repro.exceptions import ExecutionError
-from repro.runtime.shared import (
-    SharedArrayStore,
-    SharedNDArraySpec,
-    SharedStoreSpec,
-    attach_ndarray,
-    share_ndarray,
-)
+from repro.plan import ExecutionPlan
+from repro.runtime.shared import SharedArrayStore, SharedStoreSpec
 
-__all__ = ["WorkerCrashed", "SharedSchedule", "WorkerPool"]
+__all__ = ["WorkerCrashed", "WorkerPool"]
+
+#: A schedule travels either as a symbolic plan (the default, a few hundred
+#: bytes) or as a materialized chunk list (legacy custom chunkings only).
+Schedule = Union[ExecutionPlan, Sequence[Chunk]]
 
 # Workers keep at most this many cached store attachments; the oldest entry
 # is evicted (and its segments detached) beyond the cap.  Program caches are
@@ -66,55 +65,26 @@ class WorkerCrashed(ExecutionError):
     """A pool worker died without reporting a result."""
 
 
-class SharedSchedule:
-    """Picklable handle to a schedule published in shared memory."""
-
-    def __init__(self, iterations: SharedNDArraySpec, sizes: SharedNDArraySpec):
-        self.iterations = iterations
-        self.sizes = sizes
-
-
 class _WorkerProgram:
     """A worker's cached view of one registered program."""
 
-    def __init__(self, transformed, backend, schedule: SharedSchedule):
+    def __init__(self, transformed, backend, schedule: Schedule):
         self.transformed = transformed
         self.backend = backend
-        self._segments = []
-        segment, iterations = attach_ndarray(schedule.iterations)
-        self._segments.append(segment)
-        segment, sizes = attach_ndarray(schedule.sizes)
-        self._segments.append(segment)
-        self._iterations = iterations
-        self._bounds = np.zeros(sizes.shape[0] + 1, dtype=np.int64)
-        np.cumsum(sizes, out=self._bounds[1:])
-        self._groups: Dict[Tuple[int, ...], List[Chunk]] = {}
+        self.schedule = schedule
 
-    def chunks_for(self, chunk_indices: Tuple[int, ...]) -> List[Chunk]:
-        """Materialize (and cache) the ``Chunk`` objects of one group."""
-        cached = self._groups.get(chunk_indices)
-        if cached is not None:
-            return cached
-        chunks: List[Chunk] = []
-        for index in chunk_indices:
-            rows = self._iterations[int(self._bounds[index]) : int(self._bounds[index + 1])]
-            chunks.append(
-                Chunk(
-                    key=("shared", int(index)),
-                    iterations=[tuple(int(v) for v in row) for row in rows],
-                )
+    def execute(self, store, chunk_indices: Tuple[int, ...]) -> None:
+        """Execute one group's chunks in place, enumerated from the plan."""
+        if isinstance(self.schedule, ExecutionPlan):
+            self.backend.execute_plan(
+                self.transformed, self.schedule, store, chunk_indices=chunk_indices
             )
-        self._groups[chunk_indices] = chunks
-        return chunks
+        else:
+            selected = [self.schedule[index] for index in chunk_indices]
+            self.backend.execute(self.transformed, store, chunks=selected)
 
     def close(self) -> None:
-        self._iterations = None
-        self._groups.clear()
-        for segment in self._segments:
-            try:
-                segment.close()
-            except (OSError, BufferError):
-                pass
+        self.schedule = None
 
 
 def _worker_main(worker_index: int, task_queue, result_queue) -> None:
@@ -151,8 +121,7 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
                 stores[store_spec.token] = store
                 while len(stores) > _WORKER_STORE_CACHE:
                     stores.popitem(last=False)[1].close()
-            chunks = program.chunks_for(chunk_indices)
-            program.backend.execute(program.transformed, store, chunks=chunks)
+            program.execute(store, chunk_indices)
             result_queue.put(("done", job_id, group_index, None, None))
         except BaseException as exc:
             result_queue.put(
@@ -166,34 +135,11 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
 
 
 class _Program:
-    """Parent-side registration of one (transformed, backend, chunks) triple."""
+    """Parent-side registration of one (transformed, backend, schedule) triple."""
 
-    def __init__(self, token: str, handle: SharedSchedule, segments, payload):
+    def __init__(self, token: str, payload):
         self.token = token
-        self.handle = handle
-        self.segments = segments
-        self.payload = payload  # (transformed, backend) kept alive for re-sends
-
-    def release(self) -> None:
-        for segment in self.segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except (OSError, BufferError, FileNotFoundError):
-                pass
-
-
-def _pack_schedule(chunks: Sequence[Chunk], depth: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Chunk-major iteration matrix + per-chunk sizes (int64)."""
-    sizes = np.asarray([chunk.size for chunk in chunks], dtype=np.int64)
-    total = int(sizes.sum())
-    iterations = np.empty((total, depth), dtype=np.int64)
-    row = 0
-    for chunk in chunks:
-        block = np.asarray(chunk.iterations, dtype=np.int64).reshape(chunk.size, depth)
-        iterations[row : row + chunk.size] = block
-        row += chunk.size
-    return iterations, sizes
+        self.payload = payload  # (transformed, backend, schedule) pins the key ids
 
 
 class WorkerPool:
@@ -255,21 +201,16 @@ class WorkerPool:
         self._finalizer = weakref.finalize(self, _terminate, list(self._processes))
 
     # ------------------------------------------------------------------ #
-    def _ensure_program(self, transformed, backend, chunks: Sequence[Chunk]) -> _Program:
-        key = (id(transformed), id(backend), id(chunks))
+    def _ensure_program(self, transformed, backend, schedule: Schedule) -> _Program:
+        key = (id(transformed), id(backend), id(schedule))
         program = self._programs.get(key)
         if program is not None:
             self._programs.move_to_end(key)
             return program
-        iterations, sizes = _pack_schedule(chunks, transformed.depth)
-        iteration_segment, iteration_spec = share_ndarray(iterations)
-        size_segment, size_spec = share_ndarray(sizes)
         program = _Program(
             token=f"program-{next(self._tokens)}",
-            handle=SharedSchedule(iteration_spec, size_spec),
-            segments=(iteration_segment, size_segment),
             # Strong references pin the ids in ``key`` for the pool's life.
-            payload=(transformed, backend, chunks),
+            payload=(transformed, backend, schedule),
         )
         self._programs[key] = program
         while len(self._programs) > _PARENT_PROGRAM_CACHE:
@@ -280,37 +221,39 @@ class WorkerPool:
                 if evicted.token in seen:
                     seen.discard(evicted.token)
                     self._task_queues[worker].put(("forget", evicted.token))
-            evicted.release()
         return program
 
     def run_job(
         self,
         transformed,
         backend,
-        chunks: Sequence[Chunk],
+        schedule: Schedule,
         store_spec: SharedStoreSpec,
         groups: Sequence[Tuple[int, ...]],
     ) -> None:
         """Execute ``groups`` (tuples of chunk indices) on the shared store.
 
-        Blocks until every group finished.  Raises ``ExecutionError`` for a
-        worker-reported failure and :class:`WorkerCrashed` when a worker
-        dies; after a crash the pool must be discarded (``close``).
+        ``schedule`` is normally the nest's :class:`~repro.plan.ExecutionPlan`
+        (pickled to workers once, per program); a materialized chunk list is
+        accepted for custom chunkings.  Blocks until every group finished.
+        Raises ``ExecutionError`` for a worker-reported failure and
+        :class:`WorkerCrashed` when a worker dies; after a crash the pool
+        must be discarded (``close``).
         """
         if self._closed:
             raise ExecutionError("worker pool is closed")
         if not groups:
             return
         self.start()
-        program = self._ensure_program(transformed, backend, chunks)
+        program = self._ensure_program(transformed, backend, schedule)
         job_id = next(self._jobs)
-        transformed_payload, backend_payload, _ = program.payload
+        transformed_payload, backend_payload, schedule_payload = program.payload
         for group_index, chunk_indices in enumerate(groups):
             worker = group_index % self.workers
             if program.token not in self._seen[worker]:
                 self._task_queues[worker].put(
                     ("program", program.token, transformed_payload, backend_payload,
-                     program.handle)
+                     schedule_payload)
                 )
                 self._seen[worker].add(program.token)
             self._task_queues[worker].put(
@@ -347,7 +290,7 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ #
     def close(self, timeout: float = 2.0) -> None:
-        """Stop the workers and free every published schedule segment."""
+        """Stop the workers and drop every registered program."""
         if self._closed:
             return
         self._closed = True
@@ -362,8 +305,6 @@ class WorkerPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=timeout)
-        for program in self._programs.values():
-            program.release()
         self._programs.clear()
         for task_queue in self._task_queues:
             try:

@@ -13,11 +13,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.codegen.schedule import Chunk
+from repro.plan import ChunkView
 
 __all__ = ["SimulationResult", "SimulatedMachine", "simulate_schedule"]
+
+#: The machine model only reads ``chunk.size``, so it accepts materialized
+#: chunks and lazy plan views interchangeably.
+ChunkLike = Union[Chunk, ChunkView]
 
 
 @dataclass(frozen=True)
@@ -60,10 +65,10 @@ class SimulatedMachine:
         self.iteration_cost = float(iteration_cost)
         self.chunk_overhead = float(chunk_overhead)
 
-    def chunk_cost(self, chunk: Chunk) -> float:
+    def chunk_cost(self, chunk: ChunkLike) -> float:
         return self.chunk_overhead + self.iteration_cost * chunk.size
 
-    def makespan(self, chunks: Sequence[Chunk]) -> float:
+    def makespan(self, chunks: Sequence[ChunkLike]) -> float:
         """Greedy LPT scheduling of chunks onto the processors."""
         if not chunks:
             return 0.0
@@ -74,7 +79,7 @@ class SimulatedMachine:
             heapq.heappush(loads, lightest + self.chunk_cost(chunk))
         return max(loads)
 
-    def simulate(self, chunks: Sequence[Chunk]) -> SimulationResult:
+    def simulate(self, chunks: Sequence[ChunkLike]) -> SimulationResult:
         sequential = sum(self.chunk_cost(chunk) for chunk in chunks)
         parallel = self.makespan(chunks)
         return SimulationResult(
@@ -87,7 +92,7 @@ class SimulatedMachine:
 
 
 def simulate_schedule(
-    chunks: Sequence[Chunk],
+    chunks: Sequence[ChunkLike],
     num_processors: Optional[int] = None,
     iteration_cost: float = 1.0,
     chunk_overhead: float = 0.0,

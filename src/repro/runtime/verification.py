@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.python_emitter import compile_loop_function, emit_transformed_source
-from repro.codegen.schedule import build_schedule
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.core.pipeline import ParallelizationReport
 from repro.loopnest.nest import LoopNest
@@ -102,16 +101,18 @@ def verify_transformation(
         function(emitted)
         checks["transformed/emitted-code"] = reference.max_abs_difference(emitted)
 
-    schedule = build_schedule(transformed)
+    # One symbolic plan serves every executor mode and backend below; no
+    # materialized schedule is ever built for verification.
+    plan = transformed.execution_plan()
     for mode in check_executors:
         executed = store.copy()
-        ParallelExecutor(mode=mode, workers=4).run(transformed, executed, chunks=schedule)
+        ParallelExecutor(mode=mode, workers=4).run(transformed, executed, plan=plan)
         checks[f"executor/{mode}"] = reference.max_abs_difference(executed)
 
     for backend_name in check_backends:
         backend = get_backend(backend_name)
         executed = store.copy()
-        backend.execute(transformed, executed, chunks=schedule)
+        backend.execute_plan(transformed, plan, executed)
         checks[f"backend/{backend_name}"] = reference.max_abs_difference(executed)
 
     passed = all(diff <= tolerance for diff in checks.values())

@@ -82,6 +82,10 @@ class JobResult:
     mode: str
     checksum: float
     fallback: Optional[str] = None
+    #: Total work over the largest chunk, derived from the symbolic plan's
+    #: closed-form chunk sizes — serving reports parallelism without ever
+    #: materializing a schedule.
+    ideal_speedup: float = 1.0
 
     def as_row(self) -> List[object]:
         return [
@@ -90,6 +94,7 @@ class JobResult:
             self.num_chunks,
             self.parallel_loops,
             self.partitions,
+            f"{self.ideal_speedup:.1f}",
             "hit" if self.cache_hit else "miss",
             f"{self.analysis_seconds * 1000.0:.2f}",
             f"{self.setup_seconds * 1000.0:.2f}",
@@ -100,7 +105,7 @@ class JobResult:
 
 
 _HEADERS = [
-    "job", "iterations", "chunks", "doall", "partitions", "analysis",
+    "job", "iterations", "chunks", "doall", "partitions", "speedup", "analysis",
     "analyze (ms)", "setup (ms)", "execute (ms)", "backend", "checksum",
 ]
 
@@ -270,6 +275,7 @@ class BatchService:
                     mode=run.mode,
                     checksum=run.checksum,
                     fallback=run.fallback,
+                    ideal_speedup=run.ideal_speedup,
                 )
             )
         return BatchReport(

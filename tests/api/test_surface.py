@@ -39,6 +39,9 @@ REPRO_ALL_SNAPSHOT = sorted(
         # code generation
         "TransformedLoopNest",
         "build_schedule",
+        # symbolic execution plans
+        "ChunkView",
+        "ExecutionPlan",
         "emit_original_source",
         "emit_transformed_source",
         # runtime

@@ -1,0 +1,97 @@
+"""Closed-form iteration counting (the satellite fix for iteration_count).
+
+``TransformedLoopNest.iteration_count`` used to enumerate the whole new
+space (``sum(1 for _ in self.iterations())``); it now derives the count
+from the bounds.  These tests pin the closed form against brute-force
+enumeration on rectangular, triangular and degenerate nests, including the
+fallback path where the non-negativity proof fails.
+"""
+
+import pytest
+
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import analyze_nest
+from repro.loopnest.affine import AffineExpr
+from repro.loopnest.bounds import LoopBounds
+from repro.loopnest.builder import loop_nest
+from repro.loopnest.counting import closed_form_count, count_by_walk
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import three_deep_variable_loop
+
+
+def _brute(names, bounds) -> int:
+    def recurse(level, env):
+        if level == len(bounds):
+            return 1
+        lower = bounds[level].lower_value(env)
+        upper = bounds[level].upper_value(env)
+        total = 0
+        for value in range(lower, upper + 1):
+            env[names[level]] = value
+            total += recurse(level + 1, env)
+        env.pop(names[level], None)
+        return total
+
+    return recurse(0, {})
+
+
+class TestClosedFormCount:
+    @pytest.mark.parametrize(
+        "bounds",
+        [
+            [LoopBounds(0, 7), LoopBounds(0, 7)],
+            [LoopBounds(-3, 5), LoopBounds(2, 9)],
+            [LoopBounds(0, 7), LoopBounds(AffineExpr.variable("i1"), 7)],
+            [LoopBounds(1, 6), LoopBounds(AffineExpr.variable("i1") * 2, 20)],
+            [LoopBounds(3, 3), LoopBounds(AffineExpr.variable("i1"), AffineExpr.variable("i1"))],
+            # Exactly-empty inner ranges contribute 0, not garbage.
+            [
+                LoopBounds(0, 5),
+                LoopBounds(AffineExpr.variable("i1"), AffineExpr.variable("i1") - 1),
+            ],
+        ],
+    )
+    def test_matches_brute_force(self, bounds):
+        names = ["i1", "i2"][: len(bounds)]
+        expected = _brute(names, bounds)
+        assert closed_form_count(names, bounds) == expected
+        assert count_by_walk(names, bounds) == expected
+
+    def test_unprovable_case_returns_none_and_walk_is_exact(self):
+        # Extent i2 - i1 can conservatively look negative over the box hull;
+        # the closed form must decline rather than guess.
+        i1, i2 = AffineExpr.variable("i1"), AffineExpr.variable("i2")
+        names = ["i1", "i2", "i3"]
+        bounds = [LoopBounds(0, 5), LoopBounds(i1, 5), LoopBounds(i1, i2)]
+        assert closed_form_count(names, bounds) is None
+        assert count_by_walk(names, bounds) == _brute(names, bounds)
+
+    def test_triangular_closed_form_scales(self):
+        # N=2000 triangular: (N+1)(N+2)/2 iterations, counted without a loop
+        # over the space.
+        n = 2000
+        names = ["i1", "i2"]
+        bounds = [LoopBounds(0, n), LoopBounds(AffineExpr.variable("i1"), n)]
+        assert closed_form_count(names, bounds) == (n + 1) * (n + 2) // 2
+
+
+class TestTransformedIterationCount:
+    @pytest.mark.parametrize("factory", [example_4_1, example_4_2, three_deep_variable_loop])
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_equals_enumeration(self, factory, n):
+        nest = factory(n)
+        transformed = TransformedLoopNest.from_report(analyze_nest(nest))
+        assert transformed.iteration_count() == sum(1 for _ in transformed.iterations())
+
+    def test_triangular_nest_closed_form(self):
+        nest = (
+            loop_nest("triangle")
+            .loop("i1", 0, 9)
+            .loop("i2", "i1", 9)
+            .statement("A[i1, i2] = A[i1 - 1, i2 - 1] + 1.0")
+            .build()
+        )
+        transformed = TransformedLoopNest.from_report(analyze_nest(nest))
+        assert nest.iteration_count() == 55
+        assert transformed.iteration_count() == 55
+        assert transformed.iteration_count() == sum(1 for _ in transformed.iterations())
