@@ -168,10 +168,12 @@ class RunResult:
         """Total work over the largest chunk (machine-independent parallelism).
 
         Derived from the plan's closed-form chunk sizes — the iterations
-        themselves were never materialized to produce this.
+        themselves were never materialized to produce this.  A
+        zero-iteration run reports 0.0 ("no work"), not 1.0 ("no
+        parallelism").
         """
         largest = self.max_chunk_size
-        return (self.iterations / largest) if largest else 1.0
+        return (self.iterations / largest) if largest else 0.0
 
     @property
     def analysis_seconds(self) -> float:

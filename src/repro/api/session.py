@@ -45,7 +45,14 @@ from repro.core.cache import AnalysisCache
 from repro.core.pipeline import ParallelizationReport, analyze_nest
 from repro.exceptions import ExecutionError, WorkloadError
 from repro.loopnest.nest import LoopNest
-from repro.plan import ExecutionPlan
+from repro.plan import (
+    DEFAULT_PLAN_PASSES,
+    ExecutionPlan,
+    FusePlansPass,
+    PlanPassManager,
+    available_plan_passes,
+    build_plan_pipeline,
+)
 from repro.runtime.arrays import ArrayStore, store_for_nest
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
 from repro.runtime.executor import EXECUTION_MODES, ParallelExecutor
@@ -72,6 +79,18 @@ class SessionConfig:
     run's original nest through the interpreter reference and records the
     maximum absolute difference on the :class:`~repro.api.results.RunResult`;
     ``"never"`` (the default) skips the check.
+
+    ``plan_passes`` names the plan→plan optimization pipeline
+    (:mod:`repro.plan.passes`) run over every program's execution plan
+    after planning; the optimized plan is what the program LRU caches and
+    the executor dispatches.  ``None`` (the default) picks by mode:
+    dispatch-bound modes (``threads``, ``processes``, ``shared``) get
+    ``("coalesce", "tile")`` — coalescing trades the round-major chunk
+    structure for fewer per-chunk dispatches, a win exactly when each
+    chunk costs a future, a pickle or a pool message — while ``serial``
+    gets ``("tile",)`` only, because serial dispatch is free and the raw
+    chunking gives the vectorized backend its widest rounds.  An empty
+    tuple disables optimization entirely.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -84,8 +103,21 @@ class SessionConfig:
     include_self: bool = True
     allow_partitioning: bool = True
     initializer: str = "index_sum"
+    plan_passes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.plan_passes is not None:
+            # Normalize early (lists and generators are convenient to pass)
+            # so the frozen config hashes and compares by value.
+            object.__setattr__(self, "plan_passes", tuple(self.plan_passes))
+            known = available_plan_passes()
+            for name in self.plan_passes:
+                if name not in known:
+                    raise WorkloadError(
+                        f"unknown plan pass {name!r}; "
+                        f"available: {', '.join(known)}"
+                    )
+
         if self.mode not in EXECUTION_MODES:
             raise WorkloadError(
                 f"unknown execution mode {self.mode!r}; "
@@ -109,6 +141,12 @@ class SessionConfig:
             raise WorkloadError(f"workers must be >= 1, got {self.workers}")
         if self.cache_size < 1:
             raise WorkloadError(f"cache_size must be >= 1, got {self.cache_size}")
+
+    def resolved_plan_passes(self) -> Tuple[str, ...]:
+        """The pipeline this config actually runs (mode default applied)."""
+        if self.plan_passes is not None:
+            return self.plan_passes
+        return DEFAULT_PLAN_PASSES if self.mode != "serial" else ("tile",)
 
 
 class Session:
@@ -145,6 +183,10 @@ class Session:
             self._cache = None
         self._executor: Optional[ParallelExecutor] = None
         self._executor_creations = 0
+        plan_passes = config.resolved_plan_passes()
+        self._plan_pipeline: Optional[PlanPassManager] = (
+            build_plan_pipeline(plan_passes) if plan_passes else None
+        )
         self._programs: (
             "OrderedDict[Tuple[str, str], Tuple[TransformedLoopNest, ExecutionPlan]]"
         ) = OrderedDict()
@@ -266,6 +308,90 @@ class Session:
             program_seconds=program_seconds,
         )
 
+    def run_fused(
+        self,
+        sources: Sequence[LoopSource],
+        *,
+        placement: Optional[str] = None,
+        names: Optional[Sequence[Optional[str]]] = None,
+        initializer: Optional[str] = None,
+        n: Optional[int] = None,
+        verify: Optional[bool] = None,
+    ) -> List[RunResult]:
+        """Analyze several sources and execute their plans as *one* dispatch.
+
+        The members' (independently optimized) plans are fused by
+        :class:`~repro.plan.FusePlansPass` into a single schedule over the
+        concatenated chunk space: balancing, process fan-out and — in
+        ``shared`` mode — the worker-pool job all happen once for the whole
+        batch instead of once per source.  Each source keeps its own store;
+        results come back in input order.  A single source degrades to a
+        plain :meth:`run`.
+        """
+        sources = list(sources)
+        if names is None:
+            names = [None] * len(sources)
+        elif len(names) != len(sources):
+            raise WorkloadError(
+                f"names has {len(names)} entries for {len(sources)} sources"
+            )
+        if not sources:
+            return []
+        if len(sources) == 1:
+            return [
+                self.run(
+                    sources[0], placement=placement, name=names[0],
+                    initializer=initializer, n=n, verify=verify,
+                )
+            ]
+        nests: List[LoopNest] = []
+        analyses: List[AnalysisResult] = []
+        transformeds: List[TransformedLoopNest] = []
+        plans: List[ExecutionPlan] = []
+        program_seconds: List[float] = []
+        for source, name in zip(sources, names):
+            nest = resolve_source(source, name=name, n=n)
+            analysis = self._analyze_nest(nest, placement=placement, name=name)
+            program_start = time.perf_counter()
+            transformed, plan = self._program_for(nest, analysis.report)
+            program_seconds.append(time.perf_counter() - program_start)
+            nests.append(nest)
+            analyses.append(analysis)
+            transformeds.append(transformed)
+            plans.append(plan)
+        fuse_start = time.perf_counter()
+        ctx = PlanPassManager([FusePlansPass()]).optimize(plans, tuple(transformeds))
+        [fused] = ctx.plans
+        fuse_seconds = (time.perf_counter() - fuse_start) / len(sources)
+        stores = [
+            store_for_nest(nest, initializer=initializer or self.config.initializer)
+            for nest in nests
+        ]
+        check = self.config.verify == "always" if verify is None else bool(verify)
+        references = [store.copy() for store in stores] if check else None
+        executions = self.executor.run_fused(transformeds, fused, stores)
+        results: List[RunResult] = []
+        for index, (nest, analysis, execution, store) in enumerate(
+            zip(nests, analyses, executions, stores)
+        ):
+            max_abs_difference: Optional[float] = None
+            if references is not None:
+                execute_nest(nest, references[index])
+                max_abs_difference = references[index].max_abs_difference(store)
+            checksum = sum(float(array.data.sum()) for array in store.values())
+            results.append(
+                RunResult(
+                    analysis=analysis,
+                    execution=execution,
+                    checksum=checksum,
+                    max_abs_difference=max_abs_difference,
+                    program_seconds=program_seconds[index] + fuse_seconds,
+                )
+            )
+        with self._lock:
+            self._runs += len(results)
+        return results
+
     def map(
         self,
         sources: Sequence[LoopSource],
@@ -384,6 +510,10 @@ class Session:
                 return entry
         transformed = TransformedLoopNest.from_report(report)
         plan = transformed.execution_plan()
+        if self._plan_pipeline is not None:
+            # The optimized plan is what gets cached and dispatched; the
+            # passes are bit-exact rewrites, so consumers need no opt-out.
+            plan = self._plan_pipeline.optimize([plan], (transformed,)).plans[0]
         with self._lock:
             self._programs[key] = (transformed, plan)
             self._programs.move_to_end(key)

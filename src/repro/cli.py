@@ -41,6 +41,7 @@ from repro.isdg.partitions import partition_labels_of_iterations
 from repro.isdg.render import render_ascii_grid, render_distance_histogram, render_partition_grid
 from repro.isdg.stats import compute_statistics
 from repro.loopnest.nest import LoopNest
+from repro.plan import DEFAULT_PLAN_PASSES, available_plan_passes
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
 from repro.runtime.executor import EXECUTION_MODES
 from repro.runtime.simulator import simulate_schedule
@@ -99,6 +100,21 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         "the persistent zero-copy worker pool, 'processes' the fork-per-call "
         "copy-and-merge pool (default: serial)",
     )
+    group.add_argument(
+        "--plan-passes",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated plan optimization passes run over every "
+        "execution plan after planning (default: auto — "
+        f"{','.join(DEFAULT_PLAN_PASSES)} for the dispatch-bound modes, "
+        "tile only for serial; available: "
+        f"{', '.join(available_plan_passes())})",
+    )
+    group.add_argument(
+        "--no-plan-passes",
+        action="store_true",
+        help="dispatch the raw execution plan, skipping plan optimization",
+    )
 
 
 def session_config_from_args(args, **overrides) -> SessionConfig:
@@ -110,6 +126,12 @@ def session_config_from_args(args, **overrides) -> SessionConfig:
         placement=args.placement,
         use_cache=not args.no_cache,
     )
+    if getattr(args, "no_plan_passes", False):
+        options["plan_passes"] = ()
+    elif getattr(args, "plan_passes", None):
+        options["plan_passes"] = tuple(
+            name.strip() for name in args.plan_passes.split(",") if name.strip()
+        )
     options.update(overrides)
     return SessionConfig(**options)
 
@@ -216,7 +238,7 @@ def _cmd_batch(nests: List[LoopNest], args, session: Session) -> str:
     jobs = jobs_from_nests(
         nests, placement=args.placement, repeat=getattr(args, "repeat", 1)
     )
-    with BatchService(session=session) as service:
+    with BatchService(session=session, fuse=getattr(args, "fuse", False)) as service:
         batch_report = service.submit(jobs)
     return batch_report.describe()
 
@@ -306,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
                 default=1,
                 help="submit the job list this many times (structural "
                 "duplicates share one analysis through the cache; default: 1)",
+            )
+            sub.add_argument(
+                "--fuse",
+                action="store_true",
+                help="fuse adjacent compatible jobs into one dispatch per "
+                "window (one balancing decision and pool job per window)",
             )
     return parser
 

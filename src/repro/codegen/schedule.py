@@ -110,5 +110,7 @@ def schedule_statistics(chunks: Sequence[Chunk]) -> Dict[str, float]:
         "max_chunk_size": largest,
         "min_chunk_size": min(sizes),
         "mean_chunk_size": total / len(chunks) if chunks else 0.0,
-        "ideal_speedup": (total / largest) if largest else 1.0,
+        # Zero iterations means no work to parallelize: 0.0, matching
+        # ``ExecutionPlan.statistics`` (1.0 would read as "no parallelism").
+        "ideal_speedup": (total / largest) if largest else 0.0,
     }

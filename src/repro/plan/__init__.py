@@ -11,5 +11,39 @@ contracts.
 """
 
 from repro.plan.ir import ChunkView, ExecutionPlan, PlanLevel
+from repro.plan.passes import (
+    DEFAULT_PLAN_PASSES,
+    CoalesceChunksPass,
+    FusedPlan,
+    FusePlansPass,
+    PlanPass,
+    PlanPassManager,
+    PlanPipelineContext,
+    TiledPlan,
+    TileSequentialLevelsPass,
+    available_plan_passes,
+    build_plan_pipeline,
+    get_plan_pass,
+    optimize_plan,
+    register_plan_pass,
+)
 
-__all__ = ["ChunkView", "ExecutionPlan", "PlanLevel"]
+__all__ = [
+    "ChunkView",
+    "ExecutionPlan",
+    "PlanLevel",
+    "PlanPass",
+    "PlanPassManager",
+    "PlanPipelineContext",
+    "CoalesceChunksPass",
+    "TileSequentialLevelsPass",
+    "FusePlansPass",
+    "TiledPlan",
+    "FusedPlan",
+    "register_plan_pass",
+    "get_plan_pass",
+    "available_plan_passes",
+    "build_plan_pipeline",
+    "optimize_plan",
+    "DEFAULT_PLAN_PASSES",
+]

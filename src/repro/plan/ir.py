@@ -65,16 +65,28 @@ class PlanLevel:
     new indices).  ``stride`` is the HNF diagonal entry for partitioned
     levels (the paper's generated-loop step) and 1 otherwise;
     ``partition_pos`` is the level's position among the partitioned levels.
+
+    ``block`` applies to parallel levels only: with ``block == B > 1`` the
+    level contributes ``value // B`` to the chunk key instead of the value
+    itself, so ``B`` adjacent parallel values share one chunk (executed in
+    value order).  This is how the coalescing plan pass merges adjacent
+    doall ranges without leaving the symbolic representation — the blocked
+    plan is still a plain :class:`ExecutionPlan`.
     """
 
     role: str
     bounds: VariableBounds
     stride: int = 1
     partition_pos: int = -1
+    block: int = 1
 
     def __post_init__(self) -> None:
         if self.role not in _ROLES:
             raise CodegenError(f"unknown plan level role {self.role!r}")
+        if self.block < 1:
+            raise CodegenError(f"plan level block must be >= 1, got {self.block}")
+        if self.block > 1 and self.role != "parallel":
+            raise CodegenError("only parallel plan levels can be blocked")
 
 
 class ChunkView:
@@ -281,10 +293,16 @@ class ExecutionPlan:
                 )
             invariant.append(flag)
         self._invariant = invariant
-        parallel_set = set(self.parallel_levels)
         #: Chunk sizes decompose into a per-level product when no level's
-        #: bounds depend on a level that varies within a chunk.
-        self._separable = all(deps[level] <= parallel_set for level in range(depth))
+        #: bounds depend on a level that varies within a chunk.  Blocked
+        #: parallel levels vary within their chunk, so only unblocked
+        #: parallel levels count as chunk constants.
+        unblocked_parallel = {
+            k for k in self.parallel_levels if self.levels[k].block == 1
+        }
+        self._separable = all(
+            deps[level] <= unblocked_parallel for level in range(depth)
+        )
         #: A partitioned level's congruence target is fixed per chunk when
         #: no outer partition level shifts it (off-diagonal HNF entries
         #: vanish modulo the stride); per partition position, and for the
@@ -336,11 +354,18 @@ class ExecutionPlan:
         return tuple(residual)
 
     def key_of(self, iteration: Sequence[int]) -> ChunkKey:
-        """The chunk key of a new-space iteration (parallel values, label)."""
-        return (
-            tuple(int(iteration[k]) for k in self.parallel_levels),
-            self._label_of(iteration),
-        )
+        """The chunk key of a new-space iteration (parallel values, label).
+
+        A blocked parallel level contributes its block index
+        ``value // block`` instead of the value, so adjacent values share a
+        chunk.
+        """
+        parallel: List[int] = []
+        for k in self.parallel_levels:
+            block = self.levels[k].block
+            value = int(iteration[k])
+            parallel.append(value // block if block > 1 else value)
+        return (tuple(parallel), self._label_of(iteration))
 
     # ------------------------------------------------------------------ #
     # chunk discovery (keys in first-appearance order)
@@ -365,7 +390,7 @@ class ExecutionPlan:
             if upper < lower:
                 # Empty integer fiber (integrality gap): nothing below.
                 return
-            if spec.role == "parallel":
+            if spec.role == "parallel" and spec.block == 1:
                 # Every value is a distinct key component: no dedupe, and
                 # value order is first-appearance order.
                 for value in range(lower, upper + 1):
@@ -374,13 +399,20 @@ class ExecutionPlan:
                     prefix.pop()
             elif self._invariant[level]:
                 # The subtree's key set cannot change across representative
-                # values: the first period (partition) or the first value
+                # values: the first value of each block (blocked parallel),
+                # the first period (partition) or the first value
                 # (sequential) already starts every chunk.
-                if spec.role == "partition":
-                    high = min(upper, lower + spec.stride - 1)
+                if spec.role == "parallel":
+                    values: List[int] = []
+                    value = lower
+                    while value <= upper:
+                        values.append(value)
+                        value = (value // spec.block + 1) * spec.block
+                elif spec.role == "partition":
+                    values = list(range(lower, min(upper, lower + spec.stride - 1) + 1))
                 else:
-                    high = lower
-                for value in range(lower, high + 1):
+                    values = [lower]
+                for value in values:
                     prefix.append(value)
                     yield from scan(level + 1)
                     prefix.pop()
@@ -452,8 +484,12 @@ class ExecutionPlan:
             spec = self.levels[level]
             lower, upper = self._range(level, prefix)
             if spec.role == "parallel":
-                value = value_at[level]
-                if lower <= value <= upper:
+                if spec.block == 1:
+                    start = stop = value_at[level]
+                else:
+                    base = value_at[level] * spec.block
+                    start, stop = base, base + spec.block - 1
+                for value in range(max(lower, start), min(upper, stop) + 1):
                     prefix.append(value)
                     yield from scan(level + 1)
                     prefix.pop()
@@ -492,18 +528,30 @@ class ExecutionPlan:
     def _compute_value_ranges(self, key: ChunkKey) -> Optional[List[Tuple[int, int, int]]]:
         parallel_values, label = key
         value_at = dict(zip(self.parallel_levels, parallel_values))
-        # Bounds only reference parallel levels, whose values are fixed
-        # within the chunk; other positions of the prefix are never read.
-        prefix = [value_at.get(level, 0) for level in range(self.depth)]
+        # Bounds only reference unblocked parallel levels, whose values are
+        # fixed within the chunk; other positions of the prefix are never
+        # read (blocked levels store their block start, for safety).
+        prefix = [
+            value_at.get(level, 0) * self.levels[level].block
+            for level in range(self.depth)
+        ]
         ranges: List[Tuple[int, int, int]] = []
         for level in range(self.depth):
             spec = self.levels[level]
             lower, upper = self._range(level, prefix[:level])
             if spec.role == "parallel":
-                value = value_at[level]
-                if not lower <= value <= upper:
-                    return []
-                ranges.append((value, value, 1))
+                if spec.block == 1:
+                    value = value_at[level]
+                    if not lower <= value <= upper:
+                        return []
+                    ranges.append((value, value, 1))
+                else:
+                    base = value_at[level] * spec.block
+                    start = max(lower, base)
+                    stop = min(upper, base + spec.block - 1)
+                    if start > stop:
+                        return []
+                    ranges.append((start, stop, 1))
             elif spec.role == "partition":
                 s = spec.partition_pos
                 stride = spec.stride
@@ -533,15 +581,25 @@ class ExecutionPlan:
     def _closed_chunk_size(self, key: ChunkKey) -> Optional[int]:
         parallel_values, label = key
         value_at = dict(zip(self.parallel_levels, parallel_values))
-        prefix = [value_at.get(level, 0) for level in range(self.depth)]
+        prefix = [
+            value_at.get(level, 0) * self.levels[level].block
+            for level in range(self.depth)
+        ]
         size = 1
         for level in range(self.depth):
             spec = self.levels[level]
             lower, upper = self._range(level, prefix[:level])
             extent = upper - lower + 1
             if spec.role == "parallel":
-                if not lower <= value_at[level] <= upper:
-                    return 0
+                if spec.block == 1:
+                    if not lower <= value_at[level] <= upper:
+                        return 0
+                else:
+                    base = value_at[level] * spec.block
+                    overlap = min(upper, base + spec.block - 1) - max(lower, base) + 1
+                    if overlap <= 0:
+                        return 0
+                    size *= overlap
             elif spec.role == "partition":
                 stride = spec.stride
                 if extent <= 0:
@@ -606,7 +664,9 @@ class ExecutionPlan:
             if extent <= 0:
                 return 0
             if spec.role == "parallel":
-                count *= extent
+                # With block B, chunks are the distinct blocks the range
+                # touches (block 1 reduces to the plain extent).
+                count *= upper // spec.block - lower // spec.block + 1
             else:
                 stride = spec.stride
                 if extent < stride and not self._fixed_target_at[spec.partition_pos]:
@@ -633,7 +693,10 @@ class ExecutionPlan:
             "max_chunk_size": largest,
             "min_chunk_size": min(sizes),
             "mean_chunk_size": total / count if count else 0.0,
-            "ideal_speedup": (total / largest) if largest else 1.0,
+            # A zero-iteration plan has no work to parallelize: report 0.0,
+            # not the 1.0 ("no parallelism") a largest-chunk division of
+            # zero used to suggest.
+            "ideal_speedup": (total / largest) if largest else 0.0,
         }
 
     # ------------------------------------------------------------------ #

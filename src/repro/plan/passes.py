@@ -1,0 +1,486 @@
+"""Plan→plan optimization passes over the symbolic ExecutionPlan IR.
+
+The analysis side of the repo has been pass-based since the
+:class:`~repro.core.passes.PassManager` refactor; this module gives the
+*plan* side the same shape.  A :class:`PlanPass` rewrites one or more
+symbolic :class:`~repro.plan.ExecutionPlan` objects into cheaper but
+result-identical plans; a :class:`PlanPassManager` runs a configured
+sequence of them over a :class:`PlanPipelineContext`, timing every pass
+(:class:`~repro.core.passes.PassTiming`) and recording every rewrite as a
+:class:`~repro.core.report.TransformationStep` — exactly the protocol the
+analysis pipeline uses, so timings and steps render through the same
+helpers.
+
+Three rewrites ship by default:
+
+* :class:`CoalesceChunksPass` — merge adjacent chunks into larger doall
+  ranges.  Partition labels on the same parallel front are folded into one
+  chunk (the partitioned levels become plain sequential levels scanned with
+  step 1), and adjacent parallel fronts are merged ``block`` at a time via
+  the :class:`~repro.plan.PlanLevel` ``block`` attribute.  Both moves are
+  pure *regroupings* of the same iterations: chunks of a legal schedule are
+  pairwise independent (Lemma 1 / Theorem 2), so executing several of them
+  interleaved in lexicographic order — which is what the merged chunk does —
+  is a legal order, and every iteration executes exactly once.  Fewer chunks
+  means fewer dispatches, smaller pool messages and fatter vectorized
+  rounds.
+* :class:`TileSequentialLevelsPass` — wrap the plan in a :class:`TiledPlan`
+  carrying a ``tile_iterations`` budget.  Chunk structure is untouched
+  (same keys, sizes, order); the vectorized backend reads the budget and
+  executes each chunk's index block in consecutive *tiles* of at most that
+  many iterations (wave-major across chunks), so the gather/scatter working
+  set of a round stays cache-sized even for huge chunks.  Intra-chunk order
+  is preserved tile by tile, which is all legality requires.
+* :class:`FusePlansPass` — concatenate the plans of *distinct* nests into
+  one :class:`FusedPlan` whose global chunk index space is the members'
+  spaces laid end to end.  One executor dispatch (one pool job, one process
+  fan-out) then serves several nests at once — the batch-serving win.
+  Members own disjoint stores, so any interleaving of their chunks is
+  trivially legal.
+
+Every rewrite preserves the differential contract bit for bit: the multiset
+of executed iterations and the resulting array contents are identical to
+the enumeration reference (``build_schedule_by_enumeration``), for every
+backend and execution mode.  ``tests/plan/test_plan_passes.py`` pins this.
+
+Passes register by name — :func:`register_plan_pass` /
+:func:`get_plan_pass`, mirroring the backend registry — so a session can be
+configured with ``plan_passes=("coalesce", "tile")`` strings end to end
+(CLI: ``--plan-passes`` / ``--no-plan-passes``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.passes import Pass, PassManager, PassTiming
+from repro.core.report import TransformationStep
+from repro.exceptions import CodegenError
+from repro.plan.ir import ExecutionPlan
+
+__all__ = [
+    "PlanPipelineContext",
+    "PlanPass",
+    "PlanPassManager",
+    "CoalesceChunksPass",
+    "TileSequentialLevelsPass",
+    "FusePlansPass",
+    "TiledPlan",
+    "FusedPlan",
+    "register_plan_pass",
+    "get_plan_pass",
+    "available_plan_passes",
+    "build_plan_pipeline",
+    "optimize_plan",
+    "DEFAULT_PLAN_PASSES",
+]
+
+#: The pipeline a Session runs after planning unless configured otherwise.
+#: Fusion is not in it: fusing needs several plans, which only the batch
+#: entry points (``Session.run_fused`` / ``BatchService(fuse=True)``) have.
+DEFAULT_PLAN_PASSES: Tuple[str, ...] = ("coalesce", "tile")
+
+
+# --------------------------------------------------------------------------- #
+# plan wrappers produced by the passes
+# --------------------------------------------------------------------------- #
+
+class TiledPlan(ExecutionPlan):
+    """An :class:`ExecutionPlan` plus a per-chunk tile budget.
+
+    Chunk keys, order, sizes and iterations are exactly the base plan's —
+    the class *is* an ``ExecutionPlan`` (same spec fields plus
+    ``tile_iterations``), so every consumer that ships, pickles or
+    enumerates plans handles it unchanged.  The one consumer that behaves
+    differently is the vectorized backend: it splits each chunk's index
+    block into consecutive windows of at most ``tile_iterations`` rows and
+    executes the windows wave-major (wave ``w`` holds the ``w``-th tile of
+    every chunk), keeping the round working set cache-sized.  Executing a
+    chunk's tiles in order preserves the intra-chunk iteration order, so
+    the schedule stays legal whenever the untiled one was.
+    """
+
+    _SPEC_FIELDS = ExecutionPlan._SPEC_FIELDS + ("tile_iterations",)
+
+    def __init__(self, base: ExecutionPlan, tile_iterations: int):
+        self.tile_iterations = int(tile_iterations)
+        if self.tile_iterations < 1:
+            raise CodegenError(
+                f"tile_iterations must be >= 1, got {tile_iterations}"
+            )
+        super().__init__(
+            depth=base.depth,
+            levels=base.levels,
+            parallel_levels=base.parallel_levels,
+            partition_levels=base.partition_levels,
+            hnf=base.hnf,
+            total_iterations=base.total_iterations,
+        )
+
+    def describe(self) -> str:
+        return (
+            super().describe()[:-1]
+            + f", tile_iterations={self.tile_iterations})"
+        )
+
+
+class FusedPlan:
+    """Several plans of *distinct* nests as one global chunk index space.
+
+    Member ``m``'s chunks occupy the global schedule positions
+    ``[split_starts[m], split_starts[m] + members[m].chunk_count)``; the
+    executor balances and dispatches global indices exactly like a single
+    plan's, and :meth:`split_group` maps a dispatched group back to
+    ``(member, local chunk indices)`` pairs for execution.  Members run
+    against their own stores, so cross-member ordering is unconstrained.
+
+    Not an :class:`ExecutionPlan` subclass on purpose: a fused plan has no
+    single bounds structure, and every consumer must split before touching
+    a member.  It pickles through its members (a few hundred bytes each).
+    """
+
+    def __init__(self, members: Sequence[ExecutionPlan]):
+        self.members: Tuple[ExecutionPlan, ...] = tuple(members)
+        if not self.members:
+            raise CodegenError("a fused plan needs at least one member plan")
+        counts = [member.chunk_count for member in self.members]
+        #: Global index of each member's first chunk.
+        self.split_starts: Tuple[int, ...] = tuple(
+            itertools.accumulate([0] + counts[:-1])
+        )
+        self._chunk_count = sum(counts)
+
+    @property
+    def chunk_count(self) -> int:
+        return self._chunk_count
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(member.total_iterations for member in self.members)
+
+    def chunk_sizes(self) -> List[int]:
+        """Global chunk sizes: members' sizes laid end to end."""
+        sizes: List[int] = []
+        for member in self.members:
+            sizes.extend(member.chunk_sizes())
+        return sizes
+
+    def member_of(self, global_index: int) -> Tuple[int, int]:
+        """``(member, local chunk index)`` of a global schedule position."""
+        if not 0 <= global_index < self._chunk_count:
+            raise CodegenError(
+                f"global chunk index {global_index} out of range "
+                f"(fused plan has {self._chunk_count} chunks)"
+            )
+        member = bisect_right(self.split_starts, global_index) - 1
+        return member, global_index - self.split_starts[member]
+
+    def split_group(
+        self, global_indices: Sequence[int]
+    ) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Group global chunk indices by member, preserving dispatch order."""
+        per_member: Dict[int, List[int]] = {}
+        for global_index in global_indices:
+            member, local = self.member_of(int(global_index))
+            per_member.setdefault(member, []).append(local)
+        return [
+            (member, tuple(locals_)) for member, locals_ in sorted(per_member.items())
+        ]
+
+    def describe(self) -> str:
+        inner = ", ".join(member.describe() for member in self.members)
+        return f"FusedPlan({len(self.members)} member(s): {inner})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+# --------------------------------------------------------------------------- #
+# the pass protocol over plans
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class PlanPipelineContext:
+    """Shared state of one plan-pass pipeline run.
+
+    ``plans`` is the list the passes rewrite in place — one entry for a
+    single-nest pipeline, several for a fusion batch.  ``transformed``
+    holds the matching transformed nests (same order), which the passes may
+    consult but never modify.  ``timings`` / ``steps`` follow the analysis
+    pipeline's recording protocol (:class:`~repro.core.passes.PassTiming`,
+    :class:`~repro.core.report.TransformationStep`), so the core
+    :class:`~repro.core.passes.PassManager` drives this context unchanged.
+    """
+
+    plans: List[Any]
+    transformed: Tuple[Any, ...] = ()
+    steps: List[TransformationStep] = field(default_factory=list)
+    timings: List[PassTiming] = field(default_factory=list)
+    extras: Dict[str, Any] = field(default_factory=dict)
+    finished: bool = False
+
+    def add_step(self, name: str, description: str, matrix=None) -> None:
+        if matrix is not None:
+            matrix = tuple(tuple(row) for row in matrix)
+        self.steps.append(TransformationStep(name, description, matrix))
+
+
+class PlanPass(Pass):
+    """One plan→plan rewrite.  Must preserve executed iterations and results."""
+
+    name = "plan-pass"
+
+    def should_run(self, ctx: PlanPipelineContext) -> bool:
+        return not ctx.finished and bool(ctx.plans)
+
+    def run(self, ctx: PlanPipelineContext) -> None:
+        raise NotImplementedError
+
+
+class PlanPassManager(PassManager):
+    """A :class:`~repro.core.passes.PassManager` over plan contexts.
+
+    Same timing/skip semantics as the analysis manager; :meth:`optimize` is
+    the one-call convenience the session uses.
+    """
+
+    def __init__(self, passes: Sequence[PlanPass], name: str = "plan-optimize"):
+        super().__init__(passes, name=name)
+
+    def optimize(
+        self, plans: Sequence[Any], transformed: Sequence[Any] = ()
+    ) -> PlanPipelineContext:
+        ctx = PlanPipelineContext(plans=list(plans), transformed=tuple(transformed))
+        self.run(ctx)
+        return ctx
+
+
+# --------------------------------------------------------------------------- #
+# coalescing
+# --------------------------------------------------------------------------- #
+
+class CoalesceChunksPass(PlanPass):
+    """Merge adjacent chunks into larger doall ranges.
+
+    Two symbolic rewrites, both pure regroupings of independent chunks:
+
+    * *label folding* — every partitioned level becomes a plain sequential
+      level (scanned with step 1 over its full range), so all partition
+      labels of one parallel front merge into a single chunk.  The merged
+      chunk executes the labels interleaved in lexicographic order, which
+      preserves each label's intra-chunk order — legal because labels on
+      one front are mutually independent chunks;
+    * *front blocking* — the innermost parallel level gets
+      ``block=B``, merging ``B`` adjacent fronts per chunk (key component
+      ``value // B``).
+
+    Neither rewrite fires when it would shrink the schedule below
+    ``min_chunks`` chunks: coalescing trades dispatch overhead against
+    parallelism, and a plan that is already small has nothing to trade.
+    """
+
+    name = "coalesce"
+
+    def __init__(self, min_chunks: int = 8, block: int = 2):
+        self.min_chunks = max(1, int(min_chunks))
+        self.block = max(1, int(block))
+
+    def run(self, ctx: PlanPipelineContext) -> None:
+        for index, plan in enumerate(ctx.plans):
+            if type(plan) is not ExecutionPlan:
+                continue  # tiled/fused plans are downstream products
+            coalesced, description = self._coalesce(plan)
+            if coalesced is not plan:
+                ctx.plans[index] = coalesced
+                ctx.add_step(self.name, description)
+
+    def _coalesce(self, plan: ExecutionPlan) -> Tuple[ExecutionPlan, str]:
+        before = plan.chunk_count
+        if before <= self.min_chunks:
+            return plan, ""
+        candidate = plan
+        folded = False
+        if candidate.partition_levels:
+            attempt = self._fold_labels(candidate)
+            if attempt.chunk_count >= self.min_chunks:
+                candidate = attempt
+                folded = True
+        blocked = False
+        if self.block > 1:
+            attempt = self._block_front(candidate)
+            if attempt is not None and attempt.chunk_count >= self.min_chunks:
+                candidate = attempt
+                blocked = True
+        if candidate is plan:
+            return plan, ""
+        moves = []
+        if folded:
+            moves.append("folded partition labels into their fronts")
+        if blocked:
+            moves.append(f"blocked the innermost parallel level by {self.block}")
+        return candidate, (
+            f"{'; '.join(moves)}: {before} -> {candidate.chunk_count} chunk(s)"
+        )
+
+    @staticmethod
+    def _fold_labels(plan: ExecutionPlan) -> ExecutionPlan:
+        """Demote every partitioned level to sequential (labels merge)."""
+        levels = [
+            replace(level, role="sequential", stride=1, partition_pos=-1)
+            if level.role == "partition"
+            else level
+            for level in plan.levels
+        ]
+        return ExecutionPlan(
+            depth=plan.depth,
+            levels=levels,
+            parallel_levels=plan.parallel_levels,
+            partition_levels=(),
+            hnf=(),
+            total_iterations=plan.total_iterations,
+        )
+
+    def _block_front(self, plan: ExecutionPlan) -> Optional[ExecutionPlan]:
+        """Block the innermost unblocked parallel level by ``self.block``."""
+        for level_index in reversed(plan.parallel_levels):
+            if plan.levels[level_index].block == 1:
+                break
+        else:
+            return None
+        levels = list(plan.levels)
+        levels[level_index] = replace(levels[level_index], block=self.block)
+        return ExecutionPlan(
+            depth=plan.depth,
+            levels=levels,
+            parallel_levels=plan.parallel_levels,
+            partition_levels=plan.partition_levels,
+            hnf=plan.hnf,
+            total_iterations=plan.total_iterations,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# tiling
+# --------------------------------------------------------------------------- #
+
+class TileSequentialLevelsPass(PlanPass):
+    """Give big chunks a cache-sized tile budget (see :class:`TiledPlan`).
+
+    Fires only when some chunk exceeds ``tile_iterations`` — a schedule of
+    small chunks gains nothing from tiling, and skipping keeps the plan a
+    plain :class:`ExecutionPlan`.  The default budget (4096 iterations, a
+    few hundred KiB of index/gather state at float64) is chosen to keep a
+    round's working set within L2-sized caches.
+    """
+
+    name = "tile"
+
+    def __init__(self, tile_iterations: int = 4096):
+        self.tile_iterations = max(1, int(tile_iterations))
+
+    def run(self, ctx: PlanPipelineContext) -> None:
+        for index, plan in enumerate(ctx.plans):
+            if not isinstance(plan, ExecutionPlan) or isinstance(plan, TiledPlan):
+                continue
+            largest = max(plan.chunk_sizes(), default=0)
+            if largest <= self.tile_iterations:
+                continue
+            ctx.plans[index] = TiledPlan(plan, self.tile_iterations)
+            ctx.add_step(
+                self.name,
+                f"tiled chunks of up to {largest} iterations into windows of "
+                f"{self.tile_iterations}",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# fusion
+# --------------------------------------------------------------------------- #
+
+class FusePlansPass(PlanPass):
+    """Fuse the context's plans into one :class:`FusedPlan`.
+
+    Requires at least two member plans (skipped otherwise) — single-plan
+    pipelines never fuse.  The members keep their identities (and their
+    coalesced/tiled rewrites, which run before fusion in the default
+    order); only the dispatch index space is concatenated.
+    """
+
+    name = "fuse"
+
+    def should_run(self, ctx: PlanPipelineContext) -> bool:
+        return super().should_run(ctx) and len(ctx.plans) >= 2
+
+    def run(self, ctx: PlanPipelineContext) -> None:
+        members = list(ctx.plans)
+        for member in members:
+            if not isinstance(member, ExecutionPlan):
+                raise CodegenError(
+                    "FusePlansPass fuses ExecutionPlan members only, got "
+                    f"{type(member).__name__}"
+                )
+        fused = FusedPlan(members)
+        ctx.extras["fused_members"] = tuple(members)
+        ctx.plans[:] = [fused]
+        ctx.add_step(
+            self.name,
+            f"fused {len(members)} plan(s) into one dispatch of "
+            f"{fused.chunk_count} chunk(s)",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# registry, mirroring the backend registry
+# --------------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Callable[..., PlanPass]] = {}
+
+
+def register_plan_pass(name: str, factory: Callable[..., PlanPass]) -> None:
+    """Register a plan-pass factory under ``name`` (overwrites silently)."""
+    _REGISTRY[str(name)] = factory
+
+
+def available_plan_passes() -> Tuple[str, ...]:
+    """Names of all registered plan passes, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_plan_pass(name: str, **options) -> PlanPass:
+    """Instantiate the plan pass registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise CodegenError(
+            f"unknown plan pass {name!r}; available: "
+            f"{', '.join(available_plan_passes())}"
+        ) from None
+    return factory(**options)
+
+
+def build_plan_pipeline(
+    names: Sequence[str] = DEFAULT_PLAN_PASSES,
+) -> PlanPassManager:
+    """A :class:`PlanPassManager` over the named registered passes."""
+    return PlanPassManager([get_plan_pass(name) for name in names])
+
+
+def optimize_plan(
+    plan: ExecutionPlan,
+    transformed=None,
+    passes: Sequence[str] = DEFAULT_PLAN_PASSES,
+) -> Tuple[ExecutionPlan, PlanPipelineContext]:
+    """Run the named pipeline over one plan; returns (optimized plan, ctx)."""
+    manager = build_plan_pipeline(passes)
+    ctx = manager.optimize(
+        [plan], (transformed,) if transformed is not None else ()
+    )
+    return ctx.plans[0], ctx
+
+
+register_plan_pass("coalesce", CoalesceChunksPass)
+register_plan_pass("tile", TileSequentialLevelsPass)
+register_plan_pass("fuse", FusePlansPass)

@@ -423,6 +423,7 @@ class VectorizedBackend(ExecutionBackend):
             "fallback_iterations": 0,
             "delegated_runs": 0,
             "illegal_schedule_fallbacks": 0,
+            "tiled_waves": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -477,9 +478,14 @@ class VectorizedBackend(ExecutionBackend):
             )
             return store
         blocks = [_plan_index_block(view, plan.depth) for view in views]
-        all_new = np.concatenate(blocks)
-        sizes = np.asarray([block.shape[0] for block in blocks], dtype=np.int64)
-        if not self._execute_packed(transformed, store, all_new, sizes):
+        tile = int(getattr(plan, "tile_iterations", 0))
+        if tile > 0 and any(block.shape[0] > tile for block in blocks):
+            ok = self._execute_tiled(transformed, store, blocks, tile)
+        else:
+            all_new = np.concatenate(blocks)
+            sizes = np.asarray([block.shape[0] for block in blocks], dtype=np.int64)
+            ok = self._execute_packed(transformed, store, all_new, sizes)
+        if not ok:
             self.stats["illegal_schedule_fallbacks"] += 1
             self.last_execution_engine = "compiled"
             CompiledBackend().execute_plan(
@@ -487,7 +493,89 @@ class VectorizedBackend(ExecutionBackend):
             )
         return store
 
-    def _execute_packed(self, transformed, store, all_new, sizes) -> bool:
+    def _execute_tiled(self, transformed, store, blocks, tile: int) -> bool:
+        """Wave-major execution of a :class:`~repro.plan.TiledPlan`'s blocks.
+
+        Each chunk's index block is split into consecutive windows of at
+        most ``tile`` rows; wave ``w`` packs the ``w``-th window of every
+        chunk and runs the usual rounds over just that slice, so the
+        gather/scatter working set of a round stays bounded by
+        ``tile * chunk count`` cells instead of the whole schedule.
+        Executing a chunk's windows in wave order preserves the intra-chunk
+        iteration order, so legality is exactly the untiled premise — which
+        is why the dynamic independence check runs *globally* over the full
+        blocks before any wave writes: a per-wave check would miss
+        cross-wave, cross-chunk conflicts.
+        """
+        if self.check_independence and not self._plan_blocks_independent(
+            transformed, store, blocks
+        ):
+            return False
+        nest = transformed.nest
+        inverse = np.asarray(transformed.inverse_transform, dtype=np.int64)
+        waves = max((block.shape[0] + tile - 1) // tile for block in blocks)
+        for wave in range(waves):
+            lo = wave * tile
+            wave_blocks = [b[lo : lo + tile] for b in blocks if b.shape[0] > lo]
+            self.stats["tiled_waves"] += 1
+            if len(wave_blocks) < self.min_parallel_width:
+                # The tail waves of the longest chunks: too narrow for
+                # rounds, so run each remaining window through one compiled
+                # call (window order per chunk == iteration order).
+                body = CompiledBackend.body_function(nest)
+                for block in wave_blocks:
+                    originals = block @ inverse
+                    body(
+                        store,
+                        [tuple(int(v) for v in row) for row in originals],
+                    )
+                continue
+            wave_new = np.concatenate(wave_blocks)
+            wave_sizes = np.asarray(
+                [block.shape[0] for block in wave_blocks], dtype=np.int64
+            )
+            self._execute_packed(
+                transformed, store, wave_new, wave_sizes, check=False
+            )
+        return True
+
+    def _plan_blocks_independent(self, transformed, store, blocks) -> bool:
+        """Global dynamic independence check over whole chunk index blocks.
+
+        Same predicate as the packed path's check (no array cell touched by
+        two chunks with a write), evaluated once over every block before
+        tiled execution writes anything.  Window violations raise here, up
+        front, exactly as the untiled prep would.
+        """
+        nest = transformed.nest
+        all_new = np.concatenate(blocks)
+        if all_new.shape[0] == 0:
+            return True
+        sizes = np.asarray([block.shape[0] for block in blocks], dtype=np.int64)
+        inverse = np.asarray(transformed.inverse_transform, dtype=np.int64)
+        originals = all_new @ inverse
+        chunk_ids = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+        env = {name: originals[:, k] for k, name in enumerate(nest.index_names)}
+        total = originals.shape[0]
+        offset_cache: Dict[object, Tuple[np.ndarray, ...]] = {}
+        accesses: List[Tuple[ArrayAccess, bool]] = []
+        for stmt in nest.statements:
+            accesses.append((stmt.target, True))
+            accesses.extend((read, False) for read in stmt.rhs.array_accesses())
+        for access, _ in accesses:
+            if access.array not in store:
+                raise ExecutionError(
+                    f"array {access.array!r} is not defined in the store"
+                )
+            if access not in offset_cache:
+                offset_cache[access] = _subscript_offsets(
+                    access.array, store[access.array], access.subscripts, env, total
+                )
+        return self._chunks_are_independent(accesses, offset_cache, store, chunk_ids)
+
+    def _execute_packed(
+        self, transformed, store, all_new, sizes, check: Optional[bool] = None
+    ) -> bool:
         """Run the rounds for a chunk-major (total, depth) index matrix.
 
         Returns False (without having written anything) when the dynamic
@@ -534,7 +622,8 @@ class VectorizedBackend(ExecutionBackend):
                     access.array, store[access.array], access.subscripts, env, total
                 )
 
-        if self.check_independence and not self._chunks_are_independent(
+        run_check = self.check_independence if check is None else bool(check)
+        if run_check and not self._chunks_are_independent(
             accesses, offset_cache, store, chunk_ids
         ):
             # Two chunks share a cell with a write: the schedule is not the

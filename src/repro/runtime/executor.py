@@ -48,17 +48,18 @@ under concurrency and for wall-clock measurements.
 
 from __future__ import annotations
 
+import heapq
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.codegen.schedule import Chunk
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
-from repro.plan import ExecutionPlan
+from repro.plan import ExecutionPlan, FusedPlan
 from repro.runtime.arrays import ArrayStore
 from repro.runtime.backends import DEFAULT_BACKEND, ExecutionBackend, resolve_backend
 from repro.runtime.pool import WorkerCrashed, WorkerPool
@@ -101,6 +102,23 @@ def _noop() -> None:
     """Warm-up task: forces the process pool to actually spawn its workers."""
 
 
+def _payload_store(store: ArrayStore, transformed: TransformedLoopNest) -> ArrayStore:
+    """Only the arrays the nest references, deep-copied for one payload.
+
+    Process-mode payloads used to ship ``store.copy()`` — every array,
+    once per group — even though a worker only reads and writes the arrays
+    its nest touches.  Arrays the nest references but the store lacks are
+    simply left out: the worker then raises the same "not defined in the
+    store" error a serial run would.
+    """
+    referenced = set(transformed.nest.array_names())
+    subset = ArrayStore()
+    for name in referenced:
+        if name in store:
+            subset[name] = store[name].copy()
+    return subset
+
+
 def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
     """Process-pool worker: execute its chunk group on a private store copy.
 
@@ -131,6 +149,37 @@ def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
         for flat_index, value in zip(zip(*changed), values):
             location = tuple(int(i) + o for i, o in zip(flat_index, array.origin))
             writes.append((name, location, float(value)))
+    return writes
+
+
+def _worker_execute_fused(payload):
+    """Process-pool worker for one fused group: several nests, own stores.
+
+    ``payload`` is ``(backend, transformeds, fused, global_indices,
+    member_stores)`` where ``member_stores`` maps member index → the
+    referenced-array subset of that member's store.  Each member's chunks
+    execute against its own store; writes come back tagged with the member
+    index so the parent merges into the right store.
+    """
+    backend, transformeds, fused, global_indices, member_stores = payload
+    pristine = {member: store.copy() for member, store in member_stores.items()}
+    for member, local_indices in fused.split_group(global_indices):
+        backend.execute_plan(
+            transformeds[member],
+            fused.members[member],
+            member_stores[member],
+            chunk_indices=local_indices,
+        )
+    writes: List[Tuple[int, str, Tuple[int, ...], float]] = []
+    for member, store in member_stores.items():
+        for name, array in store.items():
+            changed = np.nonzero(array.data != pristine[member][name].data)
+            values = array.data[changed]
+            for flat_index, value in zip(zip(*changed), values):
+                location = tuple(
+                    int(i) + o for i, o in zip(flat_index, array.origin)
+                )
+                writes.append((member, name, location, float(value)))
     return writes
 
 
@@ -262,6 +311,163 @@ class ParallelExecutor:
         )
 
     # ------------------------------------------------------------------ #
+    def run_fused(
+        self,
+        transformeds: Sequence[TransformedLoopNest],
+        fused: FusedPlan,
+        stores: Sequence[ArrayStore],
+    ) -> List[ExecutionResult]:
+        """Execute several nests' plans as *one* dispatch, member stores in place.
+
+        ``fused`` concatenates the members' chunk index spaces; balancing,
+        process fan-out and the shared-mode pool job all happen once over
+        the global space instead of once per nest.  Members own disjoint
+        stores, so cross-member interleaving needs no legality argument.
+
+        Returns one :class:`ExecutionResult` per member, in member order.
+        Serial mode times each member exactly; the parallel modes measure
+        one wall clock for the whole dispatch and attribute it to members
+        proportionally to their iteration counts.
+        """
+        if not isinstance(fused, FusedPlan):
+            raise ExecutionError("run_fused needs a FusedPlan schedule")
+        if not (len(transformeds) == len(fused.members) == len(stores)):
+            raise ExecutionError(
+                f"run_fused got {len(transformeds)} nest(s), "
+                f"{len(fused.members)} plan member(s) and {len(stores)} "
+                "store(s); all three must match"
+            )
+        setup_start = time.perf_counter()
+        member_sizes = [tuple(member.chunk_sizes()) for member in fused.members]
+        global_sizes = [size for sizes in member_sizes for size in sizes]
+        setup = time.perf_counter() - setup_start
+        fallback: Optional[str] = None
+        per_member_elapsed: Optional[List[float]] = None
+        elapsed = 0.0
+        if not global_sizes:
+            pass
+        elif self.mode == "serial":
+            per_member_elapsed = []
+            for transformed, member, store in zip(transformeds, fused.members, stores):
+                start = time.perf_counter()
+                self.backend.execute_plan(transformed, member, store)
+                per_member_elapsed.append(time.perf_counter() - start)
+            elapsed = sum(per_member_elapsed)
+        elif self.mode == "threads":
+            spin_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                setup += time.perf_counter() - spin_start
+                start = time.perf_counter()
+                futures = [
+                    pool.submit(self.backend.execute_chunk, transformed, chunk, store)
+                    for transformed, member, store in zip(
+                        transformeds, fused.members, stores
+                    )
+                    for chunk in member.chunks()
+                ]
+                for future in futures:
+                    future.result()
+                elapsed = time.perf_counter() - start
+        elif self.mode == "processes":
+            extra_start = time.perf_counter()
+            groups = self._balanced_groups(global_sizes)
+            payloads = []
+            for group in groups:
+                member_stores: Dict[int, ArrayStore] = {
+                    member: _payload_store(stores[member], transformeds[member])
+                    for member, _ in fused.split_group(group)
+                }
+                payloads.append(
+                    (self.backend, tuple(transformeds), fused, group, member_stores)
+                )
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                for warm in [pool.submit(_noop) for _ in payloads]:
+                    warm.result()
+                setup += time.perf_counter() - extra_start
+                start = time.perf_counter()
+                for writes in pool.map(_worker_execute_fused, payloads):
+                    for member, array, location, value in writes:
+                        stores[member][array][location] = value
+                elapsed = time.perf_counter() - start
+        else:
+            elapsed, extra_setup, fallback = self._run_shared_fused(
+                transformeds, fused, stores, global_sizes
+            )
+            setup += extra_setup
+        weights = [sum(sizes) for sizes in member_sizes]
+        total_weight = sum(weights) or 1
+        effective = (
+            self.backend.per_chunk_name if self.mode == "threads" else self.backend.name
+        )
+        results: List[ExecutionResult] = []
+        for member, (sizes, store) in enumerate(zip(member_sizes, stores)):
+            if per_member_elapsed is not None:
+                member_elapsed = per_member_elapsed[member]
+            else:
+                member_elapsed = elapsed * weights[member] / total_weight
+            results.append(
+                ExecutionResult(
+                    store=store,
+                    mode=self.mode,
+                    workers=self.workers if self.mode != "serial" else 1,
+                    num_chunks=len(sizes),
+                    elapsed_seconds=member_elapsed,
+                    chunk_sizes=sizes,
+                    backend=effective,
+                    setup_seconds=setup * weights[member] / total_weight,
+                    fallback=fallback,
+                )
+            )
+        return results
+
+    def _run_shared_fused(
+        self,
+        transformeds: Sequence[TransformedLoopNest],
+        fused: FusedPlan,
+        stores: Sequence[ArrayStore],
+        global_sizes: Sequence[int],
+    ) -> Tuple[float, float, Optional[str]]:
+        """One pool job over per-member shared segments (fresh per call).
+
+        Fused dispatches publish one segment generation per member store for
+        the duration of the call — the single-store generation cache
+        (:meth:`_ensure_shared_store`) stays reserved for plain runs.
+        """
+        setup_start = time.perf_counter()
+        if self._pool is None:
+            self._pool = WorkerPool(workers=self.workers)
+        pool = self._pool
+        pool.start()
+        groups = self._balanced_groups(global_sizes)
+        shared_stores = [SharedArrayStore.from_store(store) for store in stores]
+        try:
+            specs = tuple(shared.spec for shared in shared_stores)
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
+            pool.run_job(tuple(transformeds), self.backend, fused, specs, groups)
+            elapsed = time.perf_counter() - start
+            post_start = time.perf_counter()
+            for shared, store in zip(shared_stores, stores):
+                shared.copy_to(store)
+            setup += time.perf_counter() - post_start
+            return elapsed, setup, None
+        except WorkerCrashed as crash:
+            # The parent stores are untouched (all writes went to the
+            # per-call segments): discard the pool and run each member
+            # serially instead.
+            self._discard_pool()
+            setup = time.perf_counter() - setup_start
+            start = time.perf_counter()
+            for transformed, member, store in zip(transformeds, fused.members, stores):
+                self.backend.execute_plan(transformed, member, store)
+            elapsed = time.perf_counter() - start
+            return elapsed, setup, f"worker crash, serial fallback ({crash})"
+        finally:
+            for shared in shared_stores:
+                shared.close()
+                shared.unlink()
+
+    # ------------------------------------------------------------------ #
     def _run_threads(
         self,
         transformed: TransformedLoopNest,
@@ -305,7 +511,12 @@ class ParallelExecutor:
         # worker enumerates its own iterations.
         if plan is not None:
             payloads = [
-                (self.backend, transformed, ("plan", plan, group), store.copy())
+                (
+                    self.backend,
+                    transformed,
+                    ("plan", plan, group),
+                    _payload_store(store, transformed),
+                )
                 for group in groups
             ]
         else:
@@ -314,7 +525,7 @@ class ParallelExecutor:
                     self.backend,
                     transformed,
                     ("chunks", [chunks[i] for i in group]),
-                    store.copy(),
+                    _payload_store(store, transformed),
                 )
                 for group in groups
             ]
@@ -333,16 +544,26 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------ #
     def _balanced_groups(self, chunk_sizes: Sequence[int]) -> List[Tuple[int, ...]]:
-        """Round-robin chunk indices over workers, largest chunks first.
+        """Greedy least-loaded (LPT) assignment of chunk indices to workers.
 
-        Works from sizes alone (closed-form on a plan), so balancing never
-        needs the iterations themselves.
+        Chunks are taken largest first and each goes to the currently
+        lightest group — the classic longest-processing-time heuristic
+        (4/3-optimal makespan).  The round-robin this replaces ignored the
+        loads it had already dealt, so skewed distributions could leave one
+        group with nearly twice the work (sizes ``9,7,5,3`` over two
+        workers round-robin to 14 vs 10; LPT gives 12 vs 12).  Works from
+        sizes alone (closed-form on a plan), so balancing never needs the
+        iterations themselves; ties break on group id, keeping the
+        grouping deterministic.
         """
         group_count = min(self.workers, len(chunk_sizes))
         groups: List[List[int]] = [[] for _ in range(group_count)]
         order = sorted(range(len(chunk_sizes)), key=lambda i: -chunk_sizes[i])
-        for position, index in enumerate(order):
-            groups[position % group_count].append(index)
+        heap: List[Tuple[int, int]] = [(0, g) for g in range(group_count)]
+        for index in order:
+            load, lightest = heapq.heappop(heap)
+            groups[lightest].append(index)
+            heapq.heappush(heap, (load + int(chunk_sizes[index]), lightest))
         return [tuple(group) for group in groups if group]
 
     def _ensure_shared_store(self, store: ArrayStore) -> SharedArrayStore:

@@ -43,14 +43,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.schedule import Chunk
 from repro.exceptions import ExecutionError
-from repro.plan import ExecutionPlan
+from repro.plan import ExecutionPlan, FusedPlan
 from repro.runtime.shared import SharedArrayStore, SharedStoreSpec
 
 __all__ = ["WorkerCrashed", "WorkerPool"]
 
 #: A schedule travels either as a symbolic plan (the default, a few hundred
-#: bytes) or as a materialized chunk list (legacy custom chunkings only).
-Schedule = Union[ExecutionPlan, Sequence[Chunk]]
+#: bytes), a fused bundle of plans (one store spec per member), or as a
+#: materialized chunk list (legacy custom chunkings only).
+Schedule = Union[ExecutionPlan, FusedPlan, Sequence[Chunk]]
 
 # Workers keep at most this many cached store attachments; the oldest entry
 # is evicted (and its segments detached) beyond the cap.  Program caches are
@@ -75,7 +76,17 @@ class _WorkerProgram:
 
     def execute(self, store, chunk_indices: Tuple[int, ...]) -> None:
         """Execute one group's chunks in place, enumerated from the plan."""
-        if isinstance(self.schedule, ExecutionPlan):
+        if isinstance(self.schedule, FusedPlan):
+            # ``store`` is a tuple of member stores; split the global chunk
+            # indices back into per-member local indices.
+            for member, local_indices in self.schedule.split_group(chunk_indices):
+                self.backend.execute_plan(
+                    self.transformed[member],
+                    self.schedule.members[member],
+                    store[member],
+                    chunk_indices=local_indices,
+                )
+        elif isinstance(self.schedule, ExecutionPlan):
             self.backend.execute_plan(
                 self.transformed, self.schedule, store, chunk_indices=chunk_indices
             )
@@ -115,12 +126,23 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
         _, job_id, group_index, token, store_spec, chunk_indices = message
         try:
             program = programs[token]
-            store = stores.get(store_spec.token)
-            if store is None:
-                store = SharedArrayStore.attach(store_spec)
-                stores[store_spec.token] = store
-                while len(stores) > _WORKER_STORE_CACHE:
-                    stores.popitem(last=False)[1].close()
+            # Fused jobs ship one spec per member; attach (and cache) each
+            # segment individually and hand the program a tuple of stores.
+            specs = store_spec if isinstance(store_spec, tuple) else (store_spec,)
+            attached = []
+            for spec in specs:
+                store = stores.get(spec.token)
+                if store is None:
+                    store = SharedArrayStore.attach(spec)
+                    stores[spec.token] = store
+                stores.move_to_end(spec.token)
+                attached.append(store)
+            # Every current spec sits at the MRU end, so eviction (capped at
+            # the larger of the cache size and this job's member count) can
+            # never close a segment this very message is about to use.
+            while len(stores) > max(_WORKER_STORE_CACHE, len(specs)):
+                stores.popitem(last=False)[1].close()
+            store = attached[0] if not isinstance(store_spec, tuple) else tuple(attached)
             program.execute(store, chunk_indices)
             result_queue.put(("done", job_id, group_index, None, None))
         except BaseException as exc:

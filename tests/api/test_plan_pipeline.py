@@ -1,0 +1,150 @@
+"""The plan-optimization pipeline through the public surface.
+
+Covers the configuration plumbing (``SessionConfig.plan_passes``, CLI
+``--plan-passes`` / ``--no-plan-passes``), the session's program LRU
+caching the *optimized* plan, the fused batch entry points
+(``Session.run_fused``, ``BatchService(fuse=True)``) and the equivalence
+guarantee: optimized and raw dispatches produce identical stores.
+"""
+
+import pytest
+
+from repro.api import Session, SessionConfig
+from repro.cli import build_parser, session_config_from_args
+from repro.exceptions import WorkloadError
+from repro.plan import DEFAULT_PLAN_PASSES, ExecutionPlan
+from repro.service import BatchService, jobs_from_nests
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop
+
+
+class TestConfig:
+    def test_default_pipeline_is_mode_aware(self):
+        # Serial dispatch is free, so coalescing (which trades round
+        # structure for fewer dispatches) only defaults on in the
+        # dispatch-bound modes.
+        assert SessionConfig().resolved_plan_passes() == ("tile",)
+        for mode in ("threads", "processes", "shared"):
+            config = SessionConfig(mode=mode)
+            assert config.resolved_plan_passes() == DEFAULT_PLAN_PASSES
+
+    def test_explicit_pipeline_overrides_mode_default(self):
+        config = SessionConfig(mode="serial", plan_passes=("coalesce",))
+        assert config.resolved_plan_passes() == ("coalesce",)
+
+    def test_normalizes_to_tuple(self):
+        config = SessionConfig(plan_passes=["coalesce"])
+        assert config.plan_passes == ("coalesce",)
+
+    def test_unknown_pass_rejected_at_config_time(self):
+        with pytest.raises(WorkloadError, match="unknown plan pass"):
+            SessionConfig(plan_passes=("coalesce", "nope"))
+
+    def test_empty_disables(self):
+        with Session(SessionConfig(plan_passes=())) as session:
+            assert session._plan_pipeline is None
+
+
+class TestSessionPipeline:
+    def test_program_cache_holds_optimized_plan(self):
+        with Session(
+            mode="serial", backend="compiled", plan_passes=("coalesce", "tile")
+        ) as session:
+            optimized = session.run(example_4_1(40))
+        with Session(mode="serial", backend="compiled", plan_passes=()) as session:
+            raw = session.run(example_4_1(40))
+        # Same results, strictly fewer dispatched chunks.
+        assert optimized.checksum == raw.checksum
+        assert optimized.num_chunks < raw.num_chunks
+
+    def test_verify_passes_with_pipeline(self):
+        with Session(mode="serial", backend="vectorized", verify="always") as session:
+            result = session.run(example_4_1(32))
+        assert result.max_abs_difference == 0.0
+
+    def test_cached_program_reused(self):
+        with Session(mode="serial") as session:
+            session.run(example_4_1(16))
+            entry = next(iter(session._programs.values()))
+            session.run(example_4_1(16))
+            assert next(iter(session._programs.values()))[1] is entry[1]
+
+
+class TestRunFused:
+    def test_results_in_input_order_and_verified(self):
+        sources = [example_4_1(10), example_4_2(12), no_dependence_loop(6)]
+        with Session(mode="serial", backend="compiled", verify="always") as session:
+            results = session.run_fused(sources)
+        assert [result.name for result in results] == [
+            source.name for source in sources
+        ]
+        assert all(result.max_abs_difference == 0.0 for result in results)
+
+    def test_single_source_degrades_to_run(self):
+        with Session(mode="serial") as session:
+            [fused_result] = session.run_fused([example_4_1(10)])
+            plain_result = session.run(example_4_1(10))
+        assert fused_result.checksum == plain_result.checksum
+
+    def test_empty_batch(self):
+        with Session(mode="serial") as session:
+            assert session.run_fused([]) == []
+
+    def test_names_length_mismatch(self):
+        with Session(mode="serial") as session:
+            with pytest.raises(WorkloadError, match="names has"):
+                session.run_fused([example_4_1(6)], names=["a", "b"])
+
+
+class TestBatchFusion:
+    def test_fused_batch_matches_plain(self):
+        nests = [example_4_1(10), example_4_2(12), no_dependence_loop(6)]
+        jobs = jobs_from_nests(nests, repeat=2)
+        with BatchService(mode="serial", backend="compiled") as service:
+            plain = service.submit(jobs)
+        with BatchService(mode="serial", backend="compiled", fuse=True) as service:
+            fused = service.submit(jobs)
+        assert [r.checksum for r in fused.results] == [
+            r.checksum for r in plain.results
+        ]
+        assert [r.name for r in fused.results] == [r.name for r in plain.results]
+
+    def test_fuse_window_validated(self):
+        with pytest.raises(WorkloadError, match="fuse_window"):
+            BatchService(mode="serial", fuse=True, fuse_window=1)
+
+    def test_incompatible_jobs_split_windows(self):
+        jobs = jobs_from_nests([example_4_1(8), example_4_2(8)])
+        jobs = [jobs[0], jobs[1].__class__(
+            name="inner", nest=jobs[1].nest, placement="inner"
+        )]
+        with BatchService(mode="serial", backend="compiled", fuse=True) as service:
+            report = service.submit(jobs)
+        assert len(report.results) == 2
+
+
+class TestCli:
+    def _config(self, argv):
+        parser = build_parser()
+        return session_config_from_args(parser.parse_args(argv))
+
+    def test_default_flags(self):
+        config = self._config(["run", "x.loop"])
+        assert config.plan_passes is None  # auto: resolved by mode
+
+    def test_plan_passes_flag(self):
+        config = self._config(["run", "x.loop", "--plan-passes", "coalesce"])
+        assert config.plan_passes == ("coalesce",)
+
+    def test_no_plan_passes_flag(self):
+        config = self._config(["run", "x.loop", "--no-plan-passes"])
+        assert config.plan_passes == ()
+
+    def test_bad_plan_pass_fails_at_config(self):
+        with pytest.raises(WorkloadError, match="unknown plan pass"):
+            self._config(["run", "x.loop", "--plan-passes", "bogus"])
+
+    def test_batch_has_fuse_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["batch", "x.loop", "--fuse"])
+        assert args.fuse is True

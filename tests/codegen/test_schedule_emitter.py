@@ -55,9 +55,11 @@ class TestSchedule:
         )
 
     def test_statistics_empty(self):
+        # A zero-iteration schedule has no work: ideal_speedup must read
+        # 0.0 ("nothing to parallelize"), not 1.0 ("no parallelism").
         stats = schedule_statistics([])
         assert stats["num_chunks"] == 0
-        assert stats["ideal_speedup"] == 1.0
+        assert stats["ideal_speedup"] == 0.0
 
     def test_sequential_loop_single_chunk(self):
         report = analyze_nest(wavefront_recurrence(5))

@@ -1,0 +1,377 @@
+"""Property tests: plan optimization passes are bit-exact rewrites.
+
+Every pass in :mod:`repro.plan.passes` must preserve the differential
+contract of the plan IR exactly:
+
+* the *multiset* of executed iterations equals the enumeration reference's
+  (``build_schedule_by_enumeration``) — every iteration once, none added;
+* executing the rewritten plan leaves the store bit-identical to the
+  interpreter reference, through every backend and executor mode;
+* closed-form totals (``total_iterations``, summed chunk sizes) are
+  unchanged.
+
+Checked over the workload suite (both placements) and seeded random nests,
+plus targeted tests for each pass's structural guarantees (coalescing
+actually reduces the chunk count on example 4.1, tiling preserves chunk
+structure, fusion's global index arithmetic round-trips).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.codegen.schedule import build_schedule_by_enumeration
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import analyze_nest
+from repro.exceptions import CodegenError
+from repro.loopnest.builder import loop_nest
+from repro.plan import (
+    DEFAULT_PLAN_PASSES,
+    CoalesceChunksPass,
+    ExecutionPlan,
+    FusedPlan,
+    FusePlansPass,
+    PlanPassManager,
+    TiledPlan,
+    TileSequentialLevelsPass,
+    available_plan_passes,
+    build_plan_pipeline,
+    get_plan_pass,
+    optimize_plan,
+)
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.backends import get_backend
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.interpreter import execute_nest
+from repro.workloads.paper_examples import example_4_1
+from repro.workloads.suite import workload_suite
+
+SUITE = workload_suite(6)
+SUITE_IDS = [case.name for case in SUITE]
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="shared mode needs /dev/shm"
+)
+
+
+def _transformed(nest, placement="outer"):
+    return TransformedLoopNest.from_report(analyze_nest(nest, placement=placement))
+
+
+def _iteration_multiset(transformed, plan):
+    iterations = []
+    if isinstance(plan, FusedPlan):  # pragma: no cover - not used for fused
+        raise AssertionError("fused plans are checked member-wise")
+    for view in plan.chunks():
+        iterations.extend(view.iterations)
+    return sorted(iterations)
+
+
+def _reference_multiset(transformed):
+    return sorted(
+        iteration
+        for chunk in build_schedule_by_enumeration(transformed)
+        for iteration in chunk.iterations
+    )
+
+
+def _reference_store(nest):
+    store = store_for_nest(nest)
+    execute_nest(nest, store)
+    return store
+
+
+def _random_nest(rng: np.random.Generator):
+    """Same random family as test_plan_equivalence: the IR's hard corners."""
+    n = int(rng.integers(3, 8))
+    pattern = int(rng.integers(0, 3))
+    if pattern == 0:
+        a, b = int(rng.integers(1, 4)), int(rng.integers(0, 4))
+        body = f"A[i1, i2] = A[i1 - {a}, i2 - {b}] * 0.5 + 1.0"
+    elif pattern == 1:
+        p, q = int(rng.integers(2, 4)), int(rng.integers(2, 5))
+        body = f"A[{p}*i1 + i2] = A[{p}*i1 + i2 - {q}] + 1.0"
+    else:
+        a = 2 * int(rng.integers(1, 3))
+        m = int(rng.integers(1, 3))
+        body = f"A[i1, i2] = A[-i1 - {a}, {m}*i1 + i2 + {a}] + 1.0"
+    lo = int(rng.integers(-3, 1))
+    builder = loop_nest(f"random-{pattern}").loop("i1", lo, lo + n)
+    if rng.integers(0, 2):
+        builder = builder.loop("i2", "i1", lo + n)
+    else:
+        builder = builder.loop("i2", lo, lo + n)
+    builder.statement(body)
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# coalescing
+# --------------------------------------------------------------------------- #
+
+class TestCoalesce:
+    @pytest.mark.parametrize("case", SUITE, ids=SUITE_IDS)
+    @pytest.mark.parametrize("placement", ["outer", "inner"])
+    def test_iteration_multiset_preserved(self, case, placement):
+        transformed = _transformed(case.nest, placement)
+        plan, _ = optimize_plan(
+            transformed.execution_plan(), transformed, passes=("coalesce",)
+        )
+        assert _iteration_multiset(transformed, plan) == _reference_multiset(
+            transformed
+        )
+        assert plan.total_iterations == transformed.iteration_count()
+        assert sum(plan.chunk_sizes()) == plan.total_iterations
+
+    def test_reduces_chunks_on_example_41(self):
+        transformed = _transformed(example_4_1(64))
+        base = transformed.execution_plan()
+        coalesced, ctx = optimize_plan(base, transformed, passes=("coalesce",))
+        # 2 labels fold, then adjacent fronts merge pairwise: >= 2x fewer.
+        assert coalesced.chunk_count * 2 <= base.chunk_count
+        assert any(step.name == "coalesce" for step in ctx.steps)
+
+    def test_small_plans_left_alone(self):
+        # Below min_chunks there is nothing to trade: the plan is unchanged.
+        transformed = _transformed(example_4_1(6))
+        base = transformed.execution_plan()
+        pass_ = CoalesceChunksPass(min_chunks=10**6)
+        ctx = PlanPassManager([pass_]).optimize([base], (transformed,))
+        assert ctx.plans[0] is base
+
+    @pytest.mark.parametrize("backend", ["interpreter", "compiled", "vectorized"])
+    def test_results_bit_identical(self, backend):
+        for case in SUITE:
+            transformed = _transformed(case.nest)
+            plan, _ = optimize_plan(
+                transformed.execution_plan(),
+                transformed,
+                passes=("coalesce",),
+            )
+            store = store_for_nest(case.nest)
+            get_backend(backend).execute_plan(transformed, plan, store)
+            assert _reference_store(case.nest).identical(store), case.name
+
+    def test_random_nests_bit_identical(self):
+        rng = np.random.default_rng(20260807)
+        backend = get_backend("compiled")
+        for _ in range(25):
+            nest = _random_nest(rng)
+            transformed = _transformed(nest)
+            plan, _ = optimize_plan(
+                transformed.execution_plan(),
+                transformed,
+                passes=("coalesce",),
+            )
+            assert _iteration_multiset(transformed, plan) == _reference_multiset(
+                transformed
+            )
+            store = store_for_nest(nest)
+            backend.execute_plan(transformed, plan, store)
+            assert _reference_store(nest).identical(store)
+
+
+# --------------------------------------------------------------------------- #
+# tiling
+# --------------------------------------------------------------------------- #
+
+class TestTile:
+    def test_chunk_structure_untouched(self):
+        transformed = _transformed(example_4_1(32))
+        base = transformed.execution_plan()
+        tiled, _ = optimize_plan(base, transformed, passes=("tile",))
+        if not isinstance(tiled, TiledPlan):
+            pytest.skip("plan below the tiling threshold")
+        assert list(tiled.chunk_keys()) == list(base.chunk_keys())
+        assert tiled.chunk_sizes() == base.chunk_sizes()
+
+    def test_small_tile_forces_waves_and_matches(self):
+        # A tiny budget forces many waves; results must stay bit-identical.
+        for case in SUITE:
+            transformed = _transformed(case.nest)
+            base = transformed.execution_plan()
+            ctx = PlanPassManager(
+                [TileSequentialLevelsPass(tile_iterations=3)]
+            ).optimize([base], (transformed,))
+            plan = ctx.plans[0]
+            backend = get_backend("vectorized", min_parallel_width=2)
+            store = store_for_nest(case.nest)
+            backend.execute_plan(transformed, plan, store)
+            assert _reference_store(case.nest).identical(store), case.name
+
+    def test_tiled_plan_is_plain_execution_plan_everywhere_else(self):
+        transformed = _transformed(example_4_1(32))
+        tiled = TiledPlan(transformed.execution_plan(), tile_iterations=8)
+        assert isinstance(tiled, ExecutionPlan)
+        clone = pickle.loads(pickle.dumps(tiled))
+        assert isinstance(clone, TiledPlan)
+        assert clone.tile_iterations == 8
+        assert list(clone.chunk_keys()) == list(tiled.chunk_keys())
+
+    def test_rejects_bad_budget(self):
+        transformed = _transformed(example_4_1(8))
+        with pytest.raises(CodegenError):
+            TiledPlan(transformed.execution_plan(), tile_iterations=0)
+
+    def test_idempotent(self):
+        # Re-running the pass on an already tiled plan is a no-op.
+        transformed = _transformed(example_4_1(16))
+        tiled = TiledPlan(transformed.execution_plan(), tile_iterations=2)
+        ctx = PlanPassManager(
+            [TileSequentialLevelsPass(tile_iterations=2)]
+        ).optimize([tiled], (transformed,))
+        assert ctx.plans[0] is tiled
+
+
+# --------------------------------------------------------------------------- #
+# fusion
+# --------------------------------------------------------------------------- #
+
+class TestFuse:
+    def _members(self, count=3):
+        nests = [case.nest for case in SUITE[:count]]
+        transformeds = [_transformed(nest) for nest in nests]
+        plans = [transformed.execution_plan() for transformed in transformeds]
+        return nests, transformeds, plans
+
+    def test_global_index_arithmetic(self):
+        _, transformeds, plans = self._members()
+        fused = FusedPlan(plans)
+        assert fused.chunk_count == sum(plan.chunk_count for plan in plans)
+        assert fused.total_iterations == sum(p.total_iterations for p in plans)
+        assert fused.chunk_sizes() == [
+            size for plan in plans for size in plan.chunk_sizes()
+        ]
+        # member_of round-trips every global position.
+        for global_index in range(fused.chunk_count):
+            member, local = fused.member_of(global_index)
+            assert fused.split_starts[member] + local == global_index
+            assert 0 <= local < plans[member].chunk_count
+        with pytest.raises(CodegenError):
+            fused.member_of(fused.chunk_count)
+
+    def test_split_group_partitions_indices(self):
+        _, _, plans = self._members()
+        fused = FusedPlan(plans)
+        group = tuple(range(0, fused.chunk_count, 2))
+        split = fused.split_group(group)
+        rebuilt = [
+            fused.split_starts[member] + local
+            for member, locals_ in split
+            for local in locals_
+        ]
+        assert sorted(rebuilt) == sorted(group)
+
+    def test_pass_requires_two_plans(self):
+        _, transformeds, plans = self._members(1)
+        ctx = PlanPassManager([FusePlansPass()]).optimize(
+            plans, tuple(transformeds)
+        )
+        assert ctx.plans == plans  # skipped: nothing to fuse
+
+    @pytest.mark.parametrize("mode", ["serial", "threads", "processes"])
+    def test_fused_execution_bit_identical(self, mode):
+        nests, transformeds, plans = self._members()
+        ctx = PlanPassManager([FusePlansPass()]).optimize(
+            plans, tuple(transformeds)
+        )
+        [fused] = ctx.plans
+        assert isinstance(fused, FusedPlan)
+        stores = [store_for_nest(nest) for nest in nests]
+        executor = ParallelExecutor(mode=mode, workers=2, backend="compiled")
+        results = executor.run_fused(transformeds, fused, stores)
+        assert len(results) == len(nests)
+        for nest, store, result in zip(nests, stores, results):
+            assert _reference_store(nest).identical(store)
+            assert result.num_chunks > 0
+
+    @needs_dev_shm
+    def test_fused_execution_shared_mode(self):
+        nests, transformeds, plans = self._members()
+        [fused] = PlanPassManager([FusePlansPass()]).optimize(
+            plans, tuple(transformeds)
+        ).plans
+        stores = [store_for_nest(nest) for nest in nests]
+        executor = ParallelExecutor(mode="shared", workers=2, backend="vectorized")
+        try:
+            results = executor.run_fused(transformeds, fused, stores)
+        finally:
+            executor.close()
+        for nest, store, result in zip(nests, stores, results):
+            assert _reference_store(nest).identical(store)
+            assert result.fallback is None
+
+
+# --------------------------------------------------------------------------- #
+# the default pipeline, end to end
+# --------------------------------------------------------------------------- #
+
+class TestPipeline:
+    @pytest.mark.parametrize("case", SUITE, ids=SUITE_IDS)
+    def test_default_pipeline_matches_reference(self, case):
+        transformed = _transformed(case.nest)
+        plan, ctx = optimize_plan(transformed.execution_plan(), transformed)
+        if not isinstance(plan, FusedPlan):
+            assert _iteration_multiset(transformed, plan) == _reference_multiset(
+                transformed
+            )
+        for backend in ("compiled", "vectorized"):
+            store = store_for_nest(case.nest)
+            get_backend(backend).execute_plan(transformed, plan, store)
+            assert _reference_store(case.nest).identical(store)
+
+    def test_timings_and_steps_recorded(self):
+        transformed = _transformed(example_4_1(64))
+        _, ctx = optimize_plan(transformed.execution_plan(), transformed)
+        assert [timing.name for timing in ctx.timings] == list(DEFAULT_PLAN_PASSES)
+        assert all(timing.seconds >= 0.0 for timing in ctx.timings)
+        assert ctx.steps  # at least the coalesce rewrite fired at N=64
+
+    @pytest.mark.parametrize("mode", ["serial", "threads", "processes"])
+    def test_executor_modes_match_reference(self, mode):
+        transformed = _transformed(example_4_1(24))
+        plan, _ = optimize_plan(transformed.execution_plan(), transformed)
+        nest = example_4_1(24)
+        store = store_for_nest(nest)
+        executor = ParallelExecutor(mode=mode, workers=2, backend="compiled")
+        executor.run(transformed, store, plan=plan)
+        assert _reference_store(nest).identical(store)
+
+    @needs_dev_shm
+    def test_shared_mode_matches_reference(self):
+        transformed = _transformed(example_4_1(24))
+        plan, _ = optimize_plan(transformed.execution_plan(), transformed)
+        nest = example_4_1(24)
+        store = store_for_nest(nest)
+        executor = ParallelExecutor(mode="shared", workers=2, backend="vectorized")
+        try:
+            executor.run(transformed, store, plan=plan)
+        finally:
+            executor.close()
+        assert _reference_store(nest).identical(store)
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+
+class TestRegistry:
+    def test_builtin_passes_registered(self):
+        names = available_plan_passes()
+        assert {"coalesce", "tile", "fuse"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(CodegenError, match="unknown plan pass"):
+            get_plan_pass("definitely-not-a-pass")
+
+    def test_build_pipeline_instantiates_fresh_passes(self):
+        first = build_plan_pipeline(("coalesce",))
+        second = build_plan_pipeline(("coalesce",))
+        assert first.passes[0] is not second.passes[0]
+
+    def test_factory_options_pass_through(self):
+        pass_ = get_plan_pass("tile", tile_iterations=17)
+        assert pass_.tile_iterations == 17
