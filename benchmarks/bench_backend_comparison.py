@@ -1,4 +1,4 @@
-"""Execution backend comparison — interpreter vs. compiled vs. vectorized.
+"""Execution backend comparison — interpreter vs. compiled vs. vectorized vs. native.
 
 The reproduction targets here are behavioral, not just structural:
 
@@ -72,27 +72,43 @@ def test_backend_comparison(benchmark):
     assert vectorized["example-4.2"].speedup_vs_interpreter > 1.0
     assert compiled["example-4.1"].speedup_vs_interpreter > 1.0
 
+    native = {row.workload: row for row in rows if row.backend == "native"}
+
     benchmark.extra_info["vectorized_speedup_ex41"] = round(
         vectorized["example-4.1"].speedup_vs_interpreter, 1
     )
     benchmark.extra_info["vectorized_speedup_independent"] = round(
         vectorized["independent"].speedup_vs_interpreter, 1
     )
+    if native:
+        # The native backend delegates to vectorized when no engine is
+        # available, so it is always at least in the fallback's ballpark;
+        # the ≥5x-over-vectorized gate lives in bench_native_kernels.py.
+        benchmark.extra_info["native_speedup_ex41"] = round(
+            native["example-4.1"].speedup_vs_interpreter, 1
+        )
 
     print()
     print(backend_comparison_table(rows))
 
 
 def _json_payload(rows):
-    vectorized_41 = [
-        row
-        for row in rows
-        if row.backend == "vectorized" and row.workload == "example-4.1"
-    ]
-    best = max((row.speedup_vs_interpreter for row in vectorized_41), default=0.0)
+    def _best(backend_name):
+        return max(
+            (
+                row.speedup_vs_interpreter
+                for row in rows
+                if row.backend == backend_name and row.workload == "example-4.1"
+            ),
+            default=0.0,
+        )
+
     return {
         "name": "backend_comparison",
-        "metrics": {"vectorized_speedup_ex41": best},
+        "metrics": {
+            "vectorized_speedup_ex41": _best("vectorized"),
+            "native_speedup_ex41": _best("native"),
+        },
         "rows": [dataclasses.asdict(row) for row in rows],
     }
 

@@ -1,0 +1,190 @@
+"""Native kernel benchmark — cold-compile vs. warm-kernel split, gated ≥5x.
+
+The native backend's value proposition has two halves that must be measured
+separately:
+
+* **cold compile** — the one-time cost of emitting + building the kernel
+  for a program never seen by this machine (fresh disk cache).  This is
+  charged to ``setup_seconds``, never to measured execution;
+* **warm execution** — running the plan through the already-built kernel.
+  This is the number the ROADMAP targets: **≥5x faster than the vectorized
+  backend** on the example 4.1 pipeline at N=64 (``native_vs_vectorized``
+  in ``thresholds.json``, enforced by ``check_thresholds.py`` in CI).
+
+A third number, ``disk_warm_seconds``, measures a cold *process* against a
+warm *disk cache* (the cross-worker / cross-session reuse path: the kernel
+artifact is found on disk and only needs loading, not compiling).
+
+Every measured run is differentially checked against the interpreter
+reference — results are only reported when they are bit-identical.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_native_kernels.py --benchmark-only
+
+or standalone (CI)::
+
+    python benchmarks/bench_native_kernels.py --json results/native_kernels.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.codegen import native as native_codegen
+from repro.codegen.transformed_nest import TransformedLoopNest
+from repro.core.pipeline import analyze_nest
+from repro.runtime.arrays import store_for_nest
+from repro.runtime.backends import NativeBackend, VectorizedBackend
+from repro.runtime.interpreter import execute_nest
+from repro.workloads.paper_examples import example_4_1
+
+# Same wide-schedule configuration as bench_backend_comparison.py: example
+# 4.1 at N=64 is 16641 iterations over ~512 independent chunks.
+SPEEDUP_N = 64
+SPEEDUP_TARGET = 5.0
+
+
+def measure(n: int = SPEEDUP_N, repetitions: int = 5):
+    """Measure cold compile, disk-warm load and warm execution on example 4.1."""
+    engine = native_codegen.resolve_engine()
+    if engine is None:
+        return None
+
+    nest = example_4_1(n)
+    transformed = TransformedLoopNest.from_report(analyze_nest(nest))
+    plan = transformed.execution_plan()
+    base = store_for_nest(nest)
+    reference = base.copy()
+    execute_nest(nest, reference)
+
+    saved_cache_dir = os.environ.get(native_codegen.CACHE_DIR_ENV)
+    with tempfile.TemporaryDirectory(prefix="repro-native-bench-") as tmp:
+        os.environ[native_codegen.CACHE_DIR_ENV] = tmp
+        try:
+            # Cold: nothing in memory, nothing on disk.
+            native_codegen.clear_kernel_cache()
+            start = time.perf_counter()
+            program = native_codegen.native_program_for(transformed)
+            cold_compile = time.perf_counter() - start
+            assert program is not None, "native engine resolved but build failed"
+
+            # Disk-warm: cold process simulated by clearing the in-memory
+            # LRU; the artifact is found on disk and only loaded.
+            native_codegen.clear_kernel_cache()
+            start = time.perf_counter()
+            program = native_codegen.native_program_for(transformed)
+            disk_warm = time.perf_counter() - start
+            assert program is not None
+
+            # Warm execution: kernel in memory, timed region is pure
+            # execution — exactly what elapsed_seconds measures.
+            native = NativeBackend()
+            vectorized = VectorizedBackend()
+            native.execute_plan(transformed, plan, base.copy())
+            vectorized.execute_plan(transformed, plan, base.copy())
+
+            def _best(backend):
+                best, final = float("inf"), None
+                for _ in range(max(1, repetitions)):
+                    store = base.copy()
+                    start = time.perf_counter()
+                    backend.execute_plan(transformed, plan, store)
+                    best = min(best, time.perf_counter() - start)
+                    final = store
+                return best, final
+
+            native_time, native_store = _best(native)
+            vectorized_time, vectorized_store = _best(vectorized)
+        finally:
+            if saved_cache_dir is None:
+                os.environ.pop(native_codegen.CACHE_DIR_ENV, None)
+            else:
+                os.environ[native_codegen.CACHE_DIR_ENV] = saved_cache_dir
+
+    assert native.last_execution_engine == f"native-{engine}", (
+        "warm run did not execute natively: " + native.last_execution_engine
+    )
+    assert reference.identical(native_store), "native result differs from interpreter"
+    assert reference.identical(vectorized_store), "vectorized result differs"
+    return {
+        "engine": engine,
+        "size": n,
+        "iterations": plan.total_iterations,
+        "num_chunks": plan.chunk_count,
+        "cold_compile_seconds": cold_compile,
+        "disk_warm_seconds": disk_warm,
+        "native_seconds": native_time,
+        "vectorized_seconds": vectorized_time,
+        "native_vs_vectorized": vectorized_time / native_time if native_time else 0.0,
+    }
+
+
+def test_native_kernels(benchmark):
+    if native_codegen.resolve_engine() is None:
+        pytest.skip("no native engine (numba or a C compiler) available")
+    result = benchmark.pedantic(measure, args=(SPEEDUP_N,), rounds=1, iterations=1)
+    assert result["native_vs_vectorized"] >= SPEEDUP_TARGET, (
+        f"warm native is only {result['native_vs_vectorized']:.1f}x the "
+        f"vectorized backend, target is {SPEEDUP_TARGET:.0f}x"
+    )
+    # Cold compile is a setup cost: it must dominate a single warm run by
+    # orders of magnitude, which is exactly why it is excluded from
+    # elapsed_seconds — and the disk cache must amortize it across processes.
+    assert result["disk_warm_seconds"] < result["cold_compile_seconds"]
+    benchmark.extra_info.update(
+        {key: round(value, 4) if isinstance(value, float) else value
+         for key, value in result.items()}
+    )
+    print()
+    for key, value in result.items():
+        print(f"{key:>24}: {value}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=SPEEDUP_N, help=f"workload size N (default: {SPEEDUP_N})"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timing repetitions (default: 5)"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
+    args = parser.parse_args(argv)
+    result = measure(args.size, repetitions=args.repetitions)
+    if result is None:
+        # No engine: emit a payload without the gated metric so
+        # check_thresholds.py fails loudly instead of silently passing.
+        print("no native engine (numba or a C compiler) available")
+        result = {"engine": None}
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        payload = {
+            "name": "native_kernels",
+            "metrics": (
+                {"native_vs_vectorized": result["native_vs_vectorized"]}
+                if "native_vs_vectorized" in result
+                else {}
+            ),
+            "result": result,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+    for key, value in result.items():
+        print(f"{key:>24}: {value}")
+    return 0 if result.get("engine") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,8 +89,8 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=available_backends(),
         default=DEFAULT_BACKEND,
-        help="execution backend for the 'run' and 'batch' commands "
-        "(default: interpreter)",
+        help="execution backend for the 'run' and 'batch' commands: "
+        f"{', '.join(available_backends())} (default: {DEFAULT_BACKEND})",
     )
     group.add_argument(
         "--mode",

@@ -5,7 +5,10 @@
 * :mod:`repro.codegen.schedule` — grouping iterations into independent
   chunks (doall loop values × partition labels),
 * :mod:`repro.codegen.python_emitter` — emission of runnable Python source
-  for the original and the transformed loop.
+  for the original and the transformed loop,
+* :mod:`repro.codegen.native` — JIT compilation of plans to machine-code
+  kernels (numba or C + ctypes) for the native execution backend; its
+  toolchain probing stays lazy, so it is not re-exported here.
 """
 
 from repro.codegen.transformed_nest import TransformedLoopNest

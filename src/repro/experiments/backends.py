@@ -1,4 +1,4 @@
-"""Backend comparison study: interpreter vs. compiled vs. vectorized.
+"""Backend comparison study: interpreter vs. compiled vs. vectorized vs. native.
 
 The analysis side of the reproduction proves *structural* parallelism
 (doall loops, ``det(S)`` partitions); this experiment converts it into
@@ -36,7 +36,7 @@ __all__ = [
     "backend_comparison_table",
 ]
 
-DEFAULT_BACKENDS: Tuple[str, ...] = ("interpreter", "compiled", "vectorized")
+DEFAULT_BACKENDS: Tuple[str, ...] = ("interpreter", "compiled", "vectorized", "native")
 
 
 def _default_workloads(n: int) -> List[Tuple[str, LoopNest]]:

@@ -50,6 +50,8 @@ __all__ = [
     "canonical_key",
     "canonical_key_tuple",
     "canonical_hash",
+    "constant_kind_signature",
+    "positional_rename",
     "rename_nest_indices",
     "rename_nest_arrays",
 ]
@@ -232,11 +234,20 @@ def _rename_affine(expr: AffineExpr, mapping: Dict[str, str]) -> AffineExpr:
 
 
 def _rebuild_expression(
-    expr: Expression, mapping: Dict[str, str], arrays: Dict[str, str]
+    expr: Expression,
+    mapping: Dict[str, str],
+    arrays: Dict[str, str],
+    float_constants: bool = True,
 ) -> Expression:
-    """Rebuild an expression with renamed indices/arrays, normalizing on the way."""
+    """Rebuild an expression with renamed indices/arrays, normalizing on the way.
+
+    ``float_constants`` is the canonical-form normalization (``2`` and ``2.0``
+    compare equal); :func:`positional_rename` disables it because Python's
+    ``//``/``%``/``**`` distinguish int from float operands, so code compiled
+    from the renamed nest must keep the original constant types.
+    """
     if isinstance(expr, Constant):
-        return Constant(float(expr.value))
+        return Constant(float(expr.value)) if float_constants else Constant(expr.value)
     if isinstance(expr, IndexTerm):
         return IndexTerm(_rename_affine(expr.affine, mapping))
     if isinstance(expr, ArrayAccess):
@@ -245,7 +256,7 @@ def _rebuild_expression(
             tuple(_rename_affine(sub, mapping) for sub in expr.subscripts),
         )
     if isinstance(expr, UnaryOp):
-        operand = _rebuild_expression(expr.operand, mapping, arrays)
+        operand = _rebuild_expression(expr.operand, mapping, arrays, float_constants)
         if expr.op == "+":
             return operand
         if isinstance(operand, Constant):
@@ -254,13 +265,16 @@ def _rebuild_expression(
     if isinstance(expr, BinaryOp):
         return BinaryOp(
             expr.op,
-            _rebuild_expression(expr.left, mapping, arrays),
-            _rebuild_expression(expr.right, mapping, arrays),
+            _rebuild_expression(expr.left, mapping, arrays, float_constants),
+            _rebuild_expression(expr.right, mapping, arrays, float_constants),
         )
     if isinstance(expr, Call):
         return Call(
             expr.name,
-            tuple(_rebuild_expression(arg, mapping, arrays) for arg in expr.args),
+            tuple(
+                _rebuild_expression(arg, mapping, arrays, float_constants)
+                for arg in expr.args
+            ),
         )
     raise LoopNestError(f"cannot rebuild expression node {type(expr).__name__}")
 
@@ -270,6 +284,7 @@ def _rebuild_nest(
     index_mapping: Dict[str, str],
     array_mapping: Dict[str, str],
     name: str,
+    float_constants: bool = True,
 ) -> LoopNest:
     bounds = [
         LoopBounds(
@@ -280,8 +295,8 @@ def _rebuild_nest(
     ]
     statements = [
         Statement(
-            _rebuild_expression(stmt.target, index_mapping, array_mapping),
-            _rebuild_expression(stmt.rhs, index_mapping, array_mapping),
+            _rebuild_expression(stmt.target, index_mapping, array_mapping, float_constants),
+            _rebuild_expression(stmt.rhs, index_mapping, array_mapping, float_constants),
         )
         for stmt in nest.statements
     ]
@@ -302,6 +317,50 @@ def rename_nest_indices(nest: LoopNest, new_names: Sequence[str]) -> LoopNest:
 def rename_nest_arrays(nest: LoopNest, mapping: Dict[str, str]) -> LoopNest:
     """A copy of the nest with arrays renamed via ``mapping`` (partial ok)."""
     return _rebuild_nest(nest, {}, dict(mapping), nest.name)
+
+
+def positional_rename(nest: LoopNest) -> LoopNest:
+    """Alpha-rename to the canonical positional names, keeping constant types.
+
+    Indices become ``c1 .. cn`` and arrays ``A0, A1, ...`` exactly as in
+    :func:`canonicalize`, but integer constants stay integers: compilers that
+    key their code caches by canonical structure emit from this nest, and the
+    emitted code must preserve Python's int-vs-float operator semantics
+    (``//``, ``%``, ``**``).  Pair the cache key with
+    :func:`constant_kind_signature` to tell such nests apart.
+    """
+    index_mapping = {name: f"c{k + 1}" for k, name in enumerate(nest.index_names)}
+    array_mapping = _array_order(nest)
+    return _rebuild_nest(
+        nest, index_mapping, array_mapping, "canonical", float_constants=False
+    )
+
+
+def _constant_kinds(expr: Expression, out: List[bool]) -> None:
+    if isinstance(expr, Constant):
+        out.append(isinstance(expr.value, int))
+    elif isinstance(expr, UnaryOp):
+        _constant_kinds(expr.operand, out)
+    elif isinstance(expr, BinaryOp):
+        _constant_kinds(expr.left, out)
+        _constant_kinds(expr.right, out)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            _constant_kinds(arg, out)
+
+
+def constant_kind_signature(nest: LoopNest) -> Tuple[bool, ...]:
+    """``True`` per *integer* constant of the body, in AST walk order.
+
+    The canonical key compares constants as floats, so two nests whose bodies
+    differ only in ``2`` vs ``2.0`` share a key even though ``//``/``%``/``**``
+    may evaluate them differently.  Appending this signature to a canonical
+    cache key makes the key exact for compiled code.
+    """
+    kinds: List[bool] = []
+    for stmt in nest.statements:
+        _constant_kinds(stmt.rhs, kinds)
+    return tuple(kinds)
 
 
 def canonicalize(nest: LoopNest) -> CanonicalForm:

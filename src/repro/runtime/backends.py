@@ -42,15 +42,24 @@ bit-identical (NumPy's ufuncs may differ in the last ulp).
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.codegen import native as native_codegen
 from repro.codegen.schedule import Chunk
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
 from repro.plan import ChunkView, ExecutionPlan
+from repro.loopnest.canonical import (
+    canonical_key_tuple,
+    constant_kind_signature,
+    positional_rename,
+)
 from repro.loopnest.expr import (
     _BINARY_OPS,
     _CALLS,
@@ -72,6 +81,7 @@ __all__ = [
     "InterpreterBackend",
     "CompiledBackend",
     "VectorizedBackend",
+    "NativeBackend",
     "register_backend",
     "get_backend",
     "resolve_backend",
@@ -145,6 +155,19 @@ class ExecutionBackend:
     ) -> None:
         """Execute one chunk's iterations, in order, in place."""
         raise NotImplementedError
+
+    def prepare_plan(
+        self,
+        transformed: TransformedLoopNest,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> None:
+        """One-time per-program preparation (compiles, cache warm-up).
+
+        The executor calls this inside its *setup* timing window before any
+        timed execution, so backends that compile (the native backend JITs a
+        kernel here) charge that work to ``setup_seconds``, never to
+        ``elapsed_seconds``.  The default is a no-op.
+        """
 
     def execute_original(self, nest: LoopNest, store: ArrayStore) -> ArrayStore:
         """Execute an untransformed nest sequentially through this backend."""
@@ -224,6 +247,12 @@ class InterpreterBackend(ExecutionBackend):
 # compiled backend
 # ---------------------------------------------------------------------------
 
+def _canonical_array_mapping(nest: LoopNest) -> Tuple[Tuple[str, str], ...]:
+    """``(original name, canonical name)`` pairs in canonical slot order."""
+    order = native_codegen._original_array_order(nest)
+    return tuple((name, f"A{slot}") for slot, name in enumerate(order))
+
+
 class CompiledBackend(ExecutionBackend):
     """Execute through ``compile()``d Python emitted by the code generator.
 
@@ -238,26 +267,84 @@ class CompiledBackend(ExecutionBackend):
 
     name = "compiled"
 
-    # Keyed by nest identity; weak so caching never outlives the nest and
-    # never touches the nest object itself (which must stay picklable for
-    # the process-pool executor).
-    _body_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+    # Compiled bodies are cached process-wide in a bounded LRU keyed by the
+    # *canonical structure* of the nest (plus the int-vs-float constant
+    # signature, which the canonical key normalizes away but ``//``/``%``/
+    # ``**`` semantics depend on) — alpha-renamed copies of one program
+    # share a single compiled body, and a long-running ``BatchService``
+    # process serving arbitrary traffic stays bounded.  A weak per-nest map
+    # keeps the fast path (one dict hit) for repeated execution of the same
+    # nest object; it never touches the nest itself, which must stay
+    # picklable for the process-pool executor.
+    body_cache_limit: int = 128
+    _body_lru: "OrderedDict[tuple, Callable]" = OrderedDict()
+    _body_lock = threading.Lock()
+    _body_stats: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+    _nest_bodies: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
     _original_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     @classmethod
     def body_function(cls, nest: LoopNest):
-        """The compiled body function of ``nest`` (cached per nest object)."""
-        function = cls._body_cache.get(nest)
-        if function is None:
+        """The compiled body function of ``nest`` (canonically cached).
+
+        The source is emitted from the positionally alpha-renamed nest
+        (indices ``c1..cn``, arrays ``A0, A1, ...``) so equal structures
+        compile once; the returned callable remaps the caller's store keys
+        onto the canonical array names.
+        """
+        function = cls._nest_bodies.get(nest)
+        if function is not None:
+            return function
+        key = (canonical_key_tuple(nest), constant_kind_signature(nest))
+        with cls._body_lock:
+            compiled = cls._body_lru.get(key)
+            if compiled is not None:
+                cls._body_lru.move_to_end(key)
+                cls._body_stats["hits"] += 1
+        if compiled is None:
             from repro.codegen.python_emitter import (
                 compile_loop_function,
                 emit_chunk_body_source,
             )
 
-            source = emit_chunk_body_source(nest, function_name="run_chunk_body")
-            function = compile_loop_function(source, "run_chunk_body")
-            cls._body_cache[nest] = function
+            renamed = positional_rename(nest)
+            source = emit_chunk_body_source(renamed, function_name="run_chunk_body")
+            compiled = compile_loop_function(source, "run_chunk_body")
+            with cls._body_lock:
+                cls._body_stats["misses"] += 1
+                cls._body_lru[key] = compiled
+                cls._body_lru.move_to_end(key)
+                while len(cls._body_lru) > max(1, int(cls.body_cache_limit)):
+                    cls._body_lru.popitem(last=False)
+                    cls._body_stats["evictions"] += 1
+        mapping = _canonical_array_mapping(nest)
+        if all(original == canonical for original, canonical in mapping):
+            function = compiled
+        else:
+
+            def function(arrays, iterations, _body=compiled, _mapping=mapping):
+                view = {canonical: arrays[original] for original, canonical in _mapping}
+                return _body(view, iterations)
+
+        cls._nest_bodies[nest] = function
         return function
+
+    @classmethod
+    def body_cache_info(cls) -> Dict[str, int]:
+        with cls._body_lock:
+            return {
+                "size": len(cls._body_lru),
+                "limit": int(cls.body_cache_limit),
+                **cls._body_stats,
+            }
+
+    @classmethod
+    def clear_body_cache(cls) -> None:
+        with cls._body_lock:
+            cls._body_lru.clear()
+            for stat in cls._body_stats:
+                cls._body_stats[stat] = 0
+        cls._nest_bodies = weakref.WeakKeyDictionary()
 
     def execute_chunk(self, transformed, chunk, store) -> None:
         body = self.body_function(transformed.nest)
@@ -747,6 +834,114 @@ class VectorizedBackend(ExecutionBackend):
         )
 
 
+# ---------------------------------------------------------------------------
+# native backend
+# ---------------------------------------------------------------------------
+
+class NativeBackend(ExecutionBackend):
+    """Machine-code execution of the plan's strided chunk ranges.
+
+    The plan already describes every chunk as per-level ``(start, stop,
+    step)`` ranges; :mod:`repro.codegen.native` compiles one specialized
+    kernel per canonical program (Numba ``@njit`` when available, else
+    generated C through the system compiler + ctypes) that runs all selected
+    chunks as nested native loops directly on the store's float64 buffers —
+    zero per-iteration Python work, GIL released for the duration of a call.
+
+    The backend degrades automatically: when no engine is available, the
+    nest uses expressions outside the kernel subset, a chunk is not
+    separable into strided ranges, or an array's layout cannot be
+    marshalled, the run is delegated to the vectorized backend (itself
+    pinned bit-identical to the interpreter).  The instance carries only
+    configuration — kernels live in the module-level cache — so it pickles
+    cheaply into process-pool payloads, and every worker reuses the parent's
+    on-disk kernel artifact instead of recompiling.
+
+    Compile time is charged to the executor's setup window via
+    :meth:`prepare_plan`, never to measured execution time.
+    """
+
+    name = "native"
+
+    def __init__(self, engine: Optional[str] = None):
+        self.engine = engine
+        self.last_execution_engine = self.name
+        self.stats: Dict[str, float] = {
+            "native_runs": 0,
+            "native_chunks": 0,
+            "fallback_runs": 0,
+            "compile_seconds": 0.0,
+        }
+        self._fallback = VectorizedBackend()
+
+    # ------------------------------------------------------------------ #
+    def prepare_plan(self, transformed, plan=None) -> None:
+        started = time.perf_counter()
+        native_codegen.native_program_for(transformed, self.engine)
+        self.stats["compile_seconds"] += time.perf_counter() - started
+
+    def _raise_native_error(self, code: int, transformed) -> None:
+        name = transformed.nest.name
+        if code == native_codegen.ERR_WINDOW:
+            raise ExecutionError(
+                f"subscript leaves the declared array window while executing "
+                f"{name!r} natively"
+            )
+        if code == native_codegen.ERR_ZERO_DIV:
+            raise ZeroDivisionError("float division by zero")
+        if code == native_codegen.ERR_DOMAIN:
+            raise ValueError("math domain error")
+        if code == native_codegen.ERR_OVERFLOW:
+            raise OverflowError("math range error")
+        raise ExecutionError(  # pragma: no cover - codes are closed
+            f"native kernel returned unknown status {code}"
+        )
+
+    def _delegate_plan(self, transformed, plan, store, chunk_indices) -> ArrayStore:
+        self.stats["fallback_runs"] += 1
+        self._fallback.execute_plan(transformed, plan, store, chunk_indices=chunk_indices)
+        self.last_execution_engine = self._fallback.last_execution_engine
+        return store
+
+    def execute_plan(self, transformed, plan, store, chunk_indices=None) -> ArrayStore:
+        program = native_codegen.native_program_for(transformed, self.engine)
+        if program is None:
+            return self._delegate_plan(transformed, plan, store, chunk_indices)
+        packed = native_codegen.packed_ranges_for(plan, chunk_indices)
+        if packed is None:
+            return self._delegate_plan(transformed, plan, store, chunk_indices)
+        n_chunks, ranges = packed
+        code = program.execute(store, ranges, n_chunks)
+        if code is None:
+            return self._delegate_plan(transformed, plan, store, chunk_indices)
+        if code != native_codegen.OK:
+            self._raise_native_error(code, transformed)
+        self.stats["native_runs"] += 1
+        self.stats["native_chunks"] += n_chunks
+        self.last_execution_engine = f"native-{program.kernel.engine}"
+        return store
+
+    def execute_chunk(self, transformed, chunk, store) -> None:
+        # The thread executor submits plan chunk views one by one; legacy
+        # materialized chunks (no strided-range form) delegate.
+        ranges = chunk.value_ranges() if isinstance(chunk, ChunkView) else None
+        if ranges is not None:
+            program = native_codegen.native_program_for(transformed, self.engine)
+            if program is not None:
+                if not ranges:
+                    return
+                packed = native_codegen.pack_ranges([ranges], transformed.depth)
+                code = program.execute(store, packed, 1)
+                if code is not None:
+                    if code != native_codegen.OK:
+                        self._raise_native_error(code, transformed)
+                    self.stats["native_chunks"] += 1
+                    return
+        self.stats["fallback_runs"] += 1
+        self._fallback.execute_chunk(transformed, chunk, store)
+
+
 register_backend("interpreter", InterpreterBackend)
 register_backend("compiled", CompiledBackend)
 register_backend("vectorized", VectorizedBackend)
+register_backend("native", NativeBackend)

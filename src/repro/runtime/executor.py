@@ -264,6 +264,7 @@ class ParallelExecutor:
             chunk_sizes = tuple(plan.chunk_sizes())
         else:
             chunk_sizes = tuple(chunk.size for chunk in chunks)
+        self.backend.prepare_plan(transformed, plan)
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
         if self.mode == "serial":
@@ -340,6 +341,8 @@ class ParallelExecutor:
         setup_start = time.perf_counter()
         member_sizes = [tuple(member.chunk_sizes()) for member in fused.members]
         global_sizes = [size for sizes in member_sizes for size in sizes]
+        for member_transformed, member_plan in zip(transformeds, fused.members):
+            self.backend.prepare_plan(member_transformed, member_plan)
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
         per_member_elapsed: Optional[List[float]] = None

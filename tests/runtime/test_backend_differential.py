@@ -48,9 +48,11 @@ BACKEND_VARIANTS = [
     ("vectorized", {}),
     ("vectorized", {"min_parallel_width": 2}),
     ("vectorized", {"check_independence": False, "min_parallel_width": 2}),
+    ("native", {}),
 ]
 VARIANT_IDS = [
     "interpreter", "compiled", "vectorized", "vectorized-forced", "vectorized-unchecked",
+    "native",
 ]
 
 
@@ -80,7 +82,9 @@ class TestWorkloadSuiteDifferential:
         )
 
     @pytest.mark.parametrize("mode", ["serial", "threads"])
-    @pytest.mark.parametrize("backend_name", ["interpreter", "compiled", "vectorized"])
+    @pytest.mark.parametrize(
+        "backend_name", ["interpreter", "compiled", "vectorized", "native"]
+    )
     def test_executor_modes_per_backend(self, mode, backend_name):
         for case in SUITE[:6]:
             base, ref, transformed = _reference_and_transformed(case.nest)
@@ -90,14 +94,21 @@ class TestWorkloadSuiteDifferential:
                 transformed, result
             )
             # The result reports the engine that actually ran: thread mode is
-            # chunk-granular (the vectorized backend delegates there) and a
-            # serial vectorized run may fall back dynamically.
-            assert outcome.backend in (backend.name, backend.per_chunk_name)
-            if backend_name != "vectorized":
-                assert outcome.backend == backend_name
+            # chunk-granular (the vectorized backend delegates there), a
+            # serial vectorized run may fall back dynamically and a serial
+            # native run reports its engine ("native-cc" / "native-numba") —
+            # or whatever it fell back to when the program isn't native.
+            if backend_name == "native":
+                assert outcome.backend.split("-")[0] in (
+                    "native", "vectorized", "compiled"
+                )
+            else:
+                assert outcome.backend in (backend.name, backend.per_chunk_name)
+                if backend_name != "vectorized":
+                    assert outcome.backend == backend_name
             assert ref.identical(result), (mode, backend_name, case.name)
 
-    @pytest.mark.parametrize("backend_name", ["compiled", "vectorized"])
+    @pytest.mark.parametrize("backend_name", ["compiled", "vectorized", "native"])
     def test_process_mode_merges_backend_writes(self, backend_name):
         nest = example_4_2(4)
         base, ref, transformed = _reference_and_transformed(nest)
@@ -338,7 +349,7 @@ class TestCompiledBehavior:
 class TestRegistry:
     def test_available_backends(self):
         names = available_backends()
-        assert {"interpreter", "compiled", "vectorized"} <= set(names)
+        assert {"interpreter", "compiled", "vectorized", "native"} <= set(names)
 
     def test_get_backend_unknown(self):
         with pytest.raises(ExecutionError):

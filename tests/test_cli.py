@@ -280,3 +280,31 @@ class TestBatchCommand:
         assert "mode: shared" in out
         assert "runtime setup" in out
         assert "ok" in out
+
+
+class TestBackendListing:
+    def test_help_lists_registered_backends_dynamically(self, capsys):
+        # The --backend flag must pick up new backends from the registry —
+        # both in the accepted choices and in the rendered help text.
+        from repro.runtime.backends import available_backends
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--help"])
+        out = capsys.readouterr().out
+        for name in available_backends():
+            assert name in out
+        assert "native" in out
+
+    def test_run_native_backend(self, tmp_path, capsys):
+        path = tmp_path / "ex41.loop"
+        path.write_text(EXAMPLE_41)
+        assert main(["run", str(path), "--backend", "native"]) == 0
+        out = capsys.readouterr().out
+        # The run line reports what actually executed: "native-<engine>",
+        # or the fallback backend's name when no engine is available.
+        assert (
+            "backend: native" in out
+            or "backend: vectorized" in out
+            or "backend: compiled" in out
+        )
+        assert "ok" in out
