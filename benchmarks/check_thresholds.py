@@ -17,6 +17,9 @@ which fails (exit 1) when
 * a thresholded benchmark produced no results file at all
 
 — so a silently skipped benchmark can never pass the gate.
+
+``docs/benchmarks.md`` documents every gate with its measured value and
+the procedure for adding a new one.
 """
 
 import argparse

@@ -1,0 +1,107 @@
+"""Link-check the Markdown documentation — stdlib only, no doc toolchain.
+
+Walks every committed Markdown page (``docs/*.md``, ``README.md``,
+``CONTRIBUTING.md`` when present) and fails when
+
+* a relative link points at a file that does not exist in the repo,
+* a link into a Markdown page names a ``#fragment`` that matches no
+  heading on that page (GitHub's slug rules: lowercase, punctuation
+  stripped, spaces to hyphens), or
+* a page contains an unclosed fenced code block (the usual way a
+  truncated edit corrupts a page).
+
+External ``http(s):``/``mailto:`` links are not fetched — CI must not
+depend on the network — only their syntax is accepted.  Run from anywhere::
+
+    python docs/check_docs.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the first unescaped ')'; images
+# (![alt](target)) match the same way and are checked identically.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _pages():
+    pages = sorted((REPO_ROOT / "docs").glob("*.md"))
+    for name in ("README.md", "CONTRIBUTING.md"):
+        candidate = REPO_ROOT / name
+        if candidate.exists():
+            pages.append(candidate)
+    return pages
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip markup/punctuation, hyphenate spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    # GitHub hyphenates every space individually, so "a → b" (arrow
+    # stripped above) slugs to "a--b", not "a-b".
+    return text.replace(" ", "-")
+
+
+def _anchors(page: pathlib.Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in page.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slug = _slugify(match.group(2))
+            # GitHub dedupes repeated headings with -1, -2, ...; pages here
+            # keep headings unique, so the plain slug suffices.
+            anchors.add(slug)
+    return anchors
+
+
+def check() -> int:
+    failures = []
+    anchor_cache = {}
+    for page in _pages():
+        text = page.read_text(encoding="utf-8")
+        if text.count("```") % 2:
+            failures.append(f"{page.relative_to(REPO_ROOT)}: unclosed ``` fence")
+        for target in _LINK.findall(text):
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (page.parent / path_part).resolve()
+            else:
+                resolved = page.resolve()  # same-page #fragment
+            if not resolved.exists():
+                failures.append(
+                    f"{page.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+                continue
+            if fragment and resolved.suffix == ".md":
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = _anchors(resolved)
+                if fragment not in anchor_cache[resolved]:
+                    failures.append(
+                        f"{page.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                    )
+    for failure in failures:
+        print(f"FAIL  {failure}")
+    if failures:
+        print(f"{len(failures)} documentation check(s) failed")
+        return 1
+    print(f"docs ok: {len(_pages())} page(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check())

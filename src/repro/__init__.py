@@ -80,6 +80,7 @@ from repro.api import (
     SessionStats,
     resolve_source,
 )
+from repro.gateway import Gateway, GatewayConfig, GatewayOverloaded
 from repro.isdg import build_isdg, compute_statistics
 from repro.intlin import Lattice, hermite_normal_form, smith_normal_form
 
@@ -94,6 +95,10 @@ __all__ = [
     "SessionConfig",
     "SessionStats",
     "resolve_source",
+    # serving gateway (repro.gateway)
+    "Gateway",
+    "GatewayConfig",
+    "GatewayOverloaded",
     # loop nest IR
     "AffineExpr",
     "LoopBounds",

@@ -29,6 +29,17 @@ Loop description format (one item per line, ``#`` starts a comment)::
 
 Loops are declared outermost first; every remaining non-empty line is a
 body statement.  Bounds may reference outer loop indices.
+
+The :data:`LoopSource` alias names the union of the accepted spellings;
+they all land on the same nest:
+
+    >>> from repro.api import resolve_source
+    >>> from repro.workloads import example_4_1
+    >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+    >>> resolve_source(text).depth
+    2
+    >>> resolve_source(example_4_1, n=8).name
+    'example-4.1(N=8)'
 """
 
 from __future__ import annotations
@@ -53,7 +64,12 @@ LoopSource = Union[LoopNest, str, os.PathLike, object]
 
 
 def parse_loop_text(text: str, default_name: str = "loop") -> LoopNest:
-    """Parse the textual loop description format into a :class:`LoopNest`."""
+    """Parse the textual loop description format into a :class:`LoopNest`.
+
+        >>> nest = parse_loop_text("name: demo\\nloop i = 0 .. 3\\nA[i] = A[i] + 1.0")
+        >>> nest.name, nest.depth
+        ('demo', 1)
+    """
     builder = LoopNestBuilder(default_name)
     name = default_name
     statements = 0
@@ -97,7 +113,14 @@ def parse_loop_text(text: str, default_name: str = "loop") -> LoopNest:
 
 
 def parse_loop_file(path: Union[str, os.PathLike]) -> LoopNest:
-    """Read and parse a loop description file."""
+    """Read and parse a loop description file (name defaults to the stem).
+
+        >>> import os, tempfile
+        >>> path = os.path.join(tempfile.mkdtemp(), "tiny.loop")
+        >>> _ = open(path, "w").write("loop i = 0 .. 3\\nA[i] = A[i] + 1.0\\n")
+        >>> parse_loop_file(path).name
+        'tiny'
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     name = str(path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
@@ -131,6 +154,12 @@ def resolve_source(
         default to the file stem, built nests keep their own name).
     n:
         Size argument for workload factories; ignored for the other kinds.
+
+        >>> resolve_source("loop i = 0 .. 3\\nA[i] = A[i] * 2.0", name="tiny").name
+        'tiny'
+        >>> from repro.workloads import example_4_1
+        >>> resolve_source(example_4_1, n=8).name
+        'example-4.1(N=8)'
     """
     if isinstance(source, LoopNest):
         return source
@@ -167,5 +196,10 @@ def resolve_source(
 def resolve_sources(
     sources: Iterable[LoopSource], *, n: Optional[int] = None
 ) -> List[LoopNest]:
-    """Resolve a batch of sources in order (see :func:`resolve_source`)."""
+    """Resolve a batch of sources in order (see :func:`resolve_source`).
+
+        >>> from repro.workloads import example_4_1, example_4_2
+        >>> [nest.name for nest in resolve_sources([example_4_1, example_4_2], n=8)]
+        ['example-4.1(N=8)', 'example-4.2(N=8)']
+    """
     return [resolve_source(source, n=n) for source in sources]

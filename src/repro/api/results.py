@@ -41,7 +41,17 @@ def _matrix(rows) -> List[List[int]]:
 
 @dataclass(frozen=True)
 class AnalysisResult:
-    """Outcome of one ``Session.analyze`` call."""
+    """Outcome of one ``Session.analyze`` call.
+
+        >>> from repro.api import Session
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> with Session() as session:
+        ...     analysis = session.analyze(text)
+        >>> analysis.depth, analysis.parallel_loops, analysis.cache_hit
+        (2, 1, False)
+        >>> analysis.to_dict()["kind"]
+        'analysis'
+    """
 
     name: str
     nest: LoopNest = field(repr=False)
@@ -109,7 +119,17 @@ class AnalysisResult:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one ``Session.run`` call: analysis plus execution."""
+    """Outcome of one ``Session.run`` call: analysis plus execution.
+
+        >>> from repro.api import Session
+        >>> text = "loop i1 = 0 .. 3\\nloop i2 = 0 .. 3\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> with Session(backend="vectorized", verify="always") as session:
+        ...     result = session.run(text)
+        >>> result.iterations, result.num_chunks, result.verified
+        (16, 4, True)
+        >>> sorted(result.store)
+        ['A']
+    """
 
     analysis: AnalysisResult
     execution: ExecutionResult = field(repr=False)
@@ -234,7 +254,17 @@ class RunResult:
 
 @dataclass(frozen=True)
 class SessionStats:
-    """Cross-cutting counters of one :class:`~repro.api.session.Session`."""
+    """Cross-cutting counters of one :class:`~repro.api.session.Session`.
+
+        >>> from repro.api import Session
+        >>> with Session(backend="vectorized") as session:
+        ...     _ = session.run("loop i = 0 .. 3\\nA[i] = A[i] + 1.0")
+        ...     stats = session.stats()
+        >>> stats.runs, stats.analyses, stats.cache_misses
+        (1, 1, 1)
+        >>> stats.to_dict()["mode"]
+        'serial'
+    """
 
     analyses: int
     runs: int
@@ -251,6 +281,12 @@ class SessionStats:
     executor_creations: int
     pool_workers_alive: int
     programs_cached: int
+    #: Feedback-scheduling counters (zero until the executor exists): how
+    #: many canonical programs have measured per-chunk costs, how many group
+    #: executions were recorded, how many chunks have a cost estimate.
+    telemetry_programs: int = 0
+    telemetry_observations: int = 0
+    telemetry_chunks_profiled: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -269,6 +305,9 @@ class SessionStats:
             "executor_creations": self.executor_creations,
             "pool_workers_alive": self.pool_workers_alive,
             "programs_cached": self.programs_cached,
+            "telemetry_programs": self.telemetry_programs,
+            "telemetry_observations": self.telemetry_observations,
+            "telemetry_chunks_profiled": self.telemetry_chunks_profiled,
         }
 
     def to_json(self, **kwargs: Any) -> str:
@@ -288,6 +327,9 @@ class SessionStats:
             f"({self.executor_creations} creation(s), "
             f"{self.pool_workers_alive} pool worker(s) alive), "
             f"{self.programs_cached} cached program(s)",
+            f"  telemetry: {self.telemetry_programs} program(s), "
+            f"{self.telemetry_observations} group observation(s), "
+            f"{self.telemetry_chunks_profiled} chunk(s) profiled",
         ]
         return "\n".join(lines)
 

@@ -27,6 +27,13 @@ of :mod:`repro.api.results`.
     ...     result = s.run("examples/loops/example41.loop")
     ...     result.partitions, result.iterations  # doctest: +SKIP
 
+``VERIFICATION_POLICIES`` names the accepted values of
+``SessionConfig.verify``:
+
+    >>> from repro.api import VERIFICATION_POLICIES
+    >>> VERIFICATION_POLICIES
+    ('never', 'always')
+
 The CLI, the batch service and the experiment harness are all thin layers
 over this class.
 """
@@ -91,6 +98,11 @@ class SessionConfig:
     gets ``("tile",)`` only, because serial dispatch is free and the raw
     chunking gives the vectorized backend its widest rounds.  An empty
     tuple disables optimization entirely.
+
+        >>> SessionConfig().resolved_plan_passes()
+        ('tile',)
+        >>> SessionConfig(mode="threads").resolved_plan_passes()
+        ('coalesce', 'tile')
     """
 
     backend: str = DEFAULT_BACKEND
@@ -161,6 +173,16 @@ class Session:
     ``cache`` injects an existing :class:`AnalysisCache` (e.g. the
     process-wide one) instead of the session-private cache built from
     ``config.cache_size``.
+
+        >>> from repro.api import Session
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> with Session(backend="vectorized") as session:
+        ...     first = session.run(text)
+        ...     second = session.run(text)
+        >>> first.cache_hit, second.cache_hit
+        (False, True)
+        >>> first.checksum == second.checksum
+        True
     """
 
     def __init__(
@@ -206,6 +228,21 @@ class Session:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def telemetry(self):
+        """The executor's measured per-chunk cost store.
+
+        Creates the executor on first access (like :attr:`executor`); the
+        gateway and the stats surface read the same store, so feedback
+        gathered by any execution path informs every balancing decision.
+
+            >>> from repro.api import Session
+            >>> with Session() as session:
+            ...     session.telemetry.snapshot()["observations"]
+            0
+        """
+        return self.executor.telemetry
 
     @property
     def executor(self) -> ParallelExecutor:
@@ -436,6 +473,7 @@ class Session:
         # One read: a concurrent close() may null the attribute between checks.
         executor = self._executor
         pool = executor._pool if executor is not None else None
+        telemetry = executor.telemetry.snapshot() if executor is not None else {}
         return SessionStats(
             analyses=self._analyses,
             runs=self._runs,
@@ -452,6 +490,9 @@ class Session:
             executor_creations=self._executor_creations,
             pool_workers_alive=pool.alive_workers() if pool is not None else 0,
             programs_cached=len(self._programs),
+            telemetry_programs=int(telemetry.get("programs", 0)),
+            telemetry_observations=int(telemetry.get("observations", 0)),
+            telemetry_chunks_profiled=int(telemetry.get("chunks_profiled", 0)),
         )
 
     # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ plain text files, without writing Python::
     repro-loop figures examples/loops/example41.loop
     repro-loop run     examples/loops/example41.loop --backend vectorized
     repro-loop batch   examples/loops/*.loop --mode shared --repeat 4
+    repro-loop serve   examples/loops/*.loop --repeat 8 --processors 4
 
 Every sub-command shares one group of session options
 (``--backend/--mode/--processors/--placement/--no-cache``); ``main``
@@ -21,6 +22,10 @@ wires caches or executors by hand.
 The loop description format is documented in :mod:`repro.api.inputs`
 (``name:`` line, ``loop <index> = <lower> .. <upper>`` declarations
 outermost first, then body statements; ``#`` starts a comment).
+
+``--dump-docs`` (anywhere on the command line) prints the generated CLI
+reference (the committed ``docs/cli.md``) and exits; see
+:mod:`repro.cli_docs`.
 """
 
 from __future__ import annotations
@@ -243,6 +248,42 @@ def _cmd_batch(nests: List[LoopNest], args, session: Session) -> str:
     return batch_report.describe()
 
 
+def _cmd_serve(nests: List[LoopNest], args, session: Session) -> str:
+    """Serve every parsed nest through the async gateway and report."""
+    import time
+
+    from repro.gateway import GatewayConfig, serve
+
+    config = GatewayConfig(
+        max_pending=getattr(args, "max_pending", 32),
+        exec_workers=args.processors,
+    )
+    wall_start = time.perf_counter()
+    results = serve(
+        session,
+        nests,
+        config=config,
+        repeat=getattr(args, "repeat", 1),
+        placement=args.placement,
+    )
+    wall = time.perf_counter() - wall_start
+    jobs = len(results)
+    iterations = sum(result.iterations for result in results)
+    lines = [
+        f"Served {jobs} job(s), {iterations} iterations in "
+        f"{wall * 1000.0:.2f} ms wall "
+        f"({jobs / wall:.1f} jobs/s, {iterations / wall:.0f} iterations/s)"
+        if wall > 0
+        else f"Served {jobs} job(s), {iterations} iterations",
+        f"  gateway: {config.exec_workers} execution worker(s), "
+        f"{config.analysis_workers} analysis worker(s), "
+        f"admission bound {config.max_pending}",
+        f"  backend: {results[0].backend}" if results else "  (no jobs)",
+        f"  {session.executor.telemetry.describe()}",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_compare(nest: LoopNest, args, session: Session) -> str:
     case = WorkloadCase(name=nest.name, nest=nest, category="user")
     methods = None
@@ -288,6 +329,7 @@ _COMMANDS = {
 # Commands that consume every loop file at once instead of one at a time.
 _BATCH_COMMANDS = {
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
 }
 
 _COMMAND_HELP = {
@@ -298,6 +340,7 @@ _COMMAND_HELP = {
     "figures": "render the ISDG figures and distance histogram",
     "run": "execute the parallelized nest and report timing",
     "batch": "serve all files as one batch through the serving layer",
+    "serve": "serve all files concurrently through the async gateway (demo)",
 }
 
 
@@ -329,11 +372,20 @@ def build_parser() -> argparse.ArgumentParser:
                 help="submit the job list this many times (structural "
                 "duplicates share one analysis through the cache; default: 1)",
             )
+        if command == "batch":
             sub.add_argument(
                 "--fuse",
                 action="store_true",
                 help="fuse adjacent compatible jobs into one dispatch per "
                 "window (one balancing decision and pool job per window)",
+            )
+        if command == "serve":
+            sub.add_argument(
+                "--max-pending",
+                type=int,
+                default=32,
+                help="gateway admission bound: jobs in flight before new "
+                "submissions wait for capacity (default: 32)",
             )
     return parser
 
@@ -345,6 +397,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     code at the first file that cannot be read or parsed.  One session
     (cache + executor) serves the whole invocation.
     """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--dump-docs" in argv:
+        # Emit the generated CLI reference (docs/cli.md) and exit: handled
+        # before argparse because the flag is global, not per-command.
+        from repro.cli_docs import render_cli_docs
+
+        print(render_cli_docs(build_parser()))
+        return 0
     parser = build_parser()
     args = parser.parse_args(argv)
     # The run command verifies every execution against the interpreter

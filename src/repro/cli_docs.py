@@ -1,0 +1,102 @@
+"""Render the CLI reference (``docs/cli.md``) from the live argparse tree.
+
+The committed ``docs/cli.md`` is *generated*, never hand-edited::
+
+    PYTHONPATH=src python -m repro.cli --dump-docs > docs/cli.md
+
+and a sync test (``tests/docs/test_cli_docs.py``) fails whenever the
+argparse tree changes without regenerating the file — the reference can
+therefore never drift from the actual CLI.
+
+The renderer walks the parser's sub-commands and option groups directly
+instead of capturing ``format_help()`` output: help text re-wraps with the
+terminal width, which would make the generated file unstable across
+environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+__all__ = ["render_cli_docs"]
+
+_HEADER = """\
+# `repro-loop` command reference
+
+<!-- Generated file: regenerate with
+     `PYTHONPATH=src python -m repro.cli --dump-docs > docs/cli.md`.
+     tests/docs/test_cli_docs.py asserts this file is in sync. -->
+"""
+
+
+def _option_signature(action: argparse.Action) -> str:
+    """A compact, deterministic signature for one argparse action."""
+    if not action.option_strings:
+        name = action.metavar or action.dest
+        if action.nargs in ("+", "*"):
+            return f"{name}..."
+        return str(name)
+    flags = ", ".join(action.option_strings)
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return flags
+    if action.choices is not None:
+        return f"{flags} {{{','.join(str(choice) for choice in action.choices)}}}"
+    metavar = action.metavar or action.dest.upper()
+    return f"{flags} {metavar}"
+
+
+def _clean(text: str) -> str:
+    """Collapse argparse help strings to one line of plain text."""
+    return " ".join((text or "").split())
+
+
+def _actions_table(actions: List[argparse.Action]) -> List[str]:
+    lines = ["| argument | default | description |", "| --- | --- | --- |"]
+    for action in actions:
+        if isinstance(action, argparse._HelpAction):
+            continue
+        default = action.default
+        if default in (None, False, argparse.SUPPRESS) or not action.option_strings:
+            shown = ""
+        else:
+            shown = f"`{default}`"
+        lines.append(
+            f"| `{_option_signature(action)}` | {shown} | {_clean(action.help)} |"
+        )
+    return lines
+
+
+def _subparsers_action(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    raise ValueError(f"{parser.prog} has no sub-commands")
+
+
+def render_cli_docs(parser: argparse.ArgumentParser) -> str:
+    """The whole CLI reference as deterministic Markdown."""
+    subparsers = _subparsers_action(parser)
+    lines: List[str] = [_HEADER, _clean(parser.description), ""]
+    commands = sorted(subparsers.choices.items())
+    lines.append("## Commands")
+    lines.append("")
+    for name, sub in commands:
+        lines.append(f"- [`{parser.prog} {name}`](#{parser.prog}-{name}) — "
+                     f"{_clean(sub.description)}")
+    lines.append("")
+    for name, sub in commands:
+        lines.append(f"## `{parser.prog} {name}`")
+        lines.append("")
+        lines.append(_clean(sub.description))
+        lines.append("")
+        lines.extend(_actions_table(sub._actions))
+        lines.append("")
+    lines.append(
+        "The loop description file format is documented in "
+        "`repro.api.inputs` (`name:` line, `loop <index> = <lower> .. "
+        "<upper>` declarations outermost first, then body statements; `#` "
+        "starts a comment)."
+    )
+    lines.append("")
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ __all__ = [
     "CodegenError",
     "ExecutionError",
     "WorkloadError",
+    "GatewayOverloaded",
 ]
 
 
@@ -75,3 +76,22 @@ class ExecutionError(ReproError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload/benchmark specification is invalid."""
+
+
+class GatewayOverloaded(ReproError, RuntimeError):
+    """The serving gateway rejected a job because its admission bound is full.
+
+    Carries the gateway's queue statistics at rejection time in ``stats``
+    (a :class:`~repro.gateway.GatewayStats`), so callers can log the load
+    they were rejected under and implement informed retry policies.
+
+        >>> try:
+        ...     raise GatewayOverloaded("2 job(s) pending, bound is 2")
+        ... except GatewayOverloaded as exc:
+        ...     str(exc), exc.stats
+        ('2 job(s) pending, bound is 2', None)
+    """
+
+    def __init__(self, message: str, stats=None):
+        super().__init__(message)
+        self.stats = stats

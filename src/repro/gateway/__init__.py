@@ -1,0 +1,25 @@
+"""Async serving gateway over the :mod:`repro.api` session layer.
+
+The gateway is the serving front-end the ROADMAP's north star asks for:
+bounded concurrent admission of jobs over one shared
+:class:`~repro.api.session.Session`, analysis overlapped with execution,
+chunk groups (not whole jobs) as the queued unit of work, and explicit
+:class:`~repro.exceptions.GatewayOverloaded` rejections under load.  See
+:mod:`repro.gateway.gateway` for the queueing model and
+``docs/architecture.md`` for the big picture.
+
+    >>> from repro.gateway import Gateway, GatewayConfig, serve
+    >>> GatewayConfig(max_pending=4).max_pending
+    4
+"""
+
+from repro.exceptions import GatewayOverloaded
+from repro.gateway.gateway import Gateway, GatewayConfig, GatewayStats, serve
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "GatewayOverloaded",
+    "serve",
+]

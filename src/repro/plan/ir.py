@@ -72,6 +72,16 @@ class PlanLevel:
     value order).  This is how the coalescing plan pass merges adjacent
     doall ranges without leaving the symbolic representation — the blocked
     plan is still a plain :class:`ExecutionPlan`.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> [(level.role, level.stride, level.block) for level in plan.levels]
+        [('parallel', 1, 1), ('sequential', 1, 1)]
     """
 
     role: str
@@ -96,6 +106,17 @@ class ChunkView:
     that iterates: ``iterations`` is a fresh generator on each access (the
     iterations are re-derived from the plan bounds, never stored), ``size``
     is computed closed-form when the plan allows it.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> chunk = next(plan.chunks())
+        >>> chunk.size, list(chunk.iterations)[:2]
+        (8, [(0, 0), (0, 1)])
     """
 
     __slots__ = ("plan", "key", "_size")
@@ -137,7 +158,21 @@ class ExecutionPlan:
 
     Build with :meth:`from_transformed`; the plan then no longer references
     the nest — it is a pure, picklable value object over the transformed
-    bounds and the independence structure (Lemma 1 + Theorem 2).
+    bounds and the independence structure (Lemma 1 + Theorem 2).  It is the
+    only artifact that crosses process boundaries: a few hundred bytes
+    independent of the iteration count.
+
+        >>> import pickle
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> plan.chunk_count, plan.total_iterations, plan.chunk_sizes()[:3]
+        (8, 64, [8, 8, 8])
+        >>> len(pickle.dumps(plan)) < 1024  # the wire format stays tiny
+        True
     """
 
     #: Everything that defines the plan; caches are derived and excluded

@@ -46,7 +46,14 @@ backend and execution mode.  ``tests/plan/test_plan_passes.py`` pins this.
 Passes register by name — :func:`register_plan_pass` /
 :func:`get_plan_pass`, mirroring the backend registry — so a session can be
 configured with ``plan_passes=("coalesce", "tile")`` strings end to end
-(CLI: ``--plan-passes`` / ``--no-plan-passes``).
+(CLI: ``--plan-passes`` / ``--no-plan-passes``).  ``DEFAULT_PLAN_PASSES``
+is the pipeline a session runs unless configured otherwise (fusion is
+absent by design: it needs several plans, which only the batch entry
+points have):
+
+    >>> from repro.plan import DEFAULT_PLAN_PASSES
+    >>> DEFAULT_PLAN_PASSES
+    ('coalesce', 'tile')
 """
 
 from __future__ import annotations
@@ -101,6 +108,17 @@ class TiledPlan(ExecutionPlan):
     every chunk), keeping the round working set cache-sized.  Executing a
     chunk's tiles in order preserves the intra-chunk iteration order, so
     the schedule stays legal whenever the untiled one was.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, TiledPlan
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> tiled = TiledPlan(plan, tile_iterations=4)
+        >>> tiled.tile_iterations, tiled.chunk_count == plan.chunk_count
+        (4, True)
     """
 
     _SPEC_FIELDS = ExecutionPlan._SPEC_FIELDS + ("tile_iterations",)
@@ -140,6 +158,22 @@ class FusedPlan:
     Not an :class:`ExecutionPlan` subclass on purpose: a fused plan has no
     single bounds structure, and every consumer must split before touching
     a member.  It pickles through its members (a few hundred bytes each).
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, FusedPlan
+        >>> def plan_of(text):
+        ...     report = analyze_nest(parse_loop_text(text))
+        ...     return ExecutionPlan.from_transformed(
+        ...         TransformedLoopNest.from_report(report))
+        >>> a = plan_of("loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0")
+        >>> b = plan_of("loop i1 = 0 .. 3\\nloop i2 = 0 .. 3\\nB[i1, i2] = B[i1, i2 - 1] + 2.0")
+        >>> fused = FusedPlan([a, b])
+        >>> fused.chunk_count, fused.split_starts
+        (12, (0, 8))
+        >>> fused.member_of(9)  # global chunk 9 is member 1's local chunk 1
+        (1, 1)
     """
 
     def __init__(self, members: Sequence[ExecutionPlan]):
@@ -213,6 +247,11 @@ class PlanPipelineContext:
     pipeline's recording protocol (:class:`~repro.core.passes.PassTiming`,
     :class:`~repro.core.report.TransformationStep`), so the core
     :class:`~repro.core.passes.PassManager` drives this context unchanged.
+
+        >>> ctx = PlanPipelineContext(plans=[])
+        >>> ctx.add_step("demo", "recorded a rewrite")
+        >>> [(step.name, step.description) for step in ctx.steps]
+        [('demo', 'recorded a rewrite')]
     """
 
     plans: List[Any]
@@ -229,7 +268,15 @@ class PlanPipelineContext:
 
 
 class PlanPass(Pass):
-    """One plan→plan rewrite.  Must preserve executed iterations and results."""
+    """One plan→plan rewrite.  Must preserve executed iterations and results.
+
+    Subclasses set ``name`` and implement :meth:`run` over a
+    :class:`PlanPipelineContext`; the registry instantiates them by name:
+
+        >>> from repro.plan import get_plan_pass
+        >>> isinstance(get_plan_pass("coalesce"), PlanPass)
+        True
+    """
 
     name = "plan-pass"
 
@@ -245,6 +292,18 @@ class PlanPassManager(PassManager):
 
     Same timing/skip semantics as the analysis manager; :meth:`optimize` is
     the one-call convenience the session uses.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, CoalesceChunksPass
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> manager = PlanPassManager([CoalesceChunksPass(min_chunks=2, block=4)])
+        >>> ctx = manager.optimize([plan])
+        >>> ctx.plans[0].chunk_count, [timing.name for timing in ctx.timings]
+        (2, ['coalesce'])
     """
 
     def __init__(self, passes: Sequence[PlanPass], name: str = "plan-optimize"):
@@ -280,6 +339,19 @@ class CoalesceChunksPass(PlanPass):
     Neither rewrite fires when it would shrink the schedule below
     ``min_chunks`` chunks: coalescing trades dispatch overhead against
     parallelism, and a plan that is already small has nothing to trade.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, PlanPassManager
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> ctx = PlanPassManager([CoalesceChunksPass(min_chunks=2, block=4)]).optimize([plan])
+        >>> plan.chunk_count, ctx.plans[0].chunk_count  # 4 fronts merged per chunk
+        (8, 2)
+        >>> ctx.plans[0].total_iterations == plan.total_iterations
+        True
     """
 
     name = "coalesce"
@@ -374,6 +446,17 @@ class TileSequentialLevelsPass(PlanPass):
     plain :class:`ExecutionPlan`.  The default budget (4096 iterations, a
     few hundred KiB of index/gather state at float64) is chosen to keep a
     round's working set within L2-sized caches.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, PlanPassManager, TiledPlan
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> ctx = PlanPassManager([TileSequentialLevelsPass(tile_iterations=4)]).optimize([plan])
+        >>> isinstance(ctx.plans[0], TiledPlan), ctx.plans[0].tile_iterations
+        (True, 4)
     """
 
     name = "tile"
@@ -407,6 +490,20 @@ class FusePlansPass(PlanPass):
     pipelines never fuse.  The members keep their identities (and their
     coalesced/tiled rewrites, which run before fusion in the default
     order); only the dispatch index space is concatenated.
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan, PlanPassManager, FusedPlan
+        >>> def plan_of(text):
+        ...     report = analyze_nest(parse_loop_text(text))
+        ...     return ExecutionPlan.from_transformed(
+        ...         TransformedLoopNest.from_report(report))
+        >>> a = plan_of("loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0")
+        >>> b = plan_of("loop i1 = 0 .. 3\\nloop i2 = 0 .. 3\\nB[i1, i2] = B[i1, i2 - 1] + 2.0")
+        >>> ctx = PlanPassManager([FusePlansPass()]).optimize([a, b])
+        >>> len(ctx.plans), isinstance(ctx.plans[0], FusedPlan)
+        (1, True)
     """
 
     name = "fuse"
@@ -440,17 +537,35 @@ _REGISTRY: Dict[str, Callable[..., PlanPass]] = {}
 
 
 def register_plan_pass(name: str, factory: Callable[..., PlanPass]) -> None:
-    """Register a plan-pass factory under ``name`` (overwrites silently)."""
+    """Register a plan-pass factory under ``name`` (overwrites silently).
+
+        >>> class NoOpPass(PlanPass):
+        ...     name = "noop"
+        ...     def run(self, ctx):
+        ...         pass
+        >>> register_plan_pass("noop", NoOpPass)
+        >>> type(get_plan_pass("noop")).__name__
+        'NoOpPass'
+        >>> del _REGISTRY["noop"]  # keep the example side-effect free
+    """
     _REGISTRY[str(name)] = factory
 
 
 def available_plan_passes() -> Tuple[str, ...]:
-    """Names of all registered plan passes, sorted."""
+    """Names of all registered plan passes, sorted.
+
+        >>> available_plan_passes()
+        ('coalesce', 'fuse', 'tile')
+    """
     return tuple(sorted(_REGISTRY))
 
 
 def get_plan_pass(name: str, **options) -> PlanPass:
-    """Instantiate the plan pass registered under ``name``."""
+    """Instantiate the plan pass registered under ``name``.
+
+        >>> type(get_plan_pass("coalesce", min_chunks=4)).__name__
+        'CoalesceChunksPass'
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
@@ -464,7 +579,12 @@ def get_plan_pass(name: str, **options) -> PlanPass:
 def build_plan_pipeline(
     names: Sequence[str] = DEFAULT_PLAN_PASSES,
 ) -> PlanPassManager:
-    """A :class:`PlanPassManager` over the named registered passes."""
+    """A :class:`PlanPassManager` over the named registered passes.
+
+        >>> manager = build_plan_pipeline(("coalesce", "tile"))
+        >>> [type(plan_pass).__name__ for plan_pass in manager.passes]
+        ['CoalesceChunksPass', 'TileSequentialLevelsPass']
+    """
     return PlanPassManager([get_plan_pass(name) for name in names])
 
 
@@ -473,7 +593,19 @@ def optimize_plan(
     transformed=None,
     passes: Sequence[str] = DEFAULT_PLAN_PASSES,
 ) -> Tuple[ExecutionPlan, PlanPipelineContext]:
-    """Run the named pipeline over one plan; returns (optimized plan, ctx)."""
+    """Run the named pipeline over one plan; returns (optimized plan, ctx).
+
+        >>> from repro.api import parse_loop_text
+        >>> from repro.core.pipeline import analyze_nest
+        >>> from repro.codegen.transformed_nest import TransformedLoopNest
+        >>> from repro.plan import ExecutionPlan
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> report = analyze_nest(parse_loop_text(text))
+        >>> plan = ExecutionPlan.from_transformed(TransformedLoopNest.from_report(report))
+        >>> optimized, ctx = optimize_plan(plan, passes=("tile",))
+        >>> optimized.chunk_count == plan.chunk_count  # 8 small chunks: tile skips
+        True
+    """
     manager = build_plan_pipeline(passes)
     ctx = manager.optimize(
         [plan], (transformed,) if transformed is not None else ()

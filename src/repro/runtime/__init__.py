@@ -17,6 +17,9 @@ machine; the reproduction executes loop nests directly:
 * :mod:`repro.runtime.executor` — chunk-parallel execution (serial, thread
   pool, copy-and-merge process pool or the shared-memory pool) through a
   selectable backend,
+* :mod:`repro.runtime.telemetry` — measured per-chunk-group wall clock per
+  canonical program (EWMA), feeding the executor's balanced-group
+  scheduling,
 * :mod:`repro.runtime.simulator` — idealized parallel-machine model
   (work / critical path) that is independent of the CPython GIL,
 * :mod:`repro.runtime.verification` — checking that a transformation
@@ -50,6 +53,7 @@ from repro.runtime.shared import (
     attach_ndarray,
 )
 from repro.runtime.pool import WorkerCrashed, WorkerPool
+from repro.runtime.telemetry import ExecutionTelemetry
 from repro.runtime.simulator import SimulatedMachine, simulate_schedule, SimulationResult
 from repro.runtime.verification import verify_transformation, VerificationReport
 
@@ -80,6 +84,7 @@ __all__ = [
     "attach_ndarray",
     "WorkerCrashed",
     "WorkerPool",
+    "ExecutionTelemetry",
     "SimulatedMachine",
     "simulate_schedule",
     "SimulationResult",

@@ -151,6 +151,54 @@ class ArrayStore(dict):
         return all(self[name].identical(other[name]) for name in self)
 
 
+def _closed_form_windows(nest: LoopNest) -> Dict[str, Tuple[list, list]]:
+    """Exact subscript windows of a rectangular nest, without enumeration.
+
+    Every subscript is affine in the loop indices, and over a box each
+    affine form attains its extrema at a corner picked coordinate-wise by
+    the sign of the coefficient — so the window of every array reference is
+    closed form in the (constant) bounds.  This is what makes store
+    creation O(references) instead of O(iterations): the serving path
+    builds a store per job, and enumerating a large iteration space in
+    Python would dwarf the execution it feeds.
+    """
+    index_lows: Dict[str, int] = {}
+    index_highs: Dict[str, int] = {}
+    for name, bound in zip(nest.index_names, nest.bounds):
+        low = int(bound.lower.constant)
+        high = int(bound.upper.constant)
+        if high < low:
+            # Empty iteration space: no iteration performs any access, so
+            # the store has no arrays — same as the enumeration path.
+            return {}
+        index_lows[name] = low
+        index_highs[name] = high
+    windows: Dict[str, Tuple[list, list]] = {}
+    for ref in nest.references():
+        lows = []
+        highs = []
+        for subscript in ref.subscripts:
+            low = high = int(subscript.constant)
+            for variable, coefficient in subscript.terms:
+                if coefficient >= 0:
+                    low += coefficient * index_lows[variable]
+                    high += coefficient * index_highs[variable]
+                else:
+                    low += coefficient * index_highs[variable]
+                    high += coefficient * index_lows[variable]
+            lows.append(low)
+            highs.append(high)
+        entry = windows.get(ref.array)
+        if entry is None:
+            windows[ref.array] = (lows, highs)
+        else:
+            known_lows, known_highs = entry
+            for k in range(len(lows)):
+                known_lows[k] = min(known_lows[k], lows[k])
+                known_highs[k] = max(known_highs[k], highs[k])
+    return windows
+
+
 def store_for_nest(
     nest: LoopNest,
     margin: int = 4,
@@ -160,9 +208,10 @@ def store_for_nest(
 ) -> ArrayStore:
     """Create an array store large enough for every access of the nest.
 
-    The subscript window of every array is determined by evaluating all
-    references over the iteration space bounds (exact for rectangular nests,
-    by enumeration otherwise), extended by ``margin`` cells on each side.
+    The subscript window of every array is determined from the iteration
+    space bounds — in closed form for rectangular nests (O(references), no
+    iteration is ever enumerated), by enumerating the space otherwise —
+    and extended by ``margin`` cells on each side.
 
     ``initializer`` selects the initial contents:
 
@@ -171,21 +220,24 @@ def store_for_nest(
       position dependent, good for catching reordering bugs),
     * ``"random"`` — reproducible uniform noise from ``seed``.
     """
-    windows: Dict[str, Tuple[list, list]] = {}
-    references = nest.references()
+    if nest.is_rectangular:
+        windows = _closed_form_windows(nest)
+    else:
+        windows = {}
+        references = nest.references()
 
-    def update_window(array: str, subscripts: Tuple[int, ...]) -> None:
-        lows, highs = windows.setdefault(
-            array, ([int(v) for v in subscripts], [int(v) for v in subscripts])
-        )
-        for k, value in enumerate(subscripts):
-            lows[k] = min(lows[k], int(value))
-            highs[k] = max(highs[k], int(value))
+        def update_window(array: str, subscripts: Tuple[int, ...]) -> None:
+            lows, highs = windows.setdefault(
+                array, ([int(v) for v in subscripts], [int(v) for v in subscripts])
+            )
+            for k, value in enumerate(subscripts):
+                lows[k] = min(lows[k], int(value))
+                highs[k] = max(highs[k], int(value))
 
-    for iteration in nest.iterations():
-        env = nest.env_for(iteration)
-        for ref in references:
-            update_window(ref.array, ref.subscript_values(env))
+        for iteration in nest.iterations():
+            env = nest.env_for(iteration)
+            for ref in references:
+                update_window(ref.array, ref.subscript_values(env))
 
     rng = np.random.default_rng(seed)
     store = ArrayStore()

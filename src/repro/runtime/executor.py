@@ -59,11 +59,13 @@ import numpy as np
 from repro.codegen.schedule import Chunk
 from repro.codegen.transformed_nest import TransformedLoopNest
 from repro.exceptions import ExecutionError
+from repro.loopnest.canonical import canonical_hash
 from repro.plan import ExecutionPlan, FusedPlan
 from repro.runtime.arrays import ArrayStore
 from repro.runtime.backends import DEFAULT_BACKEND, ExecutionBackend, resolve_backend
 from repro.runtime.pool import WorkerCrashed, WorkerPool
 from repro.runtime.shared import SharedArrayStore
+from repro.runtime.telemetry import ExecutionTelemetry
 
 __all__ = ["EXECUTION_MODES", "ExecutionResult", "ParallelExecutor"]
 
@@ -134,14 +136,19 @@ def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
     A write that leaves a cell's value unchanged is indistinguishable from
     no write in the diff — and equally harmless to skip, since the parent's
     copy already holds that value.
+
+    Returns ``(elapsed_seconds, writes)`` — the group's pure execution wall
+    clock feeds the parent's :class:`ExecutionTelemetry`.
     """
     backend, transformed, work, store = payload
     pristine = store.copy()
+    start = time.perf_counter()
     if work[0] == "plan":
         _, plan, chunk_indices = work
         backend.execute_plan(transformed, plan, store, chunk_indices=chunk_indices)
     else:
         backend.execute(transformed, store, chunks=work[1])
+    elapsed = time.perf_counter() - start
     writes: List[Tuple[str, Tuple[int, ...], float]] = []
     for name, array in store.items():
         changed = np.nonzero(array.data != pristine[name].data)
@@ -149,7 +156,7 @@ def _worker_execute(payload) -> List[Tuple[str, Tuple[int, ...], float]]:
         for flat_index, value in zip(zip(*changed), values):
             location = tuple(int(i) + o for i, o in zip(flat_index, array.origin))
             writes.append((name, location, float(value)))
-    return writes
+    return elapsed, writes
 
 
 def _worker_execute_fused(payload):
@@ -196,6 +203,7 @@ class ParallelExecutor:
         mode: str = "serial",
         workers: Optional[int] = None,
         backend: object = DEFAULT_BACKEND,
+        telemetry: Optional[ExecutionTelemetry] = None,
     ):
         if mode not in EXECUTION_MODES:
             raise ExecutionError(
@@ -204,6 +212,12 @@ class ParallelExecutor:
         self.mode = mode
         self.workers = workers or 4
         self.backend: ExecutionBackend = resolve_backend(backend)
+        #: Measured per-chunk cost store feeding :meth:`groups_for`; inject
+        #: one to share observations across executors (e.g. a gateway and
+        #: its session), or leave the default executor-private store.
+        self.telemetry: ExecutionTelemetry = (
+            telemetry if telemetry is not None else ExecutionTelemetry()
+        )
         self._pool: Optional[WorkerPool] = None
         self._shared: Optional[SharedArrayStore] = None
 
@@ -265,6 +279,14 @@ class ParallelExecutor:
         else:
             chunk_sizes = tuple(chunk.size for chunk in chunks)
         self.backend.prepare_plan(transformed, plan)
+        # Plan-driven runs feed the telemetry store (the feedback loop needs
+        # a stable program identity plus the plan's chunk order); legacy
+        # materialized-chunk runs keep the old size-only balancing.
+        key = (
+            self.telemetry_key(transformed, len(chunk_sizes))
+            if plan is not None and chunk_sizes
+            else None
+        )
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
         if self.mode == "serial":
@@ -274,17 +296,26 @@ class ParallelExecutor:
             else:
                 self.backend.execute(transformed, store, chunks=chunks)
             elapsed = time.perf_counter() - start
+            if key is not None:
+                # One group holding every chunk: cold programs get their
+                # per-iteration rate from serial runs, which seeds the
+                # size-proportional prior without changing any grouping.
+                self.telemetry.record_group(
+                    key, range(len(chunk_sizes)), chunk_sizes, elapsed
+                )
         elif self.mode == "threads":
-            elapsed, extra_setup = self._run_threads(transformed, chunks, store, plan)
+            elapsed, extra_setup = self._run_threads(
+                transformed, chunks, store, plan, chunk_sizes, key
+            )
             setup += extra_setup
         elif self.mode == "processes":
             elapsed, extra_setup = self._run_processes(
-                transformed, chunks, store, plan, chunk_sizes
+                transformed, chunks, store, plan, chunk_sizes, key
             )
             setup += extra_setup
         else:
             elapsed, extra_setup, fallback = self._run_shared(
-                transformed, chunks, store, plan, chunk_sizes
+                transformed, chunks, store, plan, chunk_sizes, key
             )
             setup += extra_setup
         # Report the engine that actually ran: thread mode executes
@@ -477,19 +508,38 @@ class ParallelExecutor:
         chunks: Optional[Sequence[Chunk]],
         store: ArrayStore,
         plan: Optional[ExecutionPlan],
+        chunk_sizes: Tuple[int, ...],
+        key: Optional[str],
     ) -> Tuple[float, float]:
         # Chunks are pairwise independent (they never access a common cell with
         # at least one write), so executing them concurrently on the shared
         # store is safe without locking.  Plan-driven runs submit lazy chunk
         # views; each task enumerates its own iterations when it runs.
+        # Every chunk is its own dispatch here, so telemetry gets the finest
+        # observations this mode can produce: singleton groups.
+        def timed_chunk(index: int, chunk) -> None:
+            chunk_start = time.perf_counter()
+            self.backend.execute_chunk(transformed, chunk, store)
+            self.telemetry.record_group(
+                key, (index,), (chunk_sizes[index],),
+                time.perf_counter() - chunk_start,
+            )
+
         setup_start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
-            futures = [
-                pool.submit(self.backend.execute_chunk, transformed, chunk, store)
-                for chunk in (plan.chunks() if plan is not None else chunks)
-            ]
+            chunk_views = plan.chunks() if plan is not None else chunks
+            if key is not None:
+                futures = [
+                    pool.submit(timed_chunk, index, chunk)
+                    for index, chunk in enumerate(chunk_views)
+                ]
+            else:
+                futures = [
+                    pool.submit(self.backend.execute_chunk, transformed, chunk, store)
+                    for chunk in chunk_views
+                ]
             for future in futures:
                 future.result()
             elapsed = time.perf_counter() - start
@@ -502,11 +552,12 @@ class ParallelExecutor:
         store: ArrayStore,
         plan: Optional[ExecutionPlan],
         chunk_sizes: Tuple[int, ...],
+        key: Optional[str],
     ) -> Tuple[float, float]:
         if not chunk_sizes:
             return 0.0, 0.0
         setup_start = time.perf_counter()
-        groups = self._balanced_groups(chunk_sizes)
+        groups = self.groups_for(chunk_sizes, key)
         # The backend instance itself is shipped to the workers (all built-in
         # backends pickle cheaply), so per-instance options like a custom
         # min_parallel_width survive the process boundary.  Plan-driven
@@ -539,34 +590,85 @@ class ParallelExecutor:
                 warm.result()
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
-            for writes in pool.map(_worker_execute, payloads):
+            for group, (group_elapsed, writes) in zip(
+                groups, pool.map(_worker_execute, payloads)
+            ):
+                if key is not None:
+                    self.telemetry.record_group(
+                        key, group, [chunk_sizes[i] for i in group], group_elapsed
+                    )
                 for array, location, value in writes:
                     store[array][location] = value
             elapsed = time.perf_counter() - start
         return elapsed, setup
 
     # ------------------------------------------------------------------ #
-    def _balanced_groups(self, chunk_sizes: Sequence[int]) -> List[Tuple[int, ...]]:
+    def telemetry_key(
+        self, transformed: TransformedLoopNest, chunk_count: int
+    ) -> Optional[str]:
+        """The telemetry identity of one (program, chunk space) pair.
+
+        Keyed by the canonical structural hash of the transformed nest —
+        renamed copies of one program share their measurements, like the
+        native backend shares kernels — plus the plan's chunk count, so a
+        coalesced or tiled plan never mixes observations with the raw plan
+        of the same program (their chunk orders differ).
+        """
+        try:
+            digest = canonical_hash(transformed.nest)
+        except Exception:
+            return None
+        return f"{digest}:{int(chunk_count)}"
+
+    def groups_for(
+        self,
+        chunk_sizes: Sequence[int],
+        key: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[int, ...]]:
+        """Balanced chunk groups, telemetry-driven when the program is warm.
+
+        With a warm ``key`` the LPT weights are the *measured* per-chunk
+        costs (:class:`~repro.runtime.telemetry.ExecutionTelemetry`); cold —
+        or with ``key=None`` — they are the closed-form chunk sizes, i.e.
+        exactly the old behavior.  Either way only the grouping changes,
+        never the chunks themselves, so results stay bit-identical across
+        policies.  ``workers`` overrides the executor's own worker count
+        (the gateway balances for its own pool width).
+        """
+        costs = (
+            self.telemetry.chunk_costs(key, chunk_sizes) if key is not None else None
+        )
+        return self._balanced_groups(chunk_sizes, costs, workers=workers)
+
+    def _balanced_groups(
+        self,
+        chunk_sizes: Sequence[int],
+        costs: Optional[Sequence[float]] = None,
+        workers: Optional[int] = None,
+    ) -> List[Tuple[int, ...]]:
         """Greedy least-loaded (LPT) assignment of chunk indices to workers.
 
-        Chunks are taken largest first and each goes to the currently
+        Chunks are taken heaviest first and each goes to the currently
         lightest group — the classic longest-processing-time heuristic
         (4/3-optimal makespan).  The round-robin this replaces ignored the
         loads it had already dealt, so skewed distributions could leave one
         group with nearly twice the work (sizes ``9,7,5,3`` over two
-        workers round-robin to 14 vs 10; LPT gives 12 vs 12).  Works from
-        sizes alone (closed-form on a plan), so balancing never needs the
-        iterations themselves; ties break on group id, keeping the
-        grouping deterministic.
+        workers round-robin to 14 vs 10; LPT gives 12 vs 12).  The weights
+        are the closed-form chunk sizes by default — balancing never needs
+        the iterations themselves — or, when ``costs`` is given, measured
+        per-chunk costs (see :meth:`groups_for`); ties break on chunk then
+        group id, keeping the grouping deterministic.
         """
-        group_count = min(self.workers, len(chunk_sizes))
+        weights: Sequence[float] = costs if costs is not None else chunk_sizes
+        group_count = min(workers or self.workers, len(chunk_sizes))
         groups: List[List[int]] = [[] for _ in range(group_count)]
-        order = sorted(range(len(chunk_sizes)), key=lambda i: -chunk_sizes[i])
-        heap: List[Tuple[int, int]] = [(0, g) for g in range(group_count)]
+        order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+        heap: List[Tuple[float, int]] = [(0.0, g) for g in range(group_count)]
         for index in order:
             load, lightest = heapq.heappop(heap)
             groups[lightest].append(index)
-            heapq.heappush(heap, (load + int(chunk_sizes[index]), lightest))
+            heapq.heappush(heap, (load + float(weights[index]), lightest))
         return [tuple(group) for group in groups if group]
 
     def _ensure_shared_store(self, store: ArrayStore) -> SharedArrayStore:
@@ -585,6 +687,7 @@ class ParallelExecutor:
         store: ArrayStore,
         plan: Optional[ExecutionPlan],
         chunk_sizes: Tuple[int, ...],
+        key: Optional[str],
     ) -> Tuple[float, float, Optional[str]]:
         if not chunk_sizes:
             return 0.0, 0.0, None
@@ -596,7 +699,7 @@ class ParallelExecutor:
         # running): pool start-up is the one-time cost a persistent runtime
         # amortizes, not execution time.
         pool.start()
-        groups = self._balanced_groups(chunk_sizes)
+        groups = self.groups_for(chunk_sizes, key)
         # Pass the caller's object through unchanged: the pool's program
         # cache is keyed by identity, so a repeated run with the same plan
         # (or the same legacy chunk list) ships the program only once.
@@ -605,8 +708,18 @@ class ParallelExecutor:
             shared = self._ensure_shared_store(store)
             setup = time.perf_counter() - setup_start
             start = time.perf_counter()
-            pool.run_job(transformed, self.backend, schedule, shared.spec, groups)
+            group_seconds = pool.run_job(
+                transformed, self.backend, schedule, shared.spec, groups
+            )
             elapsed = time.perf_counter() - start
+            if key is not None:
+                # Workers time their own group executions (queue latency
+                # excluded), so the feedback reflects pure chunk cost.
+                for group_index, seconds in group_seconds.items():
+                    group = groups[group_index]
+                    self.telemetry.record_group(
+                        key, group, [chunk_sizes[i] for i in group], seconds
+                    )
             post_start = time.perf_counter()
             shared.copy_to(store)
             setup += time.perf_counter() - post_start

@@ -19,8 +19,10 @@ What crosses the process boundary, and when:
 * a **run task** is a tiny message ``(job id, program token, store spec,
   chunk indices)`` — workers enumerate the chunks at those schedule
   positions lazily;
-* a **result** is ``(job id, group index)`` plus an error string when the
-  group failed.
+* a **result** is ``(job id, group index, elapsed seconds)`` — the
+  worker-measured wall clock of the group's execution, which feeds the
+  executor's :class:`~repro.runtime.telemetry.ExecutionTelemetry` — or an
+  error string plus traceback when the group failed.
 
 Failure semantics: a worker that *reports* an exception (window violation,
 division by zero, ...) makes :meth:`WorkerPool.run_job` raise
@@ -36,10 +38,11 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import queue as queue_module
+import time
 import traceback
 import weakref
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.schedule import Chunk
 from repro.exceptions import ExecutionError
@@ -143,8 +146,10 @@ def _worker_main(worker_index: int, task_queue, result_queue) -> None:
             while len(stores) > max(_WORKER_STORE_CACHE, len(specs)):
                 stores.popitem(last=False)[1].close()
             store = attached[0] if not isinstance(store_spec, tuple) else tuple(attached)
+            start = time.perf_counter()
             program.execute(store, chunk_indices)
-            result_queue.put(("done", job_id, group_index, None, None))
+            elapsed = time.perf_counter() - start
+            result_queue.put(("done", job_id, group_index, elapsed, None))
         except BaseException as exc:
             result_queue.put(
                 ("error", job_id, group_index, f"{type(exc).__name__}: {exc}",
@@ -252,12 +257,14 @@ class WorkerPool:
         schedule: Schedule,
         store_spec: SharedStoreSpec,
         groups: Sequence[Tuple[int, ...]],
-    ) -> None:
+    ) -> Dict[int, float]:
         """Execute ``groups`` (tuples of chunk indices) on the shared store.
 
         ``schedule`` is normally the nest's :class:`~repro.plan.ExecutionPlan`
         (pickled to workers once, per program); a materialized chunk list is
-        accepted for custom chunkings.  Blocks until every group finished.
+        accepted for custom chunkings.  Blocks until every group finished
+        and returns the worker-measured wall clock of each group (group
+        index → seconds), the raw material of the executor's telemetry.
         Raises ``ExecutionError`` for a worker-reported failure and
         :class:`WorkerCrashed` when a worker dies; after a crash the pool
         must be discarded (``close``).
@@ -265,7 +272,7 @@ class WorkerPool:
         if self._closed:
             raise ExecutionError("worker pool is closed")
         if not groups:
-            return
+            return {}
         self.start()
         program = self._ensure_program(transformed, backend, schedule)
         job_id = next(self._jobs)
@@ -283,6 +290,7 @@ class WorkerPool:
                  tuple(int(i) for i in chunk_indices))
             )
         pending = set(range(len(groups)))
+        timings: Dict[int, float] = {}
         first_error = None
         while pending:
             try:
@@ -295,20 +303,26 @@ class WorkerPool:
                         f"{len(pending)} group(s) outstanding"
                     ) from None
                 continue
-            kind, message_job, group_index, error, trace = message
+            # ``payload`` is the measured seconds on "done" and the error
+            # string on "error" (the trace slot is only set for errors).
+            kind, message_job, group_index, payload, trace = message
             if message_job != job_id:
                 continue  # stale result from an earlier job
             pending.discard(group_index)
             # On error, keep draining until every group of this job reported:
             # raising with stragglers still writing would let a later run
             # reuse the segments while old results trickle in.
-            if kind == "error" and first_error is None:
-                first_error = (group_index, error, trace)
+            if kind == "error":
+                if first_error is None:
+                    first_error = (group_index, payload, trace)
+            elif payload is not None:
+                timings[group_index] = float(payload)
         if first_error is not None:
             group_index, error, trace = first_error
             raise ExecutionError(
                 f"group {group_index} failed in the worker pool: {error}\n{trace}"
             )
+        return timings
 
     # ------------------------------------------------------------------ #
     def close(self, timeout: float = 2.0) -> None:

@@ -39,7 +39,13 @@ __all__ = ["BatchJob", "JobResult", "BatchReport", "BatchService", "jobs_from_ne
 
 @dataclass(frozen=True)
 class BatchJob:
-    """One unit of serving work: analyze ``nest`` and execute its schedule."""
+    """One unit of serving work: analyze ``nest`` and execute its schedule.
+
+        >>> from repro.api import resolve_source
+        >>> job = BatchJob("tiny", resolve_source("loop i = 0 .. 3\\nA[i] = A[i] + 1.0"))
+        >>> job.placement, job.initializer
+        ('outer', 'index_sum')
+    """
 
     name: str
     nest: LoopNest
@@ -55,6 +61,10 @@ def jobs_from_nests(
     Sources may be anything :func:`repro.api.inputs.resolve_source` accepts.
     Repeats model sustained traffic: every copy is a fresh job, but
     structural duplicates resolve through the analysis cache.
+
+        >>> jobs = jobs_from_nests(["loop i = 0 .. 3\\nA[i] = A[i] + 1.0"], repeat=2)
+        >>> [job.name for job in jobs]
+        ['loop#1', 'loop#2']
     """
     resolved = [resolve_source(source) for source in nests]
     jobs: List[BatchJob] = []
@@ -67,7 +77,16 @@ def jobs_from_nests(
 
 @dataclass(frozen=True)
 class JobResult:
-    """Everything the service derived and measured for one job."""
+    """Everything the service derived and measured for one job.
+
+        >>> from repro.service import BatchService, jobs_from_nests
+        >>> text = "loop i1 = 0 .. 7\\nloop i2 = 0 .. 7\\nA[i1, i2] = A[i1, i2 - 1] + 1.0"
+        >>> with BatchService(mode="serial", backend="vectorized") as service:
+        ...     report = service.submit(jobs_from_nests([text]))
+        >>> row = report.results[0]
+        >>> row.iterations, row.num_chunks, row.parallel_loops
+        (64, 8, 1)
+    """
 
     name: str
     iterations: int
@@ -112,7 +131,17 @@ _HEADERS = [
 
 @dataclass(frozen=True)
 class BatchReport:
-    """Per-job results plus batch-level throughput statistics."""
+    """Per-job results plus batch-level throughput statistics.
+
+        >>> from repro.service import BatchService, jobs_from_nests
+        >>> text = "loop i = 0 .. 3\\nA[i] = A[i] + 1.0"
+        >>> with BatchService(mode="serial", backend="vectorized") as service:
+        ...     report = service.submit(jobs_from_nests([text], repeat=3))
+        >>> report.jobs, report.cache_hits, report.cache_misses
+        (3, 2, 1)
+        >>> report.hit_rate  # structural duplicates dedupe through the cache
+        0.6666666666666666
+    """
 
     results: Tuple[JobResult, ...]
     mode: str
@@ -190,6 +219,13 @@ class BatchService:
     balancing decision, one process fan-out, one worker-pool job per window
     instead of one per job.  ``fuse`` is a serving-shape option, so it
     composes with an injected ``session=``.
+
+        >>> from repro.service import BatchService, jobs_from_nests
+        >>> text = "loop i = 0 .. 3\\nA[i] = A[i] + 1.0"
+        >>> with BatchService(mode="serial", backend="vectorized") as service:
+        ...     report = service.submit(jobs_from_nests([text], repeat=2))
+        >>> report.jobs, report.results[0].checksum == report.results[1].checksum
+        (2, True)
     """
 
     def __init__(
@@ -244,6 +280,26 @@ class BatchService:
     @property
     def workers(self) -> int:
         return self._session.config.workers
+
+    @property
+    def telemetry(self):
+        """The session executor's measured per-chunk cost store.
+
+        Shared with every other consumer of the session (the gateway, the
+        CLI): a service batch warms the same feedback the gateway's
+        balancer reads.
+        """
+        return self._session.telemetry
+
+    def stats(self):
+        """The owned session's cross-cutting counters (incl. telemetry).
+
+            >>> from repro.service import BatchService
+            >>> with BatchService(mode="serial") as service:
+            ...     service.stats().runs
+            0
+        """
+        return self._session.stats()
 
     @property
     def _programs(self):

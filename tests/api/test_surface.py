@@ -18,6 +18,10 @@ REPRO_ALL_SNAPSHOT = sorted(
         "SessionConfig",
         "SessionStats",
         "resolve_source",
+        # serving gateway (repro.gateway)
+        "Gateway",
+        "GatewayConfig",
+        "GatewayOverloaded",
         # loop nest IR
         "AffineExpr",
         "LoopBounds",

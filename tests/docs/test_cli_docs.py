@@ -1,0 +1,38 @@
+"""The committed CLI reference must match the live argparse tree.
+
+``docs/cli.md`` is generated (``python -m repro.cli --dump-docs``); any CLI
+change that forgets to regenerate it fails here.  The renderer itself is
+pinned for determinism — same parser, same bytes.
+"""
+
+from pathlib import Path
+
+from repro.cli import build_parser, main
+from repro.cli_docs import render_cli_docs
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "cli.md"
+
+
+def test_committed_cli_reference_is_in_sync():
+    rendered = render_cli_docs(build_parser()) + "\n"
+    assert DOCS.read_text() == rendered, (
+        "docs/cli.md is out of date: regenerate with "
+        "`PYTHONPATH=src python -m repro.cli --dump-docs > docs/cli.md`"
+    )
+
+
+def test_renderer_is_deterministic():
+    assert render_cli_docs(build_parser()) == render_cli_docs(build_parser())
+
+
+def test_dump_docs_flag_prints_reference(capsys):
+    assert main(["--dump-docs"]) == 0
+    out = capsys.readouterr().out
+    assert out == render_cli_docs(build_parser()) + "\n"
+
+
+def test_every_command_documented():
+    rendered = render_cli_docs(build_parser())
+    for command in ["analyze", "batch", "codegen", "compare", "figures",
+                    "run", "serve", "verify"]:
+        assert f"## `repro-loop {command}`" in rendered

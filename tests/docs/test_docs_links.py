@@ -1,0 +1,33 @@
+"""The committed documentation passes its own link check."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "docs" / "check_docs.py"
+
+
+def test_docs_links_are_valid():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"docs link check failed:\n{completed.stdout}{completed.stderr}"
+    )
+
+
+def test_slugify_matches_github_anchor_rules():
+    sys.path.insert(0, str(CHECKER.parent))
+    try:
+        from check_docs import _slugify
+    finally:
+        sys.path.pop(0)
+    assert _slugify("The async gateway (`repro.gateway`)") == (
+        "the-async-gateway-reprogateway"
+    )
+    assert _slugify("How gating works") == "how-gating-works"
+    assert _slugify("Analyze → plan → execute") == "analyze--plan--execute"

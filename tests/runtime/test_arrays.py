@@ -1,12 +1,36 @@
 """Tests for the runtime array store."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.exceptions import ExecutionError
-from repro.runtime.arrays import ArrayStore, OffsetArray, store_for_nest
-from repro.workloads.paper_examples import example_4_1
-from repro.workloads.synthetic import no_dependence_loop
+from repro.loopnest.builder import loop_nest
+from repro.runtime.arrays import (
+    ArrayStore,
+    OffsetArray,
+    _closed_form_windows,
+    store_for_nest,
+)
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import no_dependence_loop, variable_distance_loop
+
+
+def enumerated_windows(nest):
+    """Reference window computation: walk every iteration (the slow path)."""
+    windows = {}
+    for iteration in nest.iterations():
+        env = nest.env_for(iteration)
+        for ref in nest.references():
+            values = ref.subscript_values(env)
+            lows, highs = windows.setdefault(
+                ref.array, ([int(v) for v in values], [int(v) for v in values])
+            )
+            for k, value in enumerate(values):
+                lows[k] = min(lows[k], int(value))
+                highs[k] = max(highs[k], int(value))
+    return windows
 
 
 class TestOffsetArray:
@@ -100,4 +124,75 @@ class TestStoreForNest:
 
     def test_arrays_present(self, ex41_small):
         store = store_for_nest(ex41_small)
+        assert set(store.keys()) == {"A"}
+
+
+class TestClosedFormWindows:
+    """Rectangular nests compute windows in closed form, never enumerating."""
+
+    @pytest.mark.parametrize(
+        "make_nest",
+        [
+            lambda: example_4_1(9),
+            lambda: example_4_2(7),
+            lambda: variable_distance_loop(8),
+            lambda: no_dependence_loop(6),
+            # Negative coefficients flip which corner attains each extremum.
+            lambda: (
+                loop_nest("mirror")
+                .loop("i1", 2, 9)
+                .loop("i2", -3, 5)
+                .statement("A[10 - 2*i1, -i2 + i1] = A[-i1, 3*i2 - 7] + 1.0")
+                .build()
+            ),
+        ],
+    )
+    def test_matches_enumeration(self, make_nest):
+        nest = make_nest()
+        assert nest.is_rectangular
+        assert _closed_form_windows(nest) == enumerated_windows(nest)
+
+    def test_store_identical_to_enumerated_store(self):
+        nest = example_4_1(9)
+        closed = store_for_nest(nest)
+        windows = enumerated_windows(nest)
+        assert set(closed.keys()) == set(windows.keys())
+        for array, (lows, highs) in windows.items():
+            margin_lows = [lo - 4 for lo in lows]
+            assert closed[array].origin == tuple(margin_lows)
+            assert closed[array].shape == tuple(
+                hi - lo + 9 for lo, hi in zip(lows, highs)
+            )
+
+    def test_empty_iteration_space_has_no_arrays(self):
+        nest = (
+            loop_nest("empty")
+            .loop("i1", 5, 4)
+            .statement("A[i1] = A[i1 - 1] + 1.0")
+            .build()
+        )
+        assert store_for_nest(nest) == {}
+
+    def test_non_rectangular_falls_back_to_enumeration(self):
+        nest = (
+            loop_nest("triangle")
+            .loop("i1", 0, 6)
+            .loop("i2", 0, "i1")
+            .statement("A[i1, i2] = A[i1 - 1, i2] + 1.0")
+            .build()
+        )
+        assert not nest.is_rectangular
+        store = store_for_nest(nest, margin=0)
+        # The triangular space only reaches i2 = i1, so the window is exact,
+        # not the bounding box a closed-form evaluation would give.
+        assert store["A"].origin == (-1, 0)
+        assert store["A"].shape == (8, 7)
+
+    def test_large_nest_builds_without_enumeration(self):
+        # 1024 x 1024 = ~1M iterations: enumeration takes tens of seconds,
+        # the closed form is O(references).
+        nest = example_4_1(1024)
+        started = time.perf_counter()
+        store = store_for_nest(nest, initializer="zeros")
+        assert time.perf_counter() - started < 2.0
         assert set(store.keys()) == {"A"}
