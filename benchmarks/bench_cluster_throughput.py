@@ -1,0 +1,293 @@
+"""Cluster serving throughput — a loopback 2-worker cluster vs one process.
+
+The reproduction target here is the serving economics of
+:mod:`repro.cluster` end to end: the gateway admits a mixed hot/cold
+stream and drains every executed chunk group onto remote worker daemons
+(plans as the wire format), while a sequential :class:`BatchService` walk
+over the same stream re-executes every job in one process.  Concretely:
+
+* the stream interleaves ``VARIANTS`` distinct programs over ``ROUNDS``
+  rounds at N=``SIZE`` (round one is cold, the rest are hot repeats); the
+  cluster-backed gateway must sustain at least **1.3x** the sequential
+  jobs/s — repeats are answered from the serving tier's caches, and the
+  cold jobs' remote execution (program shipped once per node, then only
+  chunk indices + store arrays cross the wire) must stay cheap enough not
+  to erase that win.  On multi-core hosts the two workers additionally
+  execute a job's groups in parallel;
+* every response is **checksum-identical** to the sequential run of the
+  same job, and every executed group ran on a *remote* node — the run
+  fails if any group fell back to local execution (a dead worker would
+  otherwise hide in the ratio).
+
+Program compilation (the native backend shells out to ``cc``) and program
+shipping are warmed untimed in both arms first: the timed region measures
+steady-state serving, not the one-time cold path.
+
+Run under pytest-benchmark::
+
+    pytest benchmarks/bench_cluster_throughput.py --benchmark-only
+
+or standalone (CI smoke / regression gate)::
+
+    python benchmarks/bench_cluster_throughput.py --size 128
+    python benchmarks/bench_cluster_throughput.py --size 512 \
+        --json results.json --require-ratio 1.3
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+from repro.api import Session
+from repro.cluster.client import ClusterConfig
+from repro.codegen import native as native_codegen
+from repro.gateway import GatewayConfig, serve
+from repro.loopnest.builder import loop_nest
+from repro.service import BatchService, jobs_from_nests
+
+# The acceptance configuration: 4 program variants x 8 rounds (32 jobs,
+# 4 cold / 28 hot) at N=512 — each cold job runs ~260k iterations over 512
+# row chunks, split into one group per worker.
+SIZE = 512
+VARIANTS = 4
+ROUNDS = 8
+EXEC_WORKERS = 2
+WORKERS = 2
+RATIO_TARGET = 1.3
+
+
+def _backend() -> str:
+    """Native when a C engine is available, vectorized otherwise."""
+    return "native" if native_codegen.resolve_engine() is not None else "vectorized"
+
+
+def make_variant(variant: int, n: int):
+    """One serving program: a transcendental row recurrence, constant-tweaked.
+
+    The dependence on ``i2 - 1`` serializes rows internally, so the plan's
+    chunks are the ``n`` rows.  The body chains enough transcendental
+    calls that per-cell compute dominates the per-cell wire cost of
+    shipping the store to a worker and the changed cells back.
+    """
+    c = 0.8 + 0.01 * variant
+    return (
+        loop_nest(f"cluster_v{variant}")
+        .loop("i1", 0, n - 1)
+        .loop("i2", 1, n - 1)
+        .statement(
+            f"A[i1, i2] = sin(A[i1, i2 - 1]) * 0.5 "
+            f"+ cos(A[i1, i2]) * {c} + exp(A[i1, i2] * -0.3) "
+            f"+ sin(A[i1, i2] * 1.7) * 0.25 - cos(A[i1, i2 - 1] * 0.9) * 0.125 "
+            f"+ exp(A[i1, i2] * -0.11) * 0.0625"
+        )
+        .build()
+    )
+
+
+def spawn_workers(count: int, backend: str):
+    """`count` worker daemons on ephemeral loopback ports."""
+    procs, addrs = [], []
+    for _ in range(count):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "worker",
+                "--listen", "127.0.0.1:0", "--backend", backend,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=dict(os.environ),
+        )
+        procs.append(proc)
+        line = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+:\d+)", line)
+        if not match:
+            raise RuntimeError(f"worker failed to start: {line!r}")
+        addrs.append(match.group(1))
+    return procs, tuple(addrs)
+
+
+def stop_workers(procs) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except Exception:
+            proc.kill()
+        if proc.stdout is not None:
+            proc.stdout.close()
+
+
+def _measure(
+    n: int,
+    variants: int = VARIANTS,
+    rounds: int = ROUNDS,
+    exec_workers: int = EXEC_WORKERS,
+    workers: int = WORKERS,
+):
+    backend = _backend()
+    warmup = [make_variant(v, n) for v in range(variants)]
+    stream = [make_variant(v, n) for _ in range(rounds) for v in range(variants)]
+    jobs = len(stream)
+
+    service = BatchService(mode="serial", backend=backend)
+    service.submit(jobs_from_nests(warmup))  # untimed: compile every variant
+    start = time.perf_counter()
+    report = service.submit(jobs_from_nests(stream))
+    sequential_seconds = time.perf_counter() - start
+    sequential_checksums = [job.checksum for job in report.results]
+    service.close()
+
+    procs, addrs = spawn_workers(workers, backend)
+    try:
+        cluster = ClusterConfig(nodes=addrs)
+        with Session(mode="serial", backend=backend, cluster=cluster) as session:
+            for nest in warmup:  # untimed: compile + ship every variant
+                session.run(nest)
+            config = GatewayConfig(exec_workers=exec_workers)
+            start = time.perf_counter()
+            results = serve(session, stream, config=config)
+            cluster_seconds = time.perf_counter() - start
+            stats = session.cluster_stats()
+    finally:
+        stop_workers(procs)
+
+    cluster_checksums = [result.checksum for result in results]
+    return {
+        "backend": backend,
+        "n": n,
+        "jobs": jobs,
+        "variants": variants,
+        "rounds": rounds,
+        "exec_workers": exec_workers,
+        "workers": workers,
+        "sequential_seconds": sequential_seconds,
+        "cluster_seconds": cluster_seconds,
+        "sequential_jobs_per_second": jobs / sequential_seconds,
+        "cluster_jobs_per_second": jobs / cluster_seconds,
+        "cluster_vs_sequential": sequential_seconds / cluster_seconds,
+        "identical": cluster_checksums == sequential_checksums,
+        "remote_groups": stats.remote_groups,
+        "programs_shipped": stats.programs_shipped,
+        "local_fallbacks": stats.local_fallbacks,
+    }
+
+
+def _check(result, ratio_target=None):
+    assert result["identical"], (
+        "cluster responses diverged from the sequential BatchService run"
+    )
+    assert result["remote_groups"] > 0, (
+        "no chunk group executed remotely: the run never touched the cluster"
+    )
+    assert result["local_fallbacks"] == 0, (
+        "the loopback workers fell over mid-benchmark: the measured ratio "
+        "includes local-fallback execution, not cluster serving"
+    )
+    if ratio_target is not None:
+        ratio = result["cluster_vs_sequential"]
+        assert ratio >= ratio_target, (
+            f"the cluster tier sustains only {ratio:.2f}x the sequential "
+            f"jobs/s, target is {ratio_target:.1f}x"
+        )
+
+
+def _json_payload(result):
+    return {
+        "name": "cluster_throughput",
+        "metrics": {"cluster_vs_sequential": result["cluster_vs_sequential"]},
+        "details": result,
+    }
+
+
+def _table(result) -> str:
+    return "\n".join(
+        [
+            f"cluster throughput ({result['backend']} backend, N={result['n']}, "
+            f"{result['jobs']} jobs = {result['variants']} variants x "
+            f"{result['rounds']} rounds, {result['workers']} loopback workers)",
+            f"  sequential BatchService:  {result['sequential_seconds']:.3f}s "
+            f"({result['sequential_jobs_per_second']:.1f} jobs/s)",
+            f"  cluster-backed gateway:   {result['cluster_seconds']:.3f}s "
+            f"({result['cluster_jobs_per_second']:.1f} jobs/s)",
+            f"  ratio:                    {result['cluster_vs_sequential']:.2f}x  "
+            f"({result['remote_groups']} remote groups, "
+            f"{result['programs_shipped']} programs shipped, "
+            f"{result['local_fallbacks']} local fallbacks)",
+        ]
+    )
+
+
+def test_cluster_throughput(benchmark):
+    result = benchmark.pedantic(_measure, args=(SIZE,), rounds=1, iterations=1)
+    _check(result, ratio_target=RATIO_TARGET)
+    benchmark.extra_info["cluster_vs_sequential"] = round(
+        result["cluster_vs_sequential"], 2
+    )
+    benchmark.extra_info["cluster_jobs_per_second"] = round(
+        result["cluster_jobs_per_second"], 1
+    )
+    print()
+    print(_table(result))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--size", type=int, default=SIZE, help=f"workload size N (default: {SIZE})"
+    )
+    parser.add_argument(
+        "--variants", type=int, default=VARIANTS,
+        help=f"distinct programs in the stream (default: {VARIANTS})",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=ROUNDS,
+        help=f"times the variant list repeats (default: {ROUNDS})",
+    )
+    parser.add_argument(
+        "--exec-workers", type=int, default=EXEC_WORKERS,
+        help=f"gateway execution workers (default: {EXEC_WORKERS})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=WORKERS,
+        help=f"loopback worker daemons (default: {WORKERS})",
+    )
+    parser.add_argument(
+        "--require-ratio",
+        type=float,
+        default=None,
+        help="fail unless the cluster tier sustains this multiple of the "
+        "sequential jobs/s (used by the full-size CI gate, not the smoke run)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the measurements as machine-readable JSON "
+        "(checked against benchmarks/thresholds.json in CI)",
+    )
+    args = parser.parse_args(argv)
+    result = _measure(
+        args.size,
+        variants=args.variants,
+        rounds=args.rounds,
+        exec_workers=args.exec_workers,
+        workers=args.workers,
+    )
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(_json_payload(result), handle, indent=2)
+    _check(result, ratio_target=args.require_ratio)
+    print(_table(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Distributed serving tier: plans as the wire format.
+
+PR 5 made the entire program artifact — a ~600 B symbolic
+:class:`~repro.plan.ExecutionPlan` plus the transformed nest — cheaper to
+ship than a single result array.  This package exploits that: a
+:class:`~repro.cluster.client.ClusterScheduler` schedules a plan's chunk
+groups onto remote worker hosts exactly like the local pool schedules them
+onto processes, and for *warm* programs the only per-job payload is the
+plan's canonical hash, the chunk indices and the job's store arrays — no
+per-N iteration data ever crosses the network.
+
+The three layers:
+
+* :mod:`repro.cluster.proto` — the length-prefixed, versioned message
+  framing shared by both sides (works over blocking sockets and asyncio
+  streams);
+* :mod:`repro.cluster.worker` — the worker daemon (``repro worker --listen
+  HOST:PORT``): one asyncio server wrapping one
+  :class:`~repro.api.session.Session`, caching programs by canonical hash
+  in memory and on disk across requests and restarts;
+* :mod:`repro.cluster.client` — the scheduler: consistent-hash routing of
+  canonical hashes to the nodes that already hold the warm program,
+  telemetry-weighted chunk-group balancing across heterogeneous nodes, and
+  the failure ladder (per-request timeout → bounded retry on a different
+  node → transparent local fallback), bit-identical in every path.
+
+``repro.api.Session`` threads the tier through
+``SessionConfig(cluster=...)``; the gateway's execution workers drain onto
+remote nodes automatically when the session is cluster-configured.
+"""
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ClusterConfig",
+    "ClusterScheduler",
+    "ClusterStats",
+    "ClusterWorker",
+    "HashRing",
+    "WorkerConfig",
+]
+
+# Lazy exports: `python -m repro.cluster.worker` must be able to execute the
+# worker module *as* __main__ without this package having pre-imported it
+# (runpy warns about exactly that), and importing the proto module must not
+# drag in the client's executor dependencies.
+_EXPORTS = {
+    "PROTOCOL_VERSION": "repro.cluster.proto",
+    "ClusterConfig": "repro.cluster.client",
+    "ClusterScheduler": "repro.cluster.client",
+    "ClusterStats": "repro.cluster.client",
+    "HashRing": "repro.cluster.client",
+    "ClusterWorker": "repro.cluster.worker",
+    "WorkerConfig": "repro.cluster.worker",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

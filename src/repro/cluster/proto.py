@@ -1,0 +1,234 @@
+"""Wire protocol of the cluster tier: length-prefixed, versioned pickles.
+
+Every message on a cluster connection is one *frame*::
+
+    +----------------------+--------------------------------------+
+    | length (8B, big end.)| pickle((PROTOCOL_VERSION, message))  |
+    +----------------------+--------------------------------------+
+
+The 8-byte unsigned big-endian prefix is the byte length of the pickled
+payload; the payload is a ``(version, message)`` pair so every frame —
+not just a handshake — is version-checked, and a node talking to an
+incompatible build fails with a clear :class:`ClusterProtocolError`
+instead of a pickle explosion.  Frames above :data:`MAX_FRAME_BYTES` are
+rejected before any allocation, bounding the damage of a corrupt or
+hostile length prefix.
+
+The message vocabulary is deliberately tiny — the whole point of the
+cluster tier is that a *plan* is the program artifact, so requests carry
+(program id, chunk indices, store arrays) and nothing else:
+
+* :class:`ExecuteRequest` — run one chunk group.  For a warm program the
+  ``transformed``/``plan`` fields are ``None`` and the request is a few
+  hundred bytes plus the store arrays.
+* :class:`NeedProgram` — the worker does not hold the program; the client
+  re-sends the request with ``transformed`` and ``plan`` attached (once
+  per (program, node), ever — workers also persist programs to disk).
+* :class:`ExecuteResponse` — the group's final array contents plus timing.
+* :class:`ErrorResponse` — a loop-body :class:`ExecutionError` (``kind
+  == "execution"``, deterministic: re-raised at the caller, never
+  retried) or a worker-side fault (``kind == "internal"``, retried on
+  another node).
+* :class:`PingRequest` / :class:`PongResponse` — health checks and worker
+  stats, used by ``repro serve --cluster`` startup and the tests.
+
+Framing helpers come in both flavors — blocking sockets
+(:func:`send_message` / :func:`recv_message`, used by the client
+scheduler from executor threads) and asyncio streams
+(:func:`read_message` / :func:`write_message`, used by the worker
+daemon) — over the identical byte format.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import ClusterProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ClusterProtocolError",
+    "ExecuteRequest",
+    "ExecuteResponse",
+    "NeedProgram",
+    "ErrorResponse",
+    "PingRequest",
+    "PongResponse",
+    "encode_message",
+    "decode_message",
+    "send_message",
+    "recv_message",
+    "read_message",
+    "write_message",
+]
+
+#: Version of the frame layout *and* the message vocabulary.  Bump on any
+#: change to either; mixed-version nodes then reject each other cleanly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame.  Large enough for any realistic store payload
+#: (a 4096x4096 float64 array is 128 MiB), small enough that a corrupt
+#: length prefix cannot make a node allocate unbounded memory.
+MAX_FRAME_BYTES = 1 << 30
+
+_LENGTH = struct.Struct(">Q")
+
+
+# --------------------------------------------------------------------- #
+# Message vocabulary.
+# --------------------------------------------------------------------- #
+@dataclass
+class ExecuteRequest:
+    """Run ``chunk_indices`` of one program against ``store``.
+
+    ``program`` names the executable (canonical hash of the transformed
+    nest plus a digest of the plan spec, see
+    :meth:`repro.cluster.client.ClusterScheduler.program_id_for`);
+    ``routing`` is the bare canonical hash the consistent-hash ring uses.
+    ``transformed``/``plan`` are only populated when the worker asked for
+    them via :class:`NeedProgram`.
+    """
+
+    program: str
+    routing: str
+    chunk_indices: Tuple[int, ...]
+    store: Any  # ArrayStore subset of the referenced arrays
+    transformed: Any = None  # Optional[TransformedLoopNest]
+    plan: Any = None  # Optional[ExecutionPlan]
+
+
+@dataclass
+class ExecuteResponse:
+    """The group's final array contents (the client mask-diffs and merges)."""
+
+    program: str
+    store: Any  # ArrayStore with the executed group's final contents
+    elapsed_seconds: float
+    iterations: int
+
+
+@dataclass
+class NeedProgram:
+    """Worker-side miss: re-send the request with the program attached."""
+
+    program: str
+
+
+@dataclass
+class ErrorResponse:
+    """Remote failure.  ``kind`` drives the client's failure ladder."""
+
+    kind: str  # "execution" (deterministic, re-raise) | "internal" (retry)
+    message: str
+    exc_type: str = "RuntimeError"
+
+
+@dataclass
+class PingRequest:
+    """Health check; the worker answers with :class:`PongResponse`."""
+
+
+@dataclass
+class PongResponse:
+    """Worker liveness plus a stats snapshot (program count, counters)."""
+
+    stats: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- #
+# Frame encoding.
+# --------------------------------------------------------------------- #
+def encode_message(message: object) -> bytes:
+    """One complete frame: length prefix plus versioned pickled payload."""
+    payload = pickle.dumps((PROTOCOL_VERSION, message), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"refusing to send a {len(payload)} byte frame "
+            f"(limit {MAX_FRAME_BYTES}); the store payload is too large"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> object:
+    """The message inside one frame's payload, version-checked."""
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as exc:
+        raise ClusterProtocolError(f"undecodable cluster frame: {exc}") from exc
+    if not isinstance(envelope, tuple) or len(envelope) != 2:
+        raise ClusterProtocolError(
+            f"malformed cluster frame: expected (version, message), got {type(envelope).__name__}"
+        )
+    version, message = envelope
+    if version != PROTOCOL_VERSION:
+        raise ClusterProtocolError(
+            f"peer speaks cluster protocol version {version}, this build speaks "
+            f"{PROTOCOL_VERSION}; upgrade the older side"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"incoming frame announces {length} bytes (limit {MAX_FRAME_BYTES}); "
+            "corrupt stream or incompatible peer"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Blocking-socket flavor (client scheduler, executor threads).
+# --------------------------------------------------------------------- #
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"cluster peer closed the connection mid-frame ({remaining} bytes short)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: object) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_message(message))
+
+
+def recv_message(sock: socket.socket) -> object:
+    """Read one frame from a blocking socket (raises ``ConnectionError`` on EOF)."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    return decode_message(_recv_exactly(sock, length))
+
+
+# --------------------------------------------------------------------- #
+# Asyncio flavor (worker daemon).
+# --------------------------------------------------------------------- #
+async def read_message(reader) -> Optional[object]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except Exception:
+        # Clean close between frames (IncompleteReadError with no partial
+        # data) and a torn connection both end the serving loop.
+        return None
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    payload = await reader.readexactly(length)
+    return decode_message(payload)
+
+
+async def write_message(writer, message: object) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_message(message))
+    await writer.drain()

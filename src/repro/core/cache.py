@@ -31,14 +31,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.algorithm1 import Algorithm1Result
 from repro.core.partition import PartitioningResult
 from repro.core.pdm import PseudoDistanceMatrix
 from repro.core.pipeline import ParallelizationReport, analyze_nest
-from repro.loopnest.canonical import canonical_key_tuple
+from repro.loopnest.canonical import canonical_hash, canonical_key_tuple
 from repro.loopnest.nest import LoopNest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (diskcache imports plan)
+    from repro.core.diskcache import DiskCache
 
 __all__ = [
     "CacheKey",
@@ -143,12 +146,21 @@ def rebind_report(report: ParallelizationReport, nest: LoopNest) -> Parallelizat
 
 
 class AnalysisCache:
-    """Thread-safe LRU cache of :class:`ParallelizationReport` by structure."""
+    """Thread-safe LRU cache of :class:`ParallelizationReport` by structure.
 
-    def __init__(self, maxsize: int = 4096):
+    ``disk`` attaches an optional durable second tier
+    (:class:`~repro.core.diskcache.DiskCache`): a memory miss consults the
+    disk before analyzing, and every cold analysis is persisted, so a
+    restarted process (or a freshly joined cluster node) skips analysis for
+    traffic any previous process on the host has seen.  Disk entries are
+    version-checked; a stale or corrupt entry degrades to a cold analysis.
+    """
+
+    def __init__(self, maxsize: int = 4096, disk: Optional["DiskCache"] = None):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self._maxsize = int(maxsize)
+        self._disk = disk
         self._entries: "OrderedDict[CacheKey, ParallelizationReport]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = CacheStats()
@@ -157,6 +169,11 @@ class AnalysisCache:
     @property
     def maxsize(self) -> int:
         return self._maxsize
+
+    @property
+    def disk(self) -> Optional["DiskCache"]:
+        """The durable second tier (``None`` when memory-only)."""
+        return self._disk
 
     @property
     def stats(self) -> CacheStats:
@@ -191,6 +208,24 @@ class AnalysisCache:
             placement,
             bool(include_self),
             bool(allow_partitioning),
+        )
+
+    @staticmethod
+    def disk_key_for(
+        nest: LoopNest,
+        placement: str = "outer",
+        include_self: bool = True,
+        allow_partitioning: bool = True,
+    ) -> str:
+        """The durable spelling of :meth:`key_for`: hex digest plus knobs.
+
+        The canonical hash is the stable *cross-process* name of a loop
+        structure, so this key means the same thing to every process (and
+        every cluster node) sharing the cache directory.
+        """
+        return (
+            f"{canonical_hash(nest)}:{placement}"
+            f":{int(bool(include_self))}:{int(bool(allow_partitioning))}"
         )
 
     def parallelize(
@@ -229,6 +264,24 @@ class AnalysisCache:
                 self._stats.hits += 1
         if cached is not None:
             return rebind_report(cached, nest), True
+        disk_key: Optional[str] = None
+        if self._disk is not None:
+            # Memory miss: try the durable tier before paying the analysis.
+            # A disk hit skips the pass pipeline, so it reports as a hit.
+            disk_key = self.disk_key_for(
+                nest, placement, include_self, allow_partitioning
+            )
+            loaded = self._disk.get(disk_key)
+            if isinstance(loaded, ParallelizationReport):
+                with self._lock:
+                    self._stats.hits += 1
+                    if key not in self._entries:
+                        self._entries[key] = rebind_report(loaded, nest)
+                        self._entries.move_to_end(key)
+                        while len(self._entries) > self._maxsize:
+                            self._entries.popitem(last=False)
+                            self._stats.evictions += 1
+                return rebind_report(loaded, nest), True
         report = analyze_nest(
             nest,
             placement=placement,
@@ -244,6 +297,8 @@ class AnalysisCache:
                 while len(self._entries) > self._maxsize:
                     self._entries.popitem(last=False)
                     self._stats.evictions += 1
+        if self._disk is not None and disk_key is not None:
+            self._disk.put(disk_key, rebind_report(report, nest))
         return report, False
 
 

@@ -23,6 +23,8 @@ __all__ = [
     "ExecutionError",
     "WorkloadError",
     "GatewayOverloaded",
+    "ClusterError",
+    "ClusterProtocolError",
 ]
 
 
@@ -82,16 +84,30 @@ class GatewayOverloaded(ReproError, RuntimeError):
     """The serving gateway rejected a job because its admission bound is full.
 
     Carries the gateway's queue statistics at rejection time in ``stats``
-    (a :class:`~repro.gateway.GatewayStats`), so callers can log the load
-    they were rejected under and implement informed retry policies.
+    (a :class:`~repro.gateway.GatewayStats`) and, in ``retry_after_hint``,
+    the gateway's estimate in seconds of when capacity will free up —
+    computed from the queue depth and the measured (EWMA) per-job service
+    time, so callers can back off an informed amount instead of blindly.
+    ``retry_after_hint`` is ``0.0`` when the gateway has no measurements
+    yet (retry immediately is the best available guess).
 
         >>> try:
-        ...     raise GatewayOverloaded("2 job(s) pending, bound is 2")
+        ...     raise GatewayOverloaded("2 job(s) pending, bound is 2",
+        ...                             retry_after_hint=0.25)
         ... except GatewayOverloaded as exc:
-        ...     str(exc), exc.stats
-        ('2 job(s) pending, bound is 2', None)
+        ...     str(exc), exc.stats, exc.retry_after_hint
+        ('2 job(s) pending, bound is 2', None, 0.25)
     """
 
-    def __init__(self, message: str, stats=None):
+    def __init__(self, message: str, stats=None, retry_after_hint: float = 0.0):
         super().__init__(message)
         self.stats = stats
+        self.retry_after_hint = float(retry_after_hint)
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A cluster operation failed after exhausting the failure ladder."""
+
+
+class ClusterProtocolError(ClusterError):
+    """A cluster peer sent an undecodable, oversized or mismatched frame."""

@@ -171,11 +171,12 @@ class _Job:
         "future", "analysis", "transformed", "plan", "store", "chunk_sizes",
         "key", "result_key", "checksum", "groups_total", "groups_done",
         "program_seconds", "prepared_at", "exec_started", "exec_elapsed",
-        "failed",
+        "failed", "admitted_at",
     )
 
     def __init__(self, future: "asyncio.Future[RunResult]"):
         self.future = future
+        self.admitted_at = time.perf_counter()
         self.analysis = None
         self.transformed = None
         self.plan = None
@@ -254,6 +255,9 @@ class Gateway:
         self._rejected = 0
         self._coalesced = 0
         self._result_hits = 0
+        # EWMA of executed jobs' admission-to-completion seconds; feeds the
+        # retry_after_hint attached to overload rejections.
+        self._service_ewma = 0.0
         # Event-loop private: response LRU, in-flight leaders, and the
         # followers parked on each leader (all keyed by the response key).
         self._responses: "OrderedDict[Tuple, _CachedResponse]" = OrderedDict()
@@ -345,6 +349,7 @@ class Gateway:
                     f"gateway at admission capacity "
                     f"({self._pending}/{self.config.max_pending} job(s) pending)",
                     stats=self.stats(),
+                    retry_after_hint=self.retry_after_hint(),
                 )
             while self._pending >= self.config.max_pending:
                 await self._capacity.wait()
@@ -436,6 +441,20 @@ class Gateway:
         ]
         return list(await asyncio.gather(*jobs))
 
+    def retry_after_hint(self) -> float:
+        """Estimated seconds until an admission slot frees up.
+
+        The queue drains ``exec_workers`` jobs at a time at the measured
+        (EWMA) per-job service rate, so a rejected caller sleeping roughly
+        ``pending * ewma / exec_workers`` seconds lands when capacity is
+        plausibly back instead of blind-retrying into a still-full gateway.
+        ``0.0`` while no job has completed yet — with no measurement, an
+        immediate retry is the best available guess.
+        """
+        if self._service_ewma <= 0.0:
+            return 0.0
+        return self._pending * self._service_ewma / self.config.exec_workers
+
     def stats(self) -> GatewayStats:
         """A snapshot of the gateway's queues and counters."""
         return GatewayStats(
@@ -513,12 +532,24 @@ class Gateway:
 
         Executes one chunk group of the job's plan in place on the job's
         store.  Concurrent groups of one job share the store without
-        locking — chunks never access a common cell with a write.
+        locking — chunks never access a common cell with a write.  When the
+        session is cluster-configured the group drains onto a remote worker
+        node instead (same plan, same indices, merged back cell-exactly),
+        so the execution pool's threads spend their time on the wire while
+        the actual compute happens on the cluster.
         """
         start = time.perf_counter()
-        self.session.executor.backend.execute_plan(
-            job.transformed, job.plan, job.store, chunk_indices=group
-        )
+        scheduler = self.session.cluster_scheduler
+        if scheduler is not None:
+            # telemetry_key=None: the exec worker records this group's wall
+            # clock itself, exactly like the local path below.
+            scheduler.execute_group(
+                job.transformed, job.plan, job.store, group, telemetry_key=None
+            )
+        else:
+            self.session.executor.backend.execute_plan(
+                job.transformed, job.plan, job.store, chunk_indices=group
+            )
         return time.perf_counter() - start
 
     async def _exec_worker(self) -> None:
@@ -572,6 +603,14 @@ class Gateway:
             setup_seconds=max(setup, 0.0),
         )
         job.checksum = sum(float(array.data.sum()) for array in job.store.values())
+        # Executed jobs only (cache hits would drag the estimate toward 0):
+        # admission-to-completion is what a queued job actually occupies a
+        # slot for, which is what the retry hint needs.
+        service = max(end - job.admitted_at, 0.0)
+        self._service_ewma = (
+            service if self._service_ewma == 0.0
+            else 0.4 * service + 0.6 * self._service_ewma
+        )
         result = RunResult(
             analysis=job.analysis,
             execution=execution,

@@ -186,6 +186,14 @@ class ExecutionPlan:
         "total_iterations",
     )
 
+    #: Version of the pickled spec.  Plans cross process *and* host
+    #: boundaries (worker pools, cluster nodes, disk caches), where the
+    #: sender and receiver may run different builds; a silently
+    #: misinterpreted spec field would corrupt results without any error.
+    #: Bump this whenever ``_SPEC_FIELDS`` or their meaning changes —
+    #: unpickling rejects any other version with a clear error.
+    SPEC_VERSION = 1
+
     def __init__(
         self,
         depth: int,
@@ -252,9 +260,20 @@ class ExecutionPlan:
     # pickling: spec only, caches recomputed on load
     # ------------------------------------------------------------------ #
     def __getstate__(self):
-        return {name: getattr(self, name) for name in self._SPEC_FIELDS}
+        state = {name: getattr(self, name) for name in self._SPEC_FIELDS}
+        state["spec_version"] = self.SPEC_VERSION
+        return state
 
     def __setstate__(self, state) -> None:
+        version = state.get("spec_version", 0)
+        if version != self.SPEC_VERSION:
+            raise CodegenError(
+                f"refusing to load a pickled {type(self).__name__} with spec "
+                f"version {version} (this build reads version "
+                f"{self.SPEC_VERSION}); the artifact comes from an "
+                "incompatible build — re-analyze the nest instead of reusing "
+                "the stale plan"
+            )
         for name in self._SPEC_FIELDS:
             setattr(self, name, state[name])
         self._finalize()

@@ -1,0 +1,451 @@
+"""The distributed serving tier, end to end over loopback workers.
+
+The acceptance contracts pinned here:
+
+* **bit-identical results** — a mixed hot/cold stream served by a
+  2-worker loopback cluster produces exactly the stores (and checksums) a
+  serial single-process run produces: where a chunk group executes can
+  never change a cell (Lemma 1 / Theorem 2);
+* **plans are the wire format** — a warm program's requests carry only
+  its hash, the chunk indices and the store arrays: the program ships at
+  most once per (program, node);
+* **the failure ladder** — per-request timeout, bounded retry on a
+  different node, transparent local fallback when every replica is down,
+  each rung bit-identical; a worker SIGKILLed mid-batch loses no job;
+* **deterministic errors skip the ladder** — a loop-body
+  :class:`ExecutionError` surfaces at the caller like a serial run would,
+  never a retry or fallback.
+
+Real workers run as subprocesses of the actual CLI (``repro worker
+--listen 127.0.0.1:0``); the failure-ladder unit tests use in-process
+fake nodes speaking the real protocol.
+"""
+
+import contextlib
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Session, SessionConfig
+from repro.cluster import proto
+from repro.cluster.client import ClusterConfig, ClusterScheduler, HashRing
+from repro.cluster.worker import WorkerConfig
+from repro.exceptions import ClusterError, ExecutionError, WorkloadError
+from repro.gateway import serve
+from repro.runtime.arrays import store_for_nest
+from repro.workloads.paper_examples import example_4_1, example_4_2
+from repro.workloads.synthetic import variable_distance_loop
+
+TIMEOUT = 30.0
+
+#: A mixed stream: three distinct programs, repeated (hot) requests.
+def _stream():
+    return [
+        example_4_1(12),
+        example_4_2(12),
+        variable_distance_loop(2, 12),
+        example_4_1(12),
+        example_4_2(12),
+        example_4_1(12),
+    ]
+
+
+def _serial_results(nests):
+    with Session(mode="serial", backend="vectorized") as session:
+        return [session.run(nest) for nest in nests]
+
+
+@contextlib.contextmanager
+def spawn_workers(count, backend="vectorized", disk_cache=None):
+    """`count` real worker daemons on ephemeral loopback ports."""
+    procs, addrs = [], []
+    env = dict(os.environ)
+    try:
+        for _ in range(count):
+            argv = [
+                sys.executable, "-m", "repro.cli", "worker",
+                "--listen", "127.0.0.1:0", "--backend", backend,
+            ]
+            if disk_cache is not None:
+                argv += ["--disk-cache", str(disk_cache)]
+            proc = subprocess.Popen(
+                argv,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env=env,
+            )
+            procs.append(proc)
+            line = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+:\d+)", line)
+            assert match, f"worker failed to start: {line!r}"
+            addrs.append(match.group(1))
+        yield procs, tuple(addrs)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.wait(timeout=10)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+def _config(addrs, **overrides):
+    options = dict(
+        nodes=tuple(addrs), timeout=15.0, connect_timeout=3.0, cooldown=30.0
+    )
+    options.update(overrides)
+    return ClusterConfig(**options)
+
+
+class _FakeNode:
+    """An in-process node speaking the real protocol with canned replies."""
+
+    def __init__(self, responder):
+        self._responder = responder
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self.address = "127.0.0.1:{}".format(self._listener.getsockname()[1])
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        with contextlib.suppress(Exception), conn:
+            while not self._stop.is_set():
+                message = proto.recv_message(conn)
+                proto.send_message(conn, self._responder(message))
+
+    def close(self):
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        self._thread.join(TIMEOUT)
+
+
+def _program(session, nest):
+    analysis = session._analyze_nest(nest, placement=None, name=None)
+    return session._program_for(nest, analysis.report)
+
+
+# --------------------------------------------------------------------------- #
+# configuration and routing
+# --------------------------------------------------------------------------- #
+class TestClusterConfig:
+    def test_requires_nodes(self):
+        with pytest.raises(WorkloadError, match="at least one node"):
+            ClusterConfig(nodes=())
+
+    @pytest.mark.parametrize("node", ["nohost", "host:", ":123", "host:port"])
+    def test_rejects_malformed_nodes(self, node):
+        with pytest.raises(WorkloadError, match="HOST:PORT"):
+            ClusterConfig(nodes=(node,))
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(WorkloadError):
+            ClusterConfig(nodes=("h:1",), fanout=-1)
+        with pytest.raises(WorkloadError):
+            ClusterConfig(nodes=("h:1",), retries=-1)
+        with pytest.raises(WorkloadError):
+            ClusterConfig(nodes=("h:1",), timeout=0)
+
+    def test_session_config_convenience_spellings(self):
+        from_string = SessionConfig(cluster="h1:1, h2:2")
+        assert from_string.cluster.nodes == ("h1:1", "h2:2")
+        from_list = SessionConfig(cluster=["h1:1", "h2:2"])
+        assert from_list.cluster.nodes == ("h1:1", "h2:2")
+        passthrough = ClusterConfig(nodes=("h1:1",))
+        assert SessionConfig(cluster=passthrough).cluster is passthrough
+
+    def test_worker_listen_parsing(self):
+        assert WorkerConfig.parse_listen("0.0.0.0:9100") == ("0.0.0.0", 9100)
+        with pytest.raises(ValueError):
+            WorkerConfig.parse_listen("9100")
+
+
+class TestHashRing:
+    NODES = ("10.0.0.1:9100", "10.0.0.2:9100", "10.0.0.3:9100")
+
+    def test_deterministic_and_distinct(self):
+        ring = HashRing(self.NODES)
+        order = ring.nodes_for("some-program-hash")
+        assert ring.nodes_for("some-program-hash") == order
+        assert sorted(order) == sorted(self.NODES)
+
+    def test_count_limits_fanout(self):
+        ring = HashRing(self.NODES)
+        assert len(ring.nodes_for("k", 2)) == 2
+        assert len(ring.nodes_for("k", 0)) == len(self.NODES)
+
+    def test_membership_change_remaps_few_keys(self):
+        ring = HashRing(self.NODES)
+        smaller = HashRing(self.NODES[:2])
+        keys = [f"program-{i}" for i in range(200)]
+        moved = 0
+        for key in keys:
+            before = ring.nodes_for(key, 1)[0]
+            after = smaller.nodes_for(key, 1)[0]
+            if before != after:
+                moved += 1
+                # A key only moves because its primary was removed.
+                assert before == self.NODES[2]
+        # Consistent hashing: roughly 1/3 of the keys move, never most.
+        assert moved < len(keys) * 0.6
+
+    def test_keys_spread_over_nodes(self):
+        ring = HashRing(self.NODES)
+        primaries = {ring.nodes_for(f"key-{i}", 1)[0] for i in range(100)}
+        assert primaries == set(self.NODES)
+
+
+# --------------------------------------------------------------------------- #
+# the real thing: loopback workers
+# --------------------------------------------------------------------------- #
+class TestLoopbackCluster:
+    def test_mixed_stream_bit_identical_to_serial(self):
+        nests = _stream()
+        expected = _serial_results(nests)
+        with spawn_workers(2) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                actual = [session.run(nest) for nest in nests]
+                stats = session.cluster_stats()
+        for want, got in zip(expected, actual):
+            assert got.checksum == want.checksum
+            assert got.mode == "cluster"
+            for name in want.store.keys():
+                np.testing.assert_array_equal(
+                    got.store[name].data, want.store[name].data
+                )
+        assert stats.jobs == len(nests)
+        assert stats.remote_groups > 0
+        assert stats.local_fallbacks == 0
+
+    def test_warm_programs_ship_at_most_once_per_node(self):
+        nests = _stream()
+        with spawn_workers(2) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                for nest in nests:
+                    session.run(nest)
+                shipped_after_first_pass = session.cluster_stats().programs_shipped
+                # The whole stream again: every program is warm everywhere
+                # it routes, so not one more program crosses the wire.
+                for nest in nests:
+                    session.run(nest)
+                stats = session.cluster_stats()
+                pongs = session.cluster_scheduler.ping_all()
+        distinct_programs = 3
+        assert stats.programs_shipped == shipped_after_first_pass
+        assert stats.programs_shipped <= distinct_programs * len(addrs)
+        cached = [pong["programs_cached"] for pong in pongs.values() if pong]
+        assert sum(cached) >= distinct_programs
+
+    def test_worker_stats_reported_via_ping(self):
+        with spawn_workers(1) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                session.run(example_4_1(10))
+                pong = session.cluster_scheduler.ping(addrs[0])
+        assert pong is not None
+        assert pong["requests"] >= 1
+        assert pong["executed_groups"] >= 1
+        assert pong["backend"] == "vectorized"
+        assert pong["protocol_version"] == proto.PROTOCOL_VERSION
+
+    def test_gateway_drains_onto_cluster(self):
+        nests = _stream()
+        expected = [result.checksum for result in _serial_results(nests)]
+        with spawn_workers(2) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                results = serve(session, nests)
+                stats = session.cluster_stats()
+        assert [result.checksum for result in results] == expected
+        assert stats.remote_groups > 0
+
+    def test_restarted_worker_reloads_programs_from_disk(self, tmp_path):
+        nest = example_4_1(12)
+        expected = _serial_results([nest])[0].checksum
+        with spawn_workers(1, disk_cache=tmp_path) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                session.run(nest)
+                assert session.cluster_stats().programs_shipped == 1
+        # A "restarted node": new process, same disk cache directory.
+        with spawn_workers(1, disk_cache=tmp_path) as (_, addrs):
+            with Session(
+                mode="serial", backend="vectorized", cluster=_config(addrs)
+            ) as session:
+                result = session.run(nest)
+                stats = session.cluster_stats()
+        assert result.checksum == expected
+        assert stats.programs_shipped == 0  # served from the worker's disk
+
+
+# --------------------------------------------------------------------------- #
+# the failure ladder
+# --------------------------------------------------------------------------- #
+class TestFailureLadder:
+    def test_all_nodes_down_falls_back_to_local(self):
+        nests = _stream()[:3]
+        expected = _serial_results(nests)
+        # Nobody listens on these ports: every group walks the whole
+        # ladder and lands on the local backend.
+        config = _config(
+            ("127.0.0.1:1", "127.0.0.1:2"), retries=1, connect_timeout=0.5
+        )
+        with Session(
+            mode="serial", backend="vectorized", cluster=config
+        ) as session:
+            actual = [session.run(nest) for nest in nests]
+            stats = session.cluster_stats()
+        for want, got in zip(expected, actual):
+            assert got.checksum == want.checksum
+            assert got.execution.fallback == "cluster→local"
+        assert stats.local_fallbacks > 0
+        assert stats.node_failures > 0
+
+    def test_sigkill_mid_batch_loses_no_job(self):
+        nests = _stream()
+        expected = [result.checksum for result in _serial_results(nests)]
+        with spawn_workers(2) as (procs, addrs):
+            config = _config(addrs, retries=1, connect_timeout=2.0)
+            with Session(
+                mode="serial", backend="vectorized", cluster=config
+            ) as session:
+                checksums = []
+                for index, nest in enumerate(nests):
+                    if index == len(nests) // 2:
+                        procs[0].kill()  # SIGKILL, mid-batch
+                        procs[0].wait(timeout=10)
+                    checksums.append(session.run(nest).checksum)
+                stats = session.cluster_stats()
+        assert checksums == expected
+        # The dead node was noticed (retry or fallback), yet every job
+        # completed bit-identically.
+        assert stats.node_failures + stats.local_fallbacks >= 1
+
+    def test_internal_node_error_retries_on_another_node(self):
+        nest = example_4_1(12)
+        expected = _serial_results([nest])[0].checksum
+        broken = _FakeNode(
+            lambda message: proto.ErrorResponse(
+                kind="internal", message="synthetic node fault"
+            )
+        )
+        try:
+            with spawn_workers(1) as (_, addrs):
+                config = _config(
+                    (broken.address, addrs[0]), retries=1, connect_timeout=2.0
+                )
+                with Session(
+                    mode="serial", backend="vectorized", cluster=config
+                ) as session:
+                    result = session.run(nest)
+                    stats = session.cluster_stats()
+            assert result.checksum == expected
+            assert stats.node_failures >= 1
+        finally:
+            broken.close()
+
+    def test_execution_error_skips_the_ladder(self):
+        nest = example_4_1(12)
+        failing = _FakeNode(
+            lambda message: proto.ErrorResponse(
+                kind="execution",
+                message="division by zero in the loop body",
+                exc_type="ExecutionError",
+            )
+        )
+        try:
+            scheduler = ClusterScheduler(
+                _config((failing.address,), retries=3), backend="vectorized"
+            )
+            with Session(mode="serial", backend="vectorized") as session:
+                transformed, plan = _program(session, nest)
+                store = store_for_nest(nest)
+                with pytest.raises(ExecutionError, match="division by zero"):
+                    scheduler.run(transformed, plan, store)
+            # Deterministic failure: no retry, no local fallback.
+            assert scheduler.stats.local_fallbacks == 0
+            assert scheduler.stats.execution_errors >= 1
+            scheduler.close()
+        finally:
+            failing.close()
+
+    def test_cold_worker_asks_for_program_once(self):
+        # White-box protocol walk: hash-only request → NeedProgram →
+        # request with program attached → ExecuteResponse.
+        nest = example_4_1(12)
+        with spawn_workers(1) as (_, addrs):
+            host, port = addrs[0].rsplit(":", 1)
+            with Session(mode="serial", backend="vectorized") as session:
+                transformed, plan = _program(session, nest)
+                store = store_for_nest(nest)
+                program_id, routing = ClusterScheduler.program_id_for(
+                    transformed, plan
+                )
+                sock = socket.create_connection((host, int(port)), timeout=10)
+                try:
+                    bare = proto.ExecuteRequest(
+                        program=program_id,
+                        routing=routing,
+                        chunk_indices=(0,),
+                        store=store,
+                    )
+                    proto.send_message(sock, bare)
+                    first = proto.recv_message(sock)
+                    assert isinstance(first, proto.NeedProgram)
+                    bare.transformed = transformed
+                    bare.plan = plan
+                    proto.send_message(sock, bare)
+                    second = proto.recv_message(sock)
+                    assert isinstance(second, proto.ExecuteResponse)
+                    # Warm now: the bare spelling succeeds immediately.
+                    bare.transformed = None
+                    bare.plan = None
+                    proto.send_message(sock, bare)
+                    third = proto.recv_message(sock)
+                    assert isinstance(third, proto.ExecuteResponse)
+                    assert third.iterations == second.iterations > 0
+                finally:
+                    sock.close()
+
+    def test_scheduler_close_is_idempotent_and_rejects_runs(self):
+        scheduler = ClusterScheduler(
+            _config(("127.0.0.1:1",)), backend="vectorized"
+        )
+        scheduler.close()
+        scheduler.close()
+        with Session(mode="serial", backend="vectorized") as session:
+            transformed, plan = _program(session, example_4_1(8))
+            with pytest.raises(ClusterError, match="closed"):
+                scheduler.run(transformed, plan, store_for_nest(example_4_1(8)))

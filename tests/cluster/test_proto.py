@@ -1,0 +1,158 @@
+"""The cluster wire protocol: framing, versioning, both transport flavors."""
+
+import asyncio
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import proto
+from repro.exceptions import ClusterProtocolError
+
+TIMEOUT = 30.0
+
+
+def run_async(coro):
+    async def _bounded():
+        return await asyncio.wait_for(coro, timeout=TIMEOUT)
+
+    return asyncio.run(_bounded())
+
+
+MESSAGES = [
+    proto.PingRequest(),
+    proto.PongResponse(stats={"requests": 3}),
+    proto.NeedProgram(program="abc:123"),
+    proto.ErrorResponse(kind="execution", message="boom", exc_type="ExecutionError"),
+    proto.ExecuteRequest(
+        program="abc:123", routing="abc", chunk_indices=(0, 2), store=None
+    ),
+    proto.ExecuteResponse(
+        program="abc:123", store=None, elapsed_seconds=0.5, iterations=64
+    ),
+]
+
+
+class TestFraming:
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: type(m).__name__)
+    def test_encode_decode_roundtrip(self, message):
+        frame = proto.encode_message(message)
+        (length,) = struct.unpack(">Q", frame[:8])
+        assert length == len(frame) - 8
+        decoded = proto.decode_message(frame[8:])
+        assert type(decoded) is type(message)
+        assert decoded.__dict__ == message.__dict__
+
+    def test_version_mismatch_rejected(self):
+        payload = pickle.dumps((proto.PROTOCOL_VERSION + 1, proto.PingRequest()))
+        with pytest.raises(ClusterProtocolError, match="version"):
+            proto.decode_message(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ClusterProtocolError, match="undecodable"):
+            proto.decode_message(b"not a pickle at all")
+        with pytest.raises(ClusterProtocolError, match="malformed"):
+            proto.decode_message(pickle.dumps({"no": "tuple"}))
+
+    def test_oversized_announced_frame_rejected(self):
+        with pytest.raises(ClusterProtocolError, match="limit"):
+            proto._check_length(proto.MAX_FRAME_BYTES + 1)
+
+    def test_oversized_outgoing_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr(proto, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(ClusterProtocolError, match="refusing to send"):
+            proto.encode_message(proto.PongResponse(stats={"k": "x" * 64}))
+
+
+class TestBlockingSockets:
+    def test_send_recv_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            proto.send_message(left, proto.NeedProgram(program="p"))
+            message = proto.recv_message(right)
+            assert isinstance(message, proto.NeedProgram)
+            assert message.program == "p"
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            frame = proto.encode_message(proto.PingRequest())
+            left.sendall(frame[: len(frame) // 2])
+            left.close()
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                proto.recv_message(right)
+        finally:
+            right.close()
+
+    def test_fragmented_delivery_reassembles(self):
+        # One byte at a time across the wire: framing must reassemble.
+        left, right = socket.socketpair()
+        try:
+            frame = proto.encode_message(proto.PongResponse(stats={"n": 1}))
+            done = threading.Event()
+
+            def dribble():
+                for i in range(len(frame)):
+                    left.sendall(frame[i : i + 1])
+                done.set()
+
+            thread = threading.Thread(target=dribble)
+            thread.start()
+            message = proto.recv_message(right)
+            done.wait(TIMEOUT)
+            thread.join(TIMEOUT)
+            assert isinstance(message, proto.PongResponse)
+            assert message.stats == {"n": 1}
+        finally:
+            left.close()
+            right.close()
+
+
+class TestAsyncioStreams:
+    def test_stream_roundtrip(self):
+        async def main():
+            received = []
+
+            async def handler(reader, writer):
+                message = await proto.read_message(reader)
+                received.append(message)
+                await proto.write_message(writer, proto.PongResponse(stats={}))
+                writer.close()
+
+            server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await proto.write_message(writer, proto.PingRequest())
+            reply = await proto.read_message(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return received, reply
+
+        received, reply = run_async(main())
+        assert isinstance(received[0], proto.PingRequest)
+        assert isinstance(reply, proto.PongResponse)
+
+    def test_clean_eof_reads_none(self):
+        async def main():
+            results = []
+
+            async def handler(reader, writer):
+                results.append(await proto.read_message(reader))
+
+            server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.close()  # no frame at all: clean EOF
+            await asyncio.sleep(0.05)
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = run_async(main())
+        assert results == [None]

@@ -396,6 +396,141 @@ class TestHotTraffic:
         assert stats.failed == 2
         assert stats.pending == 0
 
+    def test_leader_failure_with_full_cache_eviction_racing_follower(self):
+        # The nasty interleaving: a follower coalesces onto a leader that
+        # will fail, while an unrelated job completes and evicts the only
+        # cached response (result_cache=1).  The eviction must not detach
+        # or complete the follower, the failure must reach both waiters,
+        # and the coalescing slot must not stay poisoned afterwards.
+        import threading
+
+        cached_nest = example_4_2(8)
+        failing_nest = example_4_1(8)
+        evictor_nest = variable_distance_loop(2, 10)
+        with Session(backend="compiled") as session:
+            expected = session.run(failing_nest).checksum
+
+            async def main():
+                async with Gateway(
+                    session, exec_workers=2, result_cache=1
+                ) as gateway:
+                    await gateway.submit(cached_nest)  # fills the one slot
+                    blocked = threading.Event()
+                    release = threading.Event()
+                    original = gateway._execute_group
+                    armed = [True]
+
+                    def exploding(job, group):
+                        # Only the first group call blocks-then-raises, so
+                        # exactly one exec worker is pinned and the evictor
+                        # job still has a worker to run on.
+                        if armed[0]:
+                            armed[0] = False
+                            blocked.set()
+                            release.wait(TIMEOUT)
+                            raise RuntimeError("injected leader failure")
+                        return original(job, group)
+
+                    gateway._execute_group = exploding
+                    leader = asyncio.ensure_future(gateway.submit(failing_nest))
+                    while not blocked.is_set():
+                        await asyncio.sleep(0.01)
+                    follower = asyncio.ensure_future(gateway.submit(failing_nest))
+                    while gateway.stats().coalesced < 1:
+                        await asyncio.sleep(0.01)
+                    # While the leader is mid-execution: a third job
+                    # completes and evicts `cached_nest` from the full
+                    # single-slot cache — the eviction races the attached
+                    # follower.
+                    evictor = await gateway.submit(evictor_nest)
+                    release.set()
+                    outcomes = await asyncio.gather(
+                        leader, follower, return_exceptions=True
+                    )
+                    gateway._execute_group = original
+                    # The coalescing slot is not poisoned: a fresh
+                    # submission of the failed program executes and serves.
+                    retry = await gateway.submit(failing_nest)
+                    return evictor, outcomes, retry, gateway.stats()
+
+            evictor, outcomes, retry, stats = run_async(main())
+        assert evictor.checksum == pytest.approx(evictor.checksum)
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+        assert retry.checksum == expected
+        assert stats.failed == 2
+        assert stats.pending == 0
+        assert stats.completed >= 3  # cached, evictor, retry
+
+
+# --------------------------------------------------------------------------- #
+# the retry-after hint
+# --------------------------------------------------------------------------- #
+class TestRetryAfterHint:
+    def test_cold_gateway_hints_zero(self):
+        gate = _Gate()
+        nest = example_4_1(8)
+        with Session(backend="compiled") as session:
+
+            async def main():
+                async with Gateway(
+                    session, max_pending=1, exec_workers=2
+                ) as gateway:
+                    # Nothing has completed yet: no service-time estimate.
+                    assert gateway.retry_after_hint() == 0.0
+                    gate.wrap(gateway)
+                    job = asyncio.ensure_future(gateway.submit(nest))
+                    while gateway.stats().pending < 1:
+                        await asyncio.sleep(0.01)
+                    with pytest.raises(GatewayOverloaded) as rejection:
+                        await gateway.submit(nest, wait=False)
+                    gate.release.set()
+                    await job
+                    return rejection.value
+
+            rejected = run_async(main())
+        assert rejected.retry_after_hint == 0.0
+
+    def test_warm_gateway_hints_from_queue_depth_and_service_ewma(self):
+        gate = _Gate()
+        nest = example_4_1(8)
+        with Session(backend="compiled") as session:
+
+            async def main():
+                async with Gateway(
+                    session, max_pending=2, exec_workers=2, result_cache=0
+                ) as gateway:
+                    # Warm the service-time EWMA with real completions.
+                    await gateway.map([nest], repeat=3)
+                    assert gateway.retry_after_hint() == 0.0  # queue empty
+                    gate.wrap(gateway)
+                    first = asyncio.ensure_future(gateway.submit(nest))
+                    second = asyncio.ensure_future(gateway.submit(nest))
+                    while gateway.stats().pending < 2:
+                        await asyncio.sleep(0.01)
+                    with pytest.raises(GatewayOverloaded) as rejection:
+                        await gateway.submit(nest, wait=False)
+                    # Little's law shape: pending jobs times the EWMA
+                    # service time, divided over the exec workers.
+                    expected = (
+                        gateway.stats().pending
+                        * gateway._service_ewma
+                        / gateway.config.exec_workers
+                    )
+                    live_hint = gateway.retry_after_hint()
+                    gate.release.set()
+                    await asyncio.gather(first, second)
+                    return rejection.value, live_hint, expected
+
+            rejected, live_hint, expected = run_async(main())
+        assert rejected.retry_after_hint > 0.0
+        assert rejected.retry_after_hint == pytest.approx(expected)
+        assert live_hint == pytest.approx(expected)
+
+    def test_hint_carried_by_the_exception_constructor(self):
+        error = GatewayOverloaded("full", retry_after_hint=1.5)
+        assert error.retry_after_hint == 1.5
+        assert GatewayOverloaded("full").retry_after_hint == 0.0
+
 
 # --------------------------------------------------------------------------- #
 # failures and shutdown
