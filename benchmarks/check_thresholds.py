@@ -18,19 +18,71 @@ which fails (exit 1) when
 
 — so a silently skipped benchmark can never pass the gate.
 
+With ``--history PATH`` the checker also appends one record per run to a
+committed JSON history file (``benchmarks/bench_history.json`` in CI) —
+``{"commit", "timestamp", "metrics": {"<benchmark>.<metric>": value}}`` —
+and the CI job uploads the updated file as an artifact, so threshold
+drift is visible across commits, not just pass/fail at the gate.  The
+commit id comes from ``--commit`` or ``$GITHUB_SHA``.
+
 ``docs/benchmarks.md`` documents every gate with its measured value and
 the procedure for adding a new one.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
+import time
 
 DEFAULT_THRESHOLDS = pathlib.Path(__file__).resolve().parent / "thresholds.json"
 
+#: Bounded so the committed artifact never grows without limit.
+MAX_HISTORY_RECORDS = 500
 
-def check(results_dir: pathlib.Path, thresholds_path: pathlib.Path) -> int:
+
+def append_history(
+    history_path: pathlib.Path,
+    results: dict,
+    thresholds: dict,
+    commit: str,
+) -> None:
+    """Append this run's gated metrics to the benchmark history file."""
+    try:
+        with open(history_path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+        if not isinstance(history, list):
+            history = []
+    except (OSError, json.JSONDecodeError):
+        history = []
+    metrics = {}
+    for name, gated in thresholds.items():
+        measured = results.get(name, {}).get("metrics", {})
+        for metric in gated:
+            value = measured.get(metric)
+            if value is not None:
+                metrics[f"{name}.{metric}"] = float(value)
+    history.append(
+        {
+            "commit": commit,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "metrics": metrics,
+        }
+    )
+    history = history[-MAX_HISTORY_RECORDS:]
+    with open(history_path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    print(f"history: appended {len(metrics)} metric(s) to {history_path}")
+
+
+def check(
+    results_dir: pathlib.Path,
+    thresholds_path: pathlib.Path,
+    history_path: pathlib.Path = None,
+    commit: str = None,
+) -> int:
     with open(thresholds_path, "r", encoding="utf-8") as handle:
         thresholds = json.load(handle)
 
@@ -45,6 +97,16 @@ def check(results_dir: pathlib.Path, thresholds_path: pathlib.Path) -> int:
         name = payload.get("name")
         if name:
             results[name] = payload
+
+    if history_path is not None:
+        # Record before gating: a failing run's numbers are exactly the
+        # ones worth inspecting later.
+        append_history(
+            history_path,
+            results,
+            thresholds,
+            commit or os.environ.get("GITHUB_SHA", "local"),
+        )
 
     failures = 0
     for name, metrics in thresholds.items():
@@ -88,8 +150,21 @@ def main(argv=None) -> int:
         default=DEFAULT_THRESHOLDS,
         help=f"thresholds file (default: {DEFAULT_THRESHOLDS})",
     )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="append this run's gated metrics to a JSON history file "
+        "(benchmarks/bench_history.json in CI)",
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        help="commit id recorded in --history entries (default: $GITHUB_SHA)",
+    )
     args = parser.parse_args(argv)
-    return check(args.results_dir, args.thresholds)
+    return check(args.results_dir, args.thresholds, args.history, args.commit)
 
 
 if __name__ == "__main__":

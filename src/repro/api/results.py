@@ -216,6 +216,17 @@ class RunResult:
         return self.execution.fallback
 
     @property
+    def engine(self) -> Optional[str]:
+        """In-kernel parallel driver label (e.g. ``"native-cc-openmp"``),
+        ``None`` for runs that did not go through the parallel driver."""
+        return self.execution.engine
+
+    @property
+    def threads(self) -> int:
+        """Effective OS-thread count of an in-kernel parallel run (0 otherwise)."""
+        return self.execution.threads
+
+    @property
     def verified(self) -> Optional[bool]:
         """True/False when verification ran, ``None`` when it was skipped."""
         if self.max_abs_difference is None:
@@ -244,6 +255,8 @@ class RunResult:
                 "max_abs_difference": self.max_abs_difference,
                 "verified": self.verified,
                 "fallback": self.fallback,
+                "engine": self.engine,
+                "threads": self.threads,
             }
         )
         return payload

@@ -64,7 +64,7 @@ from repro.plan import (
 )
 from repro.runtime.arrays import ArrayStore, store_for_nest
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
-from repro.runtime.executor import EXECUTION_MODES, ParallelExecutor
+from repro.runtime.executor import EXECUTION_MODES, ParallelExecutor, default_worker_count
 from repro.runtime.interpreter import execute_nest
 
 from repro.api.inputs import LoopSource, resolve_source
@@ -97,9 +97,12 @@ class SessionConfig:
     ``("coalesce", "tile")`` — coalescing trades the round-major chunk
     structure for fewer per-chunk dispatches, a win exactly when each
     chunk costs a future, a pickle or a pool message — while ``serial``
-    gets ``("tile",)`` only, because serial dispatch is free and the raw
-    chunking gives the vectorized backend its widest rounds.  An empty
-    tuple disables optimization entirely.
+    and ``native-parallel`` get ``("tile",)`` only: serial dispatch is
+    free, and the in-kernel parallel driver runs the whole plan in one
+    native call, so neither pays per-chunk dispatch — and coalescing
+    would block parallel levels, making chunks non-separable and
+    unpackable for the driver.  An empty tuple disables optimization
+    entirely.
 
         >>> SessionConfig().resolved_plan_passes()
         ('tile',)
@@ -121,7 +124,7 @@ class SessionConfig:
 
     backend: str = DEFAULT_BACKEND
     mode: str = "serial"
-    workers: int = 4
+    workers: Optional[int] = None
     placement: str = "outer"
     cache_size: int = 4096
     use_cache: bool = True
@@ -178,7 +181,7 @@ class SessionConfig:
             raise WorkloadError(
                 f"verify must be one of {', '.join(VERIFICATION_POLICIES)}, got {self.verify!r}"
             )
-        if self.workers < 1:
+        if self.workers is not None and self.workers < 1:
             raise WorkloadError(f"workers must be >= 1, got {self.workers}")
         if self.cache_size < 1:
             raise WorkloadError(f"cache_size must be >= 1, got {self.cache_size}")
@@ -187,7 +190,24 @@ class SessionConfig:
         """The pipeline this config actually runs (mode default applied)."""
         if self.plan_passes is not None:
             return self.plan_passes
-        return DEFAULT_PLAN_PASSES if self.mode != "serial" else ("tile",)
+        if self.mode in ("serial", "native-parallel"):
+            # Serial dispatch is free, and the in-kernel parallel driver
+            # schedules chunks itself (one native call for the whole plan),
+            # so neither wants coalescing — which blocks parallel levels
+            # and makes chunks non-separable, forcing the driver to fall
+            # back to per-chunk dispatch.  Tiling keeps the packed table
+            # intact.
+            return ("tile",)
+        return DEFAULT_PLAN_PASSES
+
+    def resolved_workers(self) -> int:
+        """The worker count this config actually uses.
+
+        ``workers=None`` (the default) derives the count from the host:
+        ``$REPRO_WORKERS`` when set, else ``os.cpu_count()`` clamped —
+        see :func:`repro.runtime.executor.default_worker_count`.
+        """
+        return self.workers if self.workers is not None else default_worker_count()
 
 
 class Session:
@@ -290,7 +310,7 @@ class Session:
                         mode=self.config.mode,
                         workers=self.config.workers,
                         backend=self.config.backend,
-                    )
+                    )  # workers=None lets the executor derive the count
                     self._executor_creations += 1
         return self._executor
 
@@ -546,7 +566,7 @@ class Session:
             runs=self._runs,
             mode=self.config.mode,
             backend=str(self.config.backend),
-            workers=self.config.workers,
+            workers=self.config.resolved_workers(),
             cache_enabled=cache is not None,
             cache_entries=len(cache) if cache is not None else 0,
             cache_hits=cache.stats.hits if cache is not None else 0,

@@ -50,7 +50,7 @@ from repro.isdg.stats import compute_statistics
 from repro.loopnest.nest import LoopNest
 from repro.plan import DEFAULT_PLAN_PASSES, available_plan_passes
 from repro.runtime.backends import DEFAULT_BACKEND, available_backends
-from repro.runtime.executor import EXECUTION_MODES
+from repro.runtime.executor import EXECUTION_MODES, default_worker_count
 from repro.runtime.simulator import simulate_schedule
 from repro.runtime.verification import verify_transformation
 from repro.workloads.suite import WorkloadCase
@@ -88,9 +88,10 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--processors",
         type=int,
-        default=4,
+        default=None,
         help="processor count for the simulated-speedup report and the "
-        "worker count of the session's executor (default: 4)",
+        "worker count of the session's executor (default: auto — "
+        "$REPRO_WORKERS when set, else the host's CPU count, clamped)",
     )
     group.add_argument(
         "--backend",
@@ -105,7 +106,9 @@ def _add_session_options(parser: argparse.ArgumentParser) -> None:
         default="serial",
         help="executor mode for the 'run' and 'batch' commands: 'shared' is "
         "the persistent zero-copy worker pool, 'processes' the fork-per-call "
-        "copy-and-merge pool (default: serial)",
+        "copy-and-merge pool, 'native-parallel' the in-kernel multithreaded "
+        "driver of the native backend ('threads' auto-upgrades to it when "
+        "available) (default: serial)",
     )
     group.add_argument(
         "--plan-passes",
@@ -198,12 +201,13 @@ def _cmd_analyze(nest: LoopNest, args, session: Session) -> str:
     # form, so even huge nests report without materializing an iteration.
     plan = transformed.execution_plan()
     stats = plan.statistics()
-    sim = simulate_schedule(plan.select_chunks(), num_processors=args.processors)
+    processors = args.processors or default_worker_count()
+    sim = simulate_schedule(plan.select_chunks(), num_processors=processors)
     lines = [str(nest), "", report.summary(), ""]
     lines.append(
         f"Schedule: {stats['num_chunks']} independent chunks, "
         f"ideal speedup {stats['ideal_speedup']:.2f}, "
-        f"simulated speedup on {args.processors} processors {sim.speedup:.2f}"
+        f"simulated speedup on {processors} processors {sim.speedup:.2f}"
     )
     lines.append("")
     origin = "cache hit (cold-run timings shown)" if cache_hit else "cold analysis"
@@ -245,7 +249,12 @@ def _cmd_run(nest: LoopNest, args, session: Session) -> str:
         f"Executed {nest.name!r}: {result.iterations} iterations in "
         f"{result.num_chunks} chunks",
         f"  backend: {result.backend}, mode: {result.mode} "
-        f"({result.workers} worker(s))",
+        f"({result.workers} worker(s))"
+        + (
+            f", engine: {result.engine} ({result.threads} thread(s))"
+            if result.engine
+            else ""
+        ),
         f"  execute: {result.execute_seconds * 1000.0:.2f} ms "
         f"(+ {result.setup_seconds * 1000.0:.2f} ms runtime setup)",
         f"  store checksum: {result.checksum:.6f}",
@@ -277,7 +286,7 @@ def _cmd_serve(nests: List[LoopNest], args, session: Session) -> str:
 
     config = GatewayConfig(
         max_pending=getattr(args, "max_pending", 32),
-        exec_workers=args.processors,
+        exec_workers=args.processors or default_worker_count(),
     )
     wall_start = time.perf_counter()
     results = serve(

@@ -157,10 +157,31 @@ class ClusterWorker:
         """
         self.backend.prepare_plan(transformed, plan)
         sizes = plan.chunk_sizes()
-        start = time.perf_counter()
-        self.backend.execute_plan(
-            transformed, plan, request.store, chunk_indices=request.chunk_indices
+        # Prefer the backend's in-kernel parallel driver: the daemon's own
+        # exec threads then stay free for protocol work while the group's
+        # chunks run on native threads inside one call.  Backends without a
+        # driver (or plans it cannot pack) keep the per-group call.
+        supports = getattr(self.backend, "supports_parallel_plan", None)
+        use_driver = (
+            supports is not None
+            and len(request.chunk_indices) > 1
+            and supports(transformed, plan)
         )
+        start = time.perf_counter()
+        engine = None
+        if use_driver:
+            engine = self.backend.execute_plan_parallel(
+                transformed,
+                plan,
+                request.store,
+                chunk_indices=request.chunk_indices,
+                threads=max(1, int(self.config.exec_workers)),
+                dynamic=True,
+            )
+        if engine is None:
+            self.backend.execute_plan(
+                transformed, plan, request.store, chunk_indices=request.chunk_indices
+            )
         elapsed = time.perf_counter() - start
         iterations = sum(sizes[i] for i in request.chunk_indices)
         return proto.ExecuteResponse(

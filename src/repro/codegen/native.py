@@ -43,6 +43,19 @@ canonical structure (alpha-renamed programs share one kernel) and on disk
 keyed by source hash, so warm kernels survive across :class:`Session` runs
 and across pool workers: the parent's ``prepare_plan`` compile leaves an
 artifact every worker merely dlopens/imports.
+
+Every kernel source also carries a second, multithreaded entry point
+(``repro_kernel_par``) that runs the parallel-for over chunks *inside* the
+compiled code: the C engine uses an OpenMP ``parallel for`` when the
+toolchain supports ``-fopenmp`` (probed once and negative-cached, on disk
+per compiler) and otherwise a pthreads work-queue draining chunks off an
+atomic counter; the numba engine uses ``@njit(parallel=True)`` with
+``numba.prange``.  The driver takes the packed range table, a thread
+count, a static/dynamic scheduling hint and a per-chunk status buffer, and
+returns the status of the first failing chunk in chunk order — the same
+first-error semantics the serial kernel and the interpreter have.  Both
+entry points live in one source file, so a single content-addressed build
+covers serial and parallel execution.
 """
 
 from __future__ import annotations
@@ -76,6 +89,7 @@ from repro.loopnest.nest import LoopNest
 
 __all__ = [
     "KERNEL_SYMBOL",
+    "PARALLEL_KERNEL_SYMBOL",
     "NativeKernel",
     "NativeProgram",
     "available_engines",
@@ -86,6 +100,7 @@ __all__ = [
     "native_cache_dir",
     "native_program_for",
     "nest_is_native_supported",
+    "openmp_supported",
     "pack_ranges",
     "packed_ranges_for",
     "resolve_engine",
@@ -93,6 +108,11 @@ __all__ = [
 ]
 
 KERNEL_SYMBOL = "repro_kernel"
+PARALLEL_KERNEL_SYMBOL = "repro_kernel_par"
+CHUNK_SYMBOL = "repro_chunk"
+
+# The pthreads fallback driver spawns at most this many helper threads.
+_MAX_PTHREADS = 64
 
 ENGINE_ENV = "REPRO_NATIVE_ENGINE"
 CACHE_DIR_ENV = "REPRO_NATIVE_CACHE"
@@ -406,17 +426,31 @@ def _inverse_assignments(emitter: _KernelEmitter, inverse) -> List[str]:
     return lines
 
 
-def emit_kernel_source(nest: LoopNest, inverse, lang: str) -> str:
+def emit_kernel_source(nest: LoopNest, inverse, lang: str, flavor: str = "openmp") -> str:
     """Render the chunk-loop kernel for ``nest`` in ``lang`` ("c" or "py").
 
-    The kernel signature is::
+    The source contains three functions:
 
-        repro_kernel(n_chunks, ranges, a0, a0_org, a0_shp, a1, ...) -> status
+    * ``repro_chunk(r, a0, a0_org, a0_shp, ...)`` — executes one chunk
+      given its ``depth * 3`` range row, returning a status code;
+    * ``repro_kernel(n_chunks, ranges, a0, ...)`` — the serial driver:
+      runs chunks in order, stopping at the first nonzero status;
+    * ``repro_kernel_par(n_chunks, ranges, n_threads, dynamic_schedule,
+      statuses, a0, ...)`` — the parallel driver: fills ``statuses`` (one
+      slot per chunk) from ``n_threads`` threads and returns the status of
+      the first failing chunk *in chunk order*, matching the serial error
+      semantics exactly.
 
     ``ranges`` is a flat int64 array of ``n_chunks * depth * 3`` values —
     per chunk, per level: inclusive start, inclusive stop, positive step —
     and each array contributes its raw float64 buffer plus int64 origin and
     shape vectors.  Arrays appear in canonical slot order.
+
+    ``flavor`` selects the C parallel driver: ``"openmp"`` emits an OpenMP
+    ``parallel for`` honouring the static/dynamic hint (build with
+    ``-fopenmp``); ``"pthreads"`` emits a work-queue over an atomic chunk
+    cursor (build with ``-pthread``) — inherently dynamic, the scheduling
+    hint is ignored.  The numba engine ignores ``flavor``.
     """
     emitter = _KernelEmitter(nest, lang)
     for stmt in nest.statements:
@@ -441,64 +475,185 @@ def emit_kernel_source(nest: LoopNest, inverse, lang: str) -> str:
         return decls
 
     if lang == "c":
+        if flavor not in ("openmp", "pthreads"):
+            raise ExecutionError(f"unknown C parallel flavor {flavor!r}")
         params = "".join(
             f", double *a{slot}, const int64_t *a{slot}_org, const int64_t *a{slot}_shp"
             for slot in range(len(slots))
         )
-        lines = [
-            "#include <math.h>",
-            "#include <stdint.h>",
+        array_args = "".join(
+            f", a{slot}, a{slot}_org, a{slot}_shp" for slot in range(len(slots))
+        )
+        lines = ["#include <math.h>", "#include <stdint.h>"]
+        if flavor == "pthreads":
+            lines.append("#include <pthread.h>")
+        lines += [
             "",
-            f"int64_t {KERNEL_SYMBOL}(int64_t n_chunks, const int64_t *ranges{params})",
+            f"static int64_t {CHUNK_SYMBOL}(const int64_t *r{params})",
             "{",
         ]
         lines.extend(stride_decls("    "))
-        lines.append("    for (int64_t c = 0; c < n_chunks; ++c) {")
-        lines.append(f"        const int64_t *r = ranges + c * {stride};")
         for level in range(depth):
             base = level * 3
+            indent = "    " * (level + 1)
             lines.append(
-                f"        for (int64_t j{level} = r[{base}]; "
+                f"{indent}for (int64_t j{level} = r[{base}]; "
                 f"j{level} <= r[{base + 1}]; j{level} += r[{base + 2}]) {{"
             )
-        body_indent = "            "
+        body_indent = "    " * (depth + 1)
         lines.extend(body_indent + text for text in _inverse_assignments(emitter, inverse))
         lines.extend(body_indent + text for text in emitter.lines)
-        lines.extend("        }" for _ in range(depth))
-        lines.append("    }")
-        lines.append("    return 0;")
-        lines.append("}")
+        lines.extend("    " * (level + 1) + "}" for level in range(depth - 1, -1, -1))
+        lines += [
+            "    return 0;",
+            "}",
+            "",
+            f"int64_t {KERNEL_SYMBOL}(int64_t n_chunks, const int64_t *ranges{params})",
+            "{",
+            "    for (int64_t c = 0; c < n_chunks; ++c) {",
+            f"        int64_t status = {CHUNK_SYMBOL}(ranges + c * {stride}{array_args});",
+            "        if (status != 0) { return status; }",
+            "    }",
+            "    return 0;",
+            "}",
+            "",
+        ]
+        par_sig = (
+            f"int64_t {PARALLEL_KERNEL_SYMBOL}(int64_t n_chunks, const int64_t *ranges, "
+            f"int64_t n_threads, int64_t dynamic_schedule, int64_t *statuses{params})"
+        )
+        if flavor == "openmp":
+            lines += [
+                par_sig,
+                "{",
+                "    int64_t c;",
+                "    int threads = (int)(n_threads < 1 ? 1 : n_threads);",
+                "    if (dynamic_schedule) {",
+                "        #pragma omp parallel for schedule(dynamic) num_threads(threads)",
+                "        for (c = 0; c < n_chunks; ++c) {",
+                f"            statuses[c] = {CHUNK_SYMBOL}(ranges + c * {stride}{array_args});",
+                "        }",
+                "    } else {",
+                "        #pragma omp parallel for schedule(static) num_threads(threads)",
+                "        for (c = 0; c < n_chunks; ++c) {",
+                f"            statuses[c] = {CHUNK_SYMBOL}(ranges + c * {stride}{array_args});",
+                "        }",
+                "    }",
+                "    for (c = 0; c < n_chunks; ++c) {",
+                "        if (statuses[c] != 0) { return statuses[c]; }",
+                "    }",
+                "    return 0;",
+                "}",
+            ]
+        else:
+            member_decls = "".join(
+                f" double *a{slot}; const int64_t *a{slot}_org; const int64_t *a{slot}_shp;"
+                for slot in range(len(slots))
+            )
+            work_args = "".join(
+                f", w->a{slot}, w->a{slot}_org, w->a{slot}_shp"
+                for slot in range(len(slots))
+            )
+            lines += [
+                "typedef struct {",
+                "    int64_t n_chunks;",
+                "    const int64_t *ranges;",
+                "    int64_t next;",
+                f"    int64_t *statuses;{member_decls}",
+                "} repro_work_t;",
+                "",
+                "static void *repro_worker(void *opaque)",
+                "{",
+                "    repro_work_t *w = (repro_work_t *)opaque;",
+                "    for (;;) {",
+                "        int64_t c = __sync_fetch_and_add(&w->next, 1);",
+                "        if (c >= w->n_chunks) { break; }",
+                f"        w->statuses[c] = {CHUNK_SYMBOL}(w->ranges + c * {stride}{work_args});",
+                "    }",
+                "    return 0;",
+                "}",
+                "",
+                par_sig,
+                "{",
+                "    /* The shared-cursor queue is dynamic by construction; the",
+                "       scheduling hint only matters to the OpenMP flavor. */",
+                "    (void)dynamic_schedule;",
+                f"    repro_work_t work = {{n_chunks, ranges, 0, statuses{array_args}}};",
+                f"    pthread_t helpers[{_MAX_PTHREADS}];",
+                "    int64_t spawned = 0;",
+                f"    if (n_threads > {_MAX_PTHREADS}) {{ n_threads = {_MAX_PTHREADS}; }}",
+                "    for (int64_t t = 1; t < n_threads; ++t) {",
+                "        if (pthread_create(&helpers[spawned], 0, repro_worker, &work) != 0) {",
+                "            break;",
+                "        }",
+                "        ++spawned;",
+                "    }",
+                "    repro_worker(&work);",
+                "    for (int64_t t = 0; t < spawned; ++t) { pthread_join(helpers[t], 0); }",
+                "    for (int64_t c = 0; c < n_chunks; ++c) {",
+                "        if (statuses[c] != 0) { return statuses[c]; }",
+                "    }",
+                "    return 0;",
+                "}",
+            ]
         return "\n".join(lines) + "\n"
 
     params = "".join(
         f", a{slot}, a{slot}_org, a{slot}_shp" for slot in range(len(slots))
     )
-    signature = "int64(int64, int64[::1]" + ", float64[::1], int64[::1], int64[::1]" * len(
-        slots
-    ) + ")"
+    array_types = ", float64[::1], int64[::1], int64[::1]" * len(slots)
+    chunk_signature = f"int64(int64[::1]{array_types})"
+    serial_signature = f"int64(int64, int64[::1]{array_types})"
+    parallel_signature = f"int64(int64, int64[::1], int64, int64, int64[::1]{array_types})"
     lines = [
         "import math",
         "",
         "import numba",
         "",
         "",
-        f'@numba.njit("{signature}", cache=True, nogil=True)',
-        f"def {KERNEL_SYMBOL}(n_chunks, ranges{params}):",
+        f'@numba.njit("{chunk_signature}", cache=True, nogil=True)',
+        f"def {CHUNK_SYMBOL}(r{params}):",
     ]
     lines.extend(stride_decls("    "))
-    lines.append("    for c in range(n_chunks):")
-    lines.append(f"        b = c * {stride}")
     for level in range(depth):
         base = level * 3
-        indent = "    " * (2 + level)
+        indent = "    " * (1 + level)
         lines.append(
-            f"{indent}for j{level} in range(ranges[b + {base}], "
-            f"ranges[b + {base + 1}] + 1, ranges[b + {base + 2}]):"
+            f"{indent}for j{level} in range(r[{base}], "
+            f"r[{base + 1}] + 1, r[{base + 2}]):"
         )
-    body_indent = "    " * (2 + depth)
+    body_indent = "    " * (1 + depth)
     lines.extend(body_indent + text for text in _inverse_assignments(emitter, inverse))
     lines.extend(body_indent + text for text in emitter.lines)
-    lines.append("    return 0")
+    lines += [
+        "    return 0",
+        "",
+        "",
+        f'@numba.njit("{serial_signature}", cache=True, nogil=True)',
+        f"def {KERNEL_SYMBOL}(n_chunks, ranges{params}):",
+        "    for c in range(n_chunks):",
+        f"        b = c * {stride}",
+        f"        status = {CHUNK_SYMBOL}(ranges[b:b + {stride}]{params})",
+        "        if status != 0:",
+        "            return status",
+        "    return 0",
+        "",
+        "",
+        "try:",
+        f'    @numba.njit("{parallel_signature}", cache=True, nogil=True, parallel=True)',
+        f"    def {PARALLEL_KERNEL_SYMBOL}(n_chunks, ranges, n_threads, "
+        f"dynamic_schedule, statuses{params}):",
+        "        for c in numba.prange(n_chunks):",
+        f"            b = c * {stride}",
+        f"            statuses[c] = {CHUNK_SYMBOL}(ranges[b:b + {stride}]{params})",
+        "        first = 0",
+        "        for c in range(n_chunks):",
+        "            if first == 0:",
+        "                first = statuses[c]",
+        "        return first",
+        "except Exception:  # pragma: no cover - toolchain without parallel support",
+        f"    {PARALLEL_KERNEL_SYMBOL} = None",
+    ]
     return "\n".join(lines) + "\n"
 
 
@@ -508,6 +663,7 @@ def emit_kernel_source(nest: LoopNest, inverse, lang: str) -> str:
 
 _UNSET = object()
 _NUMBA_CACHED = _UNSET
+_OPENMP_CACHED = _UNSET
 _LAST_BUILD_ERROR: Optional[str] = None
 
 
@@ -532,6 +688,57 @@ def _find_c_compiler() -> Optional[str]:
         if path:
             return path
     return None
+
+
+_OPENMP_PROBE_SOURCE = """\
+#include <omp.h>
+int repro_openmp_probe(void) { return omp_get_max_threads(); }
+"""
+
+
+def _probe_openmp(compiler: str) -> bool:
+    """Compile a tiny OpenMP program once; persist the verdict on disk.
+
+    The marker file is keyed by the compiler path, so a toolchain lacking
+    ``-fopenmp`` is negative-cached across processes and never re-probed.
+    """
+    directory = native_cache_dir()
+    tag = hashlib.sha256(compiler.encode("utf-8")).hexdigest()[:16]
+    marker = os.path.join(directory, f"openmp_probe_{tag}")
+    if os.path.exists(f"{marker}.ok"):
+        return True
+    if os.path.exists(f"{marker}.no"):
+        return False
+    c_path = f"{marker}.c"
+    out_path = f"{marker}.so.tmp.{os.getpid()}"
+    try:
+        _write_atomic(c_path, _OPENMP_PROBE_SOURCE)
+        result = subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-fopenmp", "-o", out_path, c_path],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        supported = result.returncode == 0
+    except Exception:  # pragma: no cover - compiler vanished mid-probe
+        supported = False
+    finally:
+        if os.path.exists(out_path):
+            try:
+                os.remove(out_path)
+            except OSError:  # pragma: no cover
+                pass
+    _write_atomic(f"{marker}.ok" if supported else f"{marker}.no", "")
+    return supported
+
+
+def openmp_supported() -> bool:
+    """Whether the active C toolchain accepts ``-fopenmp`` (memoized)."""
+    global _OPENMP_CACHED
+    if _OPENMP_CACHED is _UNSET:
+        compiler = _find_c_compiler()
+        _OPENMP_CACHED = _probe_openmp(compiler) if compiler else False
+    return bool(_OPENMP_CACHED)
 
 
 def available_engines() -> Tuple[str, ...]:
@@ -590,8 +797,9 @@ def _write_atomic(path: str, content: str) -> None:
     os.replace(tmp, path)
 
 
-def _build_cc(source: str):
-    """Compile C source to a shared object (disk-cached) and load the symbol."""
+def _build_cc(source: str, openmp: bool):
+    """Compile C source to a shared object (disk-cached), load both entry
+    points, and return ``(serial_fn, parallel_fn)`` — parallel may be None."""
     global _LAST_BUILD_ERROR
     compiler = _find_c_compiler()
     if compiler is None:
@@ -602,10 +810,12 @@ def _build_cc(source: str):
     if not os.path.exists(so_path):
         c_path = os.path.join(directory, f"{KERNEL_SYMBOL}_{digest}.c")
         tmp_so = f"{so_path}.tmp.{os.getpid()}"
+        thread_flag = "-fopenmp" if openmp else "-pthread"
         try:
             _write_atomic(c_path, source)
             result = subprocess.run(
-                [compiler, "-O2", "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"],
+                [compiler, "-O2", "-fPIC", "-shared", thread_flag, "-o", tmp_so,
+                 c_path, "-lm"],
                 capture_output=True,
                 text=True,
                 timeout=120,
@@ -632,13 +842,21 @@ def _build_cc(source: str):
         _LAST_BUILD_ERROR = f"{type(exc).__name__}: {exc}"
         return None
     function.restype = ctypes.c_int64
-    return function
+    try:
+        parallel = getattr(library, PARALLEL_KERNEL_SYMBOL)
+    except AttributeError:  # pragma: no cover - artifact from an older build
+        parallel = None
+    else:
+        parallel.restype = ctypes.c_int64
+    return function, parallel
 
 
 def _build_numba(source: str):
     """Import the numba kernel module (written to the cache dir for
     ``cache=True`` persistence); decoration compiles eagerly via the typed
-    signature, so a successful return is a warm kernel."""
+    signatures, so a successful return is a pair of warm kernels
+    ``(serial_fn, parallel_fn)`` — parallel is None when the toolchain
+    cannot compile ``parallel=True`` (the module negative-caches that)."""
     global _LAST_BUILD_ERROR
     if _numba_module() is None:
         return None
@@ -658,7 +876,7 @@ def _build_numba(source: str):
         except Exception as exc:
             _LAST_BUILD_ERROR = f"{type(exc).__name__}: {exc}"
             return None
-    return getattr(module, KERNEL_SYMBOL)
+    return getattr(module, KERNEL_SYMBOL), getattr(module, PARALLEL_KERNEL_SYMBOL, None)
 
 
 # --------------------------------------------------------------------------- #
@@ -685,17 +903,57 @@ def pack_ranges(
 
 
 _PACKED_ATTR = "_repro_native_packed"
+_PACKED_TABLE_ATTR = "_repro_native_packed_table"
+
+
+def _packed_table_for(plan) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """The whole-plan packed table, built once and cached on the plan.
+
+    Returns ``(rows, row_of_chunk)`` where ``rows`` is an int64 array of
+    shape ``(n_nonempty, depth * 3)`` (one row per non-empty chunk, in
+    chunk order) and ``row_of_chunk[i]`` maps chunk index ``i`` to its row
+    (``-1`` for empty chunks), or ``None`` when any chunk of the plan is
+    not separable into strided ranges.
+    """
+    cached = getattr(plan, _PACKED_TABLE_ATTR, _UNSET)
+    if cached is not _UNSET:
+        return cached
+    views = plan.select_chunks(None)
+    range_lists: List[Sequence[Tuple[int, int, int]]] = []
+    row_indices: List[int] = []
+    table: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    for index, view in enumerate(views):
+        ranges = view.value_ranges()
+        if ranges is None:
+            break
+        if ranges:
+            row_indices.append(index)
+            range_lists.append(ranges)
+    else:
+        row_of_chunk = np.full(len(views), -1, dtype=np.int64)
+        row_of_chunk[row_indices] = np.arange(len(row_indices), dtype=np.int64)
+        rows = pack_ranges(range_lists, plan.depth).reshape(
+            len(range_lists), plan.depth * 3
+        )
+        table = (rows, row_of_chunk)
+    try:
+        setattr(plan, _PACKED_TABLE_ATTR, table)
+    except AttributeError:  # pragma: no cover - plans have a __dict__ today
+        pass
+    return table
 
 
 def packed_ranges_for(plan, chunk_indices=None) -> Optional[Tuple[int, np.ndarray]]:
     """``(n_chunks, flat ranges)`` for a plan selection, memoized on the plan.
 
     Gathering ``value_ranges()`` view by view costs more than the kernel
-    call itself on warm runs, so the packed array is cached per selection on
-    the plan object (plans pickle through ``_SPEC_FIELDS``, so the memo
-    never crosses a process boundary).  Returns ``None`` when any selected
-    chunk is not separable into strided ranges — the caller falls back.
-    Empty chunks are dropped from the packing.
+    call itself on warm runs, so the packing is done exactly once per plan
+    (:func:`_packed_table_for` builds the whole-plan table) and every group
+    selection is a row slice of that table.  Both the table and the sliced
+    selections are cached on the plan object (plans pickle through
+    ``_SPEC_FIELDS``, so the memo never crosses a process boundary).
+    Returns ``None`` when any chunk is not separable into strided ranges —
+    the caller falls back.  Empty chunks are dropped from the packing.
     """
     key = None if chunk_indices is None else tuple(chunk_indices)
     cache = getattr(plan, _PACKED_ATTR, None)
@@ -707,42 +965,68 @@ def packed_ranges_for(plan, chunk_indices=None) -> Optional[Tuple[int, np.ndarra
             cache = None
     if cache is not None and key in cache:
         return cache[key]
-    range_lists: List[Sequence[Tuple[int, int, int]]] = []
+    table = _packed_table_for(plan)
     result: Optional[Tuple[int, np.ndarray]] = None
-    for view in plan.select_chunks(chunk_indices):
-        ranges = view.value_ranges()
-        if ranges is None:
-            break
-        if ranges:
-            range_lists.append(ranges)
-    else:
-        result = (len(range_lists), pack_ranges(range_lists, plan.depth))
+    if table is not None:
+        rows, row_of_chunk = table
+        if key is None:
+            result = (rows.shape[0], np.ascontiguousarray(rows).reshape(-1))
+        else:
+            selected = row_of_chunk[list(key)]
+            selected = selected[selected >= 0]
+            result = (int(selected.size), rows[selected].reshape(-1))
     if cache is not None:
         cache[key] = result
     return result
 
 
 class NativeKernel:
-    """One compiled kernel: engine-specific callable + marshalling."""
+    """One compiled kernel: engine-specific callables + marshalling.
 
-    __slots__ = ("engine", "depth", "array_dims", "source", "compile_seconds", "_fn")
+    ``flavor`` names the parallel driver baked into the artifact:
+    ``"openmp"``/``"pthreads"`` for the C engine, ``"prange"`` for numba,
+    ``None`` when the build produced no parallel entry point.
+    """
 
-    def __init__(self, engine, fn, depth, array_dims, source, compile_seconds):
+    __slots__ = (
+        "engine",
+        "depth",
+        "array_dims",
+        "source",
+        "compile_seconds",
+        "flavor",
+        "_fn",
+        "_par_fn",
+    )
+
+    def __init__(self, engine, fn, depth, array_dims, source, compile_seconds,
+                 par_fn=None, flavor=None):
         self.engine = engine
         self.depth = depth
         self.array_dims = tuple(array_dims)
         self.source = source
         self.compile_seconds = compile_seconds
+        self.flavor = flavor if par_fn is not None else None
         self._fn = fn
+        self._par_fn = par_fn
         if engine == "cc":
-            argtypes = [ctypes.c_int64, _I64_P]
+            array_types = []
             for _ in self.array_dims:
-                argtypes.extend((_F64_P, _I64_P, _I64_P))
-            fn.argtypes = argtypes
+                array_types.extend((_F64_P, _I64_P, _I64_P))
+            fn.argtypes = [ctypes.c_int64, _I64_P] + array_types
+            if par_fn is not None:
+                par_fn.argtypes = [
+                    ctypes.c_int64, _I64_P, ctypes.c_int64, ctypes.c_int64, _I64_P,
+                ] + array_types
 
-    def execute(self, offset_arrays, ranges: np.ndarray, n_chunks: int) -> Optional[int]:
-        """Run the kernel; returns the status code, or None when an array's
-        layout cannot be marshalled (caller falls back)."""
+    @property
+    def supports_parallel(self) -> bool:
+        """Whether this kernel carries a usable parallel driver."""
+        return self._par_fn is not None
+
+    def _marshal(self, offset_arrays):
+        """``(datas, origins, shapes)`` or None when a layout cannot be
+        passed to native code (caller falls back)."""
         datas = []
         origins = []
         shapes = []
@@ -757,17 +1041,87 @@ class NativeKernel:
             datas.append(data)
             origins.append(np.asarray(array.origin, dtype=np.int64))
             shapes.append(np.asarray(data.shape, dtype=np.int64))
+        return datas, origins, shapes
+
+    def _cc_array_args(self, marshalled):
+        args = []
+        for data, origin, shape in zip(*marshalled):
+            args.append(data.ctypes.data_as(_F64_P))
+            args.append(origin.ctypes.data_as(_I64_P))
+            args.append(shape.ctypes.data_as(_I64_P))
+        return args
+
+    def _numba_array_args(self, marshalled):
+        args = []
+        for data, origin, shape in zip(*marshalled):
+            args.extend((data.reshape(-1), origin, shape))
+        return args
+
+    def execute(self, offset_arrays, ranges: np.ndarray, n_chunks: int) -> Optional[int]:
+        """Run the serial kernel; returns the status code, or None when an
+        array's layout cannot be marshalled (caller falls back)."""
+        marshalled = self._marshal(offset_arrays)
+        if marshalled is None:
+            return None
         if self.engine == "cc":
             args = [ctypes.c_int64(n_chunks), ranges.ctypes.data_as(_I64_P)]
-            for data, origin, shape in zip(datas, origins, shapes):
-                args.append(data.ctypes.data_as(_F64_P))
-                args.append(origin.ctypes.data_as(_I64_P))
-                args.append(shape.ctypes.data_as(_I64_P))
+            args.extend(self._cc_array_args(marshalled))
             return int(self._fn(*args))
-        flat_args = []
-        for data, origin, shape in zip(datas, origins, shapes):
-            flat_args.extend((data.reshape(-1), origin, shape))
-        return int(self._fn(n_chunks, ranges, *flat_args))
+        return int(self._fn(n_chunks, ranges, *self._numba_array_args(marshalled)))
+
+    def execute_parallel(
+        self,
+        offset_arrays,
+        ranges: np.ndarray,
+        n_chunks: int,
+        threads: int,
+        dynamic: bool,
+    ) -> Optional[int]:
+        """Run the multithreaded driver; returns the first failing chunk's
+        status code (in chunk order), or None when the kernel has no
+        parallel entry point or marshalling fails — no writes have happened
+        in that case, so the caller can fall back safely."""
+        if self._par_fn is None:
+            return None
+        marshalled = self._marshal(offset_arrays)
+        if marshalled is None:
+            return None
+        threads = max(1, int(threads))
+        statuses = np.zeros(max(1, n_chunks), dtype=np.int64)
+        if self.engine == "cc":
+            args = [
+                ctypes.c_int64(n_chunks),
+                ranges.ctypes.data_as(_I64_P),
+                ctypes.c_int64(threads),
+                ctypes.c_int64(1 if dynamic else 0),
+                statuses.ctypes.data_as(_I64_P),
+            ]
+            args.extend(self._cc_array_args(marshalled))
+            return int(self._par_fn(*args))
+        numba = _numba_module()
+        previous = None
+        if numba is not None:
+            # prange honours the numba thread pool size, set per call and
+            # restored after (capped at the pool's launch-time size).
+            try:
+                previous = numba.get_num_threads()
+                numba.set_num_threads(min(threads, numba.config.NUMBA_NUM_THREADS))
+            except Exception:  # pragma: no cover - very old numba
+                previous = None
+        try:
+            return int(
+                self._par_fn(
+                    n_chunks,
+                    ranges,
+                    threads,
+                    1 if dynamic else 0,
+                    statuses,
+                    *self._numba_array_args(marshalled),
+                )
+            )
+        finally:
+            if previous is not None:
+                numba.set_num_threads(previous)
 
 
 class NativeProgram:
@@ -779,14 +1133,28 @@ class NativeProgram:
         self.kernel = kernel
         self.array_order = array_order
 
-    def execute(self, store, ranges: np.ndarray, n_chunks: int) -> Optional[int]:
+    def _arrays(self, store):
         arrays = []
         for name in self.array_order:
             if name not in store:
                 # Let the fallback backend raise its usual missing-array error.
                 return None
             arrays.append(store[name])
+        return arrays
+
+    def execute(self, store, ranges: np.ndarray, n_chunks: int) -> Optional[int]:
+        arrays = self._arrays(store)
+        if arrays is None:
+            return None
         return self.kernel.execute(arrays, ranges, n_chunks)
+
+    def execute_parallel(
+        self, store, ranges: np.ndarray, n_chunks: int, threads: int, dynamic: bool
+    ) -> Optional[int]:
+        arrays = self._arrays(store)
+        if arrays is None:
+            return None
+        return self.kernel.execute_parallel(arrays, ranges, n_chunks, threads, dynamic)
 
 
 _LOCK = threading.Lock()
@@ -811,13 +1179,14 @@ def kernel_cache_info() -> Dict[str, object]:
 
 
 def clear_kernel_cache() -> None:
-    """Drop cached kernels, stats and the memoized numba availability."""
-    global _NUMBA_CACHED, _LAST_BUILD_ERROR
+    """Drop cached kernels, stats and the memoized toolchain probes."""
+    global _NUMBA_CACHED, _OPENMP_CACHED, _LAST_BUILD_ERROR
     with _LOCK:
         _KERNELS.clear()
         for key in _STATS:
             _STATS[key] = 0.0 if key == "build_seconds" else 0
         _NUMBA_CACHED = _UNSET
+        _OPENMP_CACHED = _UNSET
         _LAST_BUILD_ERROR = None
 
 
@@ -852,16 +1221,22 @@ def native_program_for(transformed, engine: Optional[str] = None) -> Optional[Na
         started = time.perf_counter()
         form = canonicalize(nest)
         if resolved == "cc":
-            source = emit_kernel_source(form.nest, inverse, "c")
-            function = _build_cc(source)
+            flavor = "openmp" if openmp_supported() else "pthreads"
+            source = emit_kernel_source(form.nest, inverse, "c", flavor)
+            built = _build_cc(source, openmp=flavor == "openmp")
         else:
+            flavor = "prange"
             source = emit_kernel_source(form.nest, inverse, "py")
-            function = _build_numba(source)
+            built = _build_numba(source)
         elapsed = time.perf_counter() - started
         kernel = None
-        if function is not None:
+        if built is not None:
+            function, parallel_fn = built
             dims = tuple(ndim for _, ndim in _array_slots(form.nest))
-            kernel = NativeKernel(resolved, function, nest.depth, dims, source, elapsed)
+            kernel = NativeKernel(
+                resolved, function, nest.depth, dims, source, elapsed,
+                par_fn=parallel_fn, flavor=flavor,
+            )
             _STATS["builds"] += 1
             _STATS["build_seconds"] += elapsed
         # Build failures are cached too (as None) so a broken toolchain does

@@ -171,7 +171,7 @@ class _Job:
         "future", "analysis", "transformed", "plan", "store", "chunk_sizes",
         "key", "result_key", "checksum", "groups_total", "groups_done",
         "program_seconds", "prepared_at", "exec_started", "exec_elapsed",
-        "failed", "admitted_at",
+        "failed", "admitted_at", "use_driver", "engine",
     )
 
     def __init__(self, future: "asyncio.Future[RunResult]"):
@@ -192,6 +192,8 @@ class _Job:
         self.exec_started: Optional[float] = None
         self.exec_elapsed = 0.0
         self.failed = False
+        self.use_driver = False
+        self.engine: Optional[str] = None
 
 
 class _CachedResponse:
@@ -396,7 +398,8 @@ class Gateway:
             await self._settle(job, error=exc)
             raise
         (job.analysis, job.transformed, job.plan, job.store,
-         job.chunk_sizes, job.key, groups, job.program_seconds) = prepared
+         job.chunk_sizes, job.key, groups, job.program_seconds,
+         job.use_driver) = prepared
         job.prepared_at = time.perf_counter()
         job.groups_total = len(groups)
         if not groups:
@@ -518,13 +521,32 @@ class Gateway:
             executor.telemetry_key(transformed, len(chunk_sizes))
             if chunk_sizes else None
         )
-        groups = (
-            executor.groups_for(chunk_sizes, key, workers=self.config.exec_workers)
-            if chunk_sizes else []
-        )
+        # Prefer the backend's in-kernel parallel driver: one native call
+        # runs every chunk on exec_workers OS threads, so the job becomes a
+        # single group and the per-group Python dispatch disappears.  The
+        # support probe compiles the kernel and packs the range table —
+        # analysis-stage work, exactly where it belongs.  Cluster-backed
+        # gateways keep per-group dispatch (groups drain onto the wire).
+        use_driver = False
+        supports = getattr(executor.backend, "supports_parallel_plan", None)
+        if (
+            chunk_sizes
+            and supports is not None
+            and session.cluster_scheduler is None
+            and supports(transformed, plan)
+        ):
+            use_driver = True
+            groups = [tuple(range(len(chunk_sizes)))]
+        else:
+            groups = (
+                executor.groups_for(
+                    chunk_sizes, key, workers=self.config.exec_workers
+                )
+                if chunk_sizes else []
+            )
         return (
             analysis, transformed, plan, store, chunk_sizes, key, groups,
-            program_seconds,
+            program_seconds, use_driver,
         )
 
     def _execute_group(self, job: _Job, group: Tuple[int, ...]) -> float:
@@ -546,6 +568,21 @@ class Gateway:
             scheduler.execute_group(
                 job.transformed, job.plan, job.store, group, telemetry_key=None
             )
+        elif job.use_driver:
+            # The prepare stage probed driver support, so this one call
+            # executes the whole plan on exec_workers OS threads in-kernel.
+            executor = self.session.executor
+            engine = executor.backend.execute_plan_parallel(
+                job.transformed, job.plan, job.store,
+                threads=max(1, min(self.config.exec_workers, len(job.chunk_sizes))),
+                dynamic=executor._schedule_is_dynamic(job.chunk_sizes, job.key),
+            )
+            if engine is None:  # pragma: no cover - probe/driver disagree
+                executor.backend.execute_plan(
+                    job.transformed, job.plan, job.store, chunk_indices=group
+                )
+            else:
+                job.engine = engine
         else:
             self.session.executor.backend.execute_plan(
                 job.transformed, job.plan, job.store, chunk_indices=group
@@ -599,8 +636,14 @@ class Gateway:
             num_chunks=len(job.chunk_sizes),
             elapsed_seconds=elapsed,
             chunk_sizes=job.chunk_sizes,
-            backend=self.session.executor.backend.name,
+            backend=job.engine or self.session.executor.backend.name,
             setup_seconds=max(setup, 0.0),
+            engine=job.engine,
+            threads=(
+                max(1, min(self.config.exec_workers, len(job.chunk_sizes)))
+                if job.engine
+                else 0
+            ),
         )
         job.checksum = sum(float(array.data.sum()) for array in job.store.values())
         # Executed jobs only (cache hits would drag the estimate toward 0):

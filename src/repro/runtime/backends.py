@@ -921,6 +921,55 @@ class NativeBackend(ExecutionBackend):
         self.last_execution_engine = f"native-{program.kernel.engine}"
         return store
 
+    # ------------------------------------------------------------------ #
+    # in-kernel parallel driver
+    # ------------------------------------------------------------------ #
+    def supports_parallel_plan(self, transformed, plan) -> bool:
+        """Whether :meth:`execute_plan_parallel` can run this plan in-kernel.
+
+        Compiles the kernel and builds the whole-plan packed table as a side
+        effect (both cached), so call this inside the setup window.
+        """
+        if plan is None:
+            return False
+        program = native_codegen.native_program_for(transformed, self.engine)
+        if program is None or not program.kernel.supports_parallel:
+            return False
+        return native_codegen.packed_ranges_for(plan) is not None
+
+    def execute_plan_parallel(
+        self, transformed, plan, store, chunk_indices=None, threads=1, dynamic=True
+    ) -> Optional[str]:
+        """Execute chunks through the kernel's multithreaded entry point.
+
+        One native call runs every selected chunk on ``threads`` OS threads
+        (OpenMP / pthreads / numba ``prange`` depending on the artifact);
+        ``dynamic`` picks the schedule for engines that honour the hint.
+        Returns the engine label (e.g. ``"native-cc-openmp"``) on success or
+        ``None`` when the driver is unavailable — in that case nothing has
+        been written and the caller falls back to per-chunk dispatch.
+        Error parity matches the serial path: the status of the first
+        failing chunk *in chunk order* is raised as the interpreter's
+        exception type.
+        """
+        program = native_codegen.native_program_for(transformed, self.engine)
+        if program is None or not program.kernel.supports_parallel:
+            return None
+        packed = native_codegen.packed_ranges_for(plan, chunk_indices)
+        if packed is None:
+            return None
+        n_chunks, ranges = packed
+        code = program.execute_parallel(store, ranges, n_chunks, threads, dynamic)
+        if code is None:
+            return None
+        if code != native_codegen.OK:
+            self._raise_native_error(code, transformed)
+        self.stats["native_runs"] += 1
+        self.stats["native_chunks"] += n_chunks
+        label = f"native-{program.kernel.engine}-{program.kernel.flavor}"
+        self.last_execution_engine = label
+        return label
+
     def execute_chunk(self, transformed, chunk, store) -> None:
         # The thread executor submits plan chunk views one by one; legacy
         # materialized chunks (no strided-range form) delegate.

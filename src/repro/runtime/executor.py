@@ -26,7 +26,15 @@ provided:
   across executions, so a steady request stream pays neither fork-per-call
   nor store pickling nor a merge loop.  In-place concurrent writes are legal
   because chunks never access a common cell with a write (Lemma 1 /
-  Theorem 2).
+  Theorem 2),
+* ``native-parallel`` — the in-kernel driver: when the backend exposes a
+  compiled parallel entry point (the ``native`` backend's OpenMP / pthreads
+  / ``numba.prange`` driver), *one* call executes every chunk on ``workers``
+  OS threads with zero per-chunk Python dispatch.  ``threads`` mode
+  auto-upgrades to this driver when it is available — the thread pool
+  remains as the fallback for backends (or plans) without one.  The
+  telemetry's measured per-chunk costs pick the driver's schedule: skewed
+  programs get dynamic chunk assignment, uniform ones static blocks.
 
 Orthogonally to the mode, *how* the iterations of a chunk (or of the whole
 schedule, in serial mode) are executed is chosen by an execution backend
@@ -49,6 +57,7 @@ under concurrency and for wall-clock measurements.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -67,9 +76,45 @@ from repro.runtime.pool import WorkerCrashed, WorkerPool
 from repro.runtime.shared import SharedArrayStore
 from repro.runtime.telemetry import ExecutionTelemetry
 
-__all__ = ["EXECUTION_MODES", "ExecutionResult", "ParallelExecutor"]
+__all__ = [
+    "EXECUTION_MODES",
+    "ExecutionResult",
+    "ParallelExecutor",
+    "default_worker_count",
+]
 
-EXECUTION_MODES: Tuple[str, ...] = ("serial", "threads", "processes", "shared")
+EXECUTION_MODES: Tuple[str, ...] = (
+    "serial",
+    "threads",
+    "processes",
+    "shared",
+    "native-parallel",
+)
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Hosts with very wide sockets get clamped: beyond this the chunk counts of
+#: typical plans no longer feed every thread anyway.
+_MAX_DEFAULT_WORKERS = 16
+
+
+def default_worker_count() -> int:
+    """Worker threads/processes to use when the caller names no count.
+
+    ``$REPRO_WORKERS`` (a positive integer) wins; otherwise
+    ``os.cpu_count()`` clamped to ``[1, 16]``.  The old hardcoded ``4``
+    oversubscribed small containers and left big hosts idle.
+    """
+    override = os.environ.get(WORKERS_ENV, "").strip()
+    if override:
+        try:
+            value = int(override)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
 
 
 @dataclass
@@ -90,6 +135,11 @@ class ExecutionResult:
     backend: str = DEFAULT_BACKEND
     setup_seconds: float = 0.0
     fallback: Optional[str] = None
+    #: Engine label of an in-kernel parallel run (e.g. ``"native-cc-openmp"``),
+    #: ``None`` for every other path.
+    engine: Optional[str] = None
+    #: Effective OS-thread count of an in-kernel parallel run (0 otherwise).
+    threads: int = 0
 
     @property
     def total_iterations(self) -> int:
@@ -210,7 +260,7 @@ class ParallelExecutor:
                 f"unknown execution mode {mode!r}; available: {', '.join(EXECUTION_MODES)}"
             )
         self.mode = mode
-        self.workers = workers or 4
+        self.workers = workers or default_worker_count()
         self.backend: ExecutionBackend = resolve_backend(backend)
         #: Measured per-chunk cost store feeding :meth:`groups_for`; inject
         #: one to share observations across executors (e.g. a gateway and
@@ -289,6 +339,8 @@ class ParallelExecutor:
         )
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
+        engine: Optional[str] = None
+        threads_used = 0
         if self.mode == "serial":
             start = time.perf_counter()
             if plan is not None:
@@ -303,10 +355,22 @@ class ParallelExecutor:
                 self.telemetry.record_group(
                     key, range(len(chunk_sizes)), chunk_sizes, elapsed
                 )
-        elif self.mode == "threads":
-            elapsed, extra_setup = self._run_threads(
-                transformed, chunks, store, plan, chunk_sizes, key
+        elif self.mode in ("threads", "native-parallel"):
+            # Both modes prefer the in-kernel driver — one native call over
+            # all chunks — and fall back to per-chunk thread-pool dispatch.
+            # ``threads`` is the compatible spelling (auto-upgrade);
+            # ``native-parallel`` the explicit request.  Either way the
+            # result's ``engine`` field says which path ran (a label for
+            # the driver, ``None`` for the thread pool).
+            native = self._try_native_parallel(
+                transformed, store, plan, chunk_sizes, key
             )
+            if native is not None:
+                elapsed, extra_setup, engine, threads_used = native
+            else:
+                elapsed, extra_setup = self._run_threads(
+                    transformed, chunks, store, plan, chunk_sizes, key
+                )
             setup += extra_setup
         elif self.mode == "processes":
             elapsed, extra_setup = self._run_processes(
@@ -318,13 +382,16 @@ class ParallelExecutor:
                 transformed, chunks, store, plan, chunk_sizes, key
             )
             setup += extra_setup
-        # Report the engine that actually ran: thread mode executes
-        # chunk-granularly (where the vectorized backend delegates), and a
-        # serial run may have fallen back dynamically (narrow schedule,
-        # unvectorizable body, failed independence check).  Process/shared
-        # modes report the requested backend; each worker decides on its own
-        # view of the store.
-        if self.mode == "threads":
+        # Report the engine that actually ran: an in-kernel parallel run
+        # reports its driver label; thread mode executes chunk-granularly
+        # (where the vectorized backend delegates); a serial run may have
+        # fallen back dynamically (narrow schedule, unvectorizable body,
+        # failed independence check).  Process/shared modes report the
+        # requested backend; each worker decides on its own view of the
+        # store.
+        if engine is not None:
+            effective = engine
+        elif self.mode in ("threads", "native-parallel"):
             effective = self.backend.per_chunk_name
         elif self.mode == "serial":
             effective = getattr(self.backend, "last_execution_engine", self.backend.name)
@@ -340,6 +407,8 @@ class ParallelExecutor:
             backend=effective,
             setup_seconds=setup,
             fallback=fallback,
+            engine=engine,
+            threads=threads_used,
         )
 
     # ------------------------------------------------------------------ #
@@ -377,6 +446,8 @@ class ParallelExecutor:
         setup = time.perf_counter() - setup_start
         fallback: Optional[str] = None
         per_member_elapsed: Optional[List[float]] = None
+        engine: Optional[str] = None
+        mixed_dispatch = False
         elapsed = 0.0
         if not global_sizes:
             pass
@@ -387,21 +458,59 @@ class ParallelExecutor:
                 self.backend.execute_plan(transformed, member, store)
                 per_member_elapsed.append(time.perf_counter() - start)
             elapsed = sum(per_member_elapsed)
-        elif self.mode == "threads":
+        elif self.mode in ("threads", "native-parallel"):
+            # Per member: prefer the backend's in-kernel parallel driver
+            # (one native call over the member's chunks); members without
+            # one go through the per-chunk thread pool, created lazily so
+            # an all-driver dispatch never spins it up.
             spin_start = time.perf_counter()
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            driver = getattr(self.backend, "execute_plan_parallel", None)
+            supports = getattr(self.backend, "supports_parallel_plan", None)
+            member_supported = [
+                driver is not None
+                and supports is not None
+                and supports(member_transformed, member)
+                for member_transformed, member in zip(transformeds, fused.members)
+            ]
+            pool = (
+                ThreadPoolExecutor(max_workers=self.workers)
+                if not all(member_supported)
+                else None
+            )
+            try:
                 setup += time.perf_counter() - spin_start
                 start = time.perf_counter()
-                futures = [
-                    pool.submit(self.backend.execute_chunk, transformed, chunk, store)
-                    for transformed, member, store in zip(
-                        transformeds, fused.members, stores
+                futures = []
+                for supported, member_transformed, member, member_store, sizes in zip(
+                    member_supported, transformeds, fused.members, stores, member_sizes
+                ):
+                    if supported:
+                        label = driver(
+                            member_transformed,
+                            member,
+                            member_store,
+                            threads=max(1, min(self.workers, len(sizes))),
+                            dynamic=True,
+                        )
+                        if label is not None:
+                            engine = label
+                            continue
+                    if pool is None:  # pragma: no cover - probe/driver disagree
+                        pool = ThreadPoolExecutor(max_workers=self.workers)
+                    futures.extend(
+                        pool.submit(
+                            self.backend.execute_chunk, member_transformed, chunk,
+                            member_store,
+                        )
+                        for chunk in member.chunks()
                     )
-                    for chunk in member.chunks()
-                ]
                 for future in futures:
                     future.result()
                 elapsed = time.perf_counter() - start
+                mixed_dispatch = bool(futures)
+            finally:
+                if pool is not None:
+                    pool.shutdown()
         elif self.mode == "processes":
             extra_start = time.perf_counter()
             groups = self._balanced_groups(global_sizes)
@@ -430,9 +539,13 @@ class ParallelExecutor:
             setup += extra_setup
         weights = [sum(sizes) for sizes in member_sizes]
         total_weight = sum(weights) or 1
-        effective = (
-            self.backend.per_chunk_name if self.mode == "threads" else self.backend.name
-        )
+        all_driver = engine is not None and not mixed_dispatch
+        if all_driver:
+            effective = engine
+        elif self.mode in ("threads", "native-parallel"):
+            effective = self.backend.per_chunk_name
+        else:
+            effective = self.backend.name
         results: List[ExecutionResult] = []
         for member, (sizes, store) in enumerate(zip(member_sizes, stores)):
             if per_member_elapsed is not None:
@@ -450,6 +563,12 @@ class ParallelExecutor:
                     backend=effective,
                     setup_seconds=setup * weights[member] / total_weight,
                     fallback=fallback,
+                    engine=engine if all_driver else None,
+                    threads=(
+                        max(1, min(self.workers, max(map(len, member_sizes))))
+                        if all_driver
+                        else 0
+                    ),
                 )
             )
         return results
@@ -500,6 +619,73 @@ class ParallelExecutor:
             for shared in shared_stores:
                 shared.close()
                 shared.unlink()
+
+    # ------------------------------------------------------------------ #
+    # in-kernel parallel driver
+    # ------------------------------------------------------------------ #
+    def _schedule_is_dynamic(
+        self, chunk_sizes: Sequence[int], key: Optional[str]
+    ) -> bool:
+        """Static blocks or dynamic chunk assignment for the native driver?
+
+        The same signal that feeds :meth:`groups_for`: measured per-chunk
+        costs when the program is warm, closed-form sizes when cold.  A
+        skewed distribution (heaviest chunk > 1.25x the mean) gets dynamic
+        scheduling — static blocks would leave threads idle behind the
+        heavy chunk; uniform work keeps static blocks and their lower
+        scheduling overhead.
+        """
+        costs = (
+            self.telemetry.chunk_costs(key, chunk_sizes) if key is not None else None
+        )
+        weights: Sequence[float] = costs if costs is not None else chunk_sizes
+        if len(weights) < 2:
+            return False
+        mean = sum(weights) / len(weights)
+        if mean <= 0:
+            return False
+        return max(weights) > 1.25 * mean
+
+    def _try_native_parallel(
+        self,
+        transformed: TransformedLoopNest,
+        store: ArrayStore,
+        plan: Optional[ExecutionPlan],
+        chunk_sizes: Tuple[int, ...],
+        key: Optional[str],
+    ) -> Optional[Tuple[float, float, str, int]]:
+        """One in-kernel parallel call over the whole plan, if possible.
+
+        Returns ``(elapsed, extra_setup, engine_label, threads)`` or ``None``
+        when the backend has no parallel driver for this plan (nothing has
+        been written then; the caller falls back to per-chunk dispatch).
+        The support probe compiles the kernel / packs the range table, both
+        cached — that cost lands in the setup window, like ``prepare_plan``.
+        """
+        if plan is None or not chunk_sizes:
+            return None
+        driver = getattr(self.backend, "execute_plan_parallel", None)
+        supports = getattr(self.backend, "supports_parallel_plan", None)
+        if driver is None or supports is None:
+            return None
+        setup_start = time.perf_counter()
+        if not supports(transformed, plan):
+            return None
+        threads = max(1, min(self.workers, len(chunk_sizes)))
+        dynamic = self._schedule_is_dynamic(chunk_sizes, key)
+        extra_setup = time.perf_counter() - setup_start
+        start = time.perf_counter()
+        engine = driver(transformed, plan, store, threads=threads, dynamic=dynamic)
+        elapsed = time.perf_counter() - start
+        if engine is None:  # pragma: no cover - probe said yes, driver said no
+            return None
+        if key is not None:
+            # One group holding every chunk: the driver is a single
+            # dispatch, so this is the finest observation it can produce.
+            self.telemetry.record_group(
+                key, range(len(chunk_sizes)), chunk_sizes, elapsed
+            )
+        return elapsed, extra_setup, engine, threads
 
     # ------------------------------------------------------------------ #
     def _run_threads(

@@ -78,7 +78,14 @@ class _WorkerProgram:
         self.schedule = schedule
 
     def execute(self, store, chunk_indices: Tuple[int, ...]) -> None:
-        """Execute one group's chunks in place, enumerated from the plan."""
+        """Execute one group's chunks in place, enumerated from the plan.
+
+        Deliberately *not* routed through the backend's in-kernel parallel
+        driver: shared-mode pools already run one worker process per core,
+        so a multithreaded driver inside each worker would oversubscribe
+        the host.  In-process executors (threads/native-parallel modes, the
+        gateway, the cluster daemon) are where the driver wins.
+        """
         if isinstance(self.schedule, FusedPlan):
             # ``store`` is a tuple of member stores; split the global chunk
             # indices back into per-member local indices.

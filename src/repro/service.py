@@ -254,7 +254,7 @@ class BatchService:
                 SessionConfig(
                     backend=backend if backend is not None else "vectorized",
                     mode=mode if mode is not None else "shared",
-                    workers=workers if workers is not None else 4,
+                    workers=workers,
                 ),
                 cache=cache if cache is not None else default_cache(),
             )
@@ -279,7 +279,7 @@ class BatchService:
 
     @property
     def workers(self) -> int:
-        return self._session.config.workers
+        return self._session.config.resolved_workers()
 
     @property
     def telemetry(self):
